@@ -1,0 +1,77 @@
+// bench_micro_intersection -- microbenchmark of the three adjacency
+// intersection strategies the distributed-TC literature uses (Sec. 2:
+// binary search, merge-path, hashing) and that back the survey engine's
+// wedge-closing step.
+//
+// Expected shape: merge-path wins when |A| ~ |B| (the survey's common
+// case: suffix vs adjacency of similar degree class); binary search wins
+// when |A| << |B|; hashing pays off only when the build cost amortizes.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "core/intersect.hpp"
+
+namespace {
+
+std::vector<std::uint64_t> sorted_random(std::size_t n, std::uint64_t universe,
+                                         std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = rng() % universe;
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+constexpr auto kIdentity = [](std::uint64_t x) { return x; };
+
+void BM_MergePath(benchmark::State& state) {
+  const auto a = sorted_random(static_cast<std::size_t>(state.range(0)), 1 << 20, 1);
+  const auto b = sorted_random(static_cast<std::size_t>(state.range(1)), 1 << 20, 2);
+  for (auto _ : state) {
+    std::uint64_t hits = 0;
+    tripoll::core::merge_path_intersect(a.begin(), a.end(), b.begin(), b.end(),
+                                        kIdentity, kIdentity,
+                                        [&](auto, auto) { ++hits; });
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(a.size() + b.size()));
+}
+BENCHMARK(BM_MergePath)->Args({64, 64})->Args({64, 4096})->Args({4096, 4096})->Args({16, 65536});
+
+void BM_BinarySearch(benchmark::State& state) {
+  const auto a = sorted_random(static_cast<std::size_t>(state.range(0)), 1 << 20, 1);
+  const auto b = sorted_random(static_cast<std::size_t>(state.range(1)), 1 << 20, 2);
+  for (auto _ : state) {
+    std::uint64_t hits = 0;
+    tripoll::core::binary_search_intersect(a.begin(), a.end(), b.begin(), b.end(),
+                                           kIdentity, kIdentity,
+                                           [&](auto, auto) { ++hits; });
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(a.size()));
+}
+BENCHMARK(BM_BinarySearch)->Args({64, 64})->Args({64, 4096})->Args({4096, 4096})->Args({16, 65536});
+
+void BM_Hash(benchmark::State& state) {
+  const auto a = sorted_random(static_cast<std::size_t>(state.range(0)), 1 << 20, 1);
+  const auto b = sorted_random(static_cast<std::size_t>(state.range(1)), 1 << 20, 2);
+  for (auto _ : state) {
+    std::uint64_t hits = 0;
+    tripoll::core::hash_intersect(a.begin(), a.end(), b.begin(), b.end(), kIdentity,
+                                  kIdentity, [&](auto, auto) { ++hits; });
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(a.size() + b.size()));
+}
+BENCHMARK(BM_Hash)->Args({64, 64})->Args({64, 4096})->Args({4096, 4096})->Args({16, 65536});
+
+}  // namespace
+
+BENCHMARK_MAIN();

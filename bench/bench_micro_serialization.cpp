@@ -1,0 +1,108 @@
+// bench_micro_serialization -- microbenchmark of the cereal stand-in
+// (supporting Sec. 4.1.2: serialization cost is "a small amount of
+// computing overhead").
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "serial/buffer.hpp"
+#include "serial/serialize.hpp"
+
+namespace ts = tripoll::serial;
+
+namespace {
+
+void BM_PackU64(benchmark::State& state) {
+  ts::byte_buffer buf(1 << 20);
+  std::uint64_t v = 0xDEADBEEF;
+  for (auto _ : state) {
+    buf.clear();
+    for (int i = 0; i < 1024; ++i) ts::pack(buf, v);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(state.iterations() * 1024 * sizeof(v));
+}
+BENCHMARK(BM_PackU64);
+
+void BM_PackString(benchmark::State& state) {
+  ts::byte_buffer buf(1 << 20);
+  const std::string s(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    buf.clear();
+    for (int i = 0; i < 256; ++i) ts::pack(buf, s);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(state.iterations() * 256 * static_cast<std::int64_t>(s.size()));
+}
+BENCHMARK(BM_PackString)->Arg(8)->Arg(64)->Arg(1024);
+
+void BM_PackVectorPod(benchmark::State& state) {
+  ts::byte_buffer buf(1 << 22);
+  std::vector<std::uint64_t> v(static_cast<std::size_t>(state.range(0)), 42);
+  for (auto _ : state) {
+    buf.clear();
+    ts::pack(buf, v);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(v.size()) * 8);
+}
+BENCHMARK(BM_PackVectorPod)->Arg(64)->Arg(4096)->Arg(262144);
+
+void BM_RoundtripWedgeMessage(benchmark::State& state) {
+  // The hot message of a survey: (handle, q, p, meta, meta, candidates).
+  struct candidate {
+    std::uint64_t r, deg;
+  };
+  std::vector<candidate> suffix(static_cast<std::size_t>(state.range(0)),
+                                candidate{7, 9});
+  ts::byte_buffer buf(1 << 22);
+  for (auto _ : state) {
+    buf.clear();
+    ts::pack(buf, std::uint32_t{3}, std::uint64_t{11}, std::uint64_t{13}, suffix);
+    ts::buffer_reader rd(buf.view());
+    std::uint32_t h;
+    std::uint64_t q, p;
+    std::vector<candidate> out;
+    ts::unpack(rd, h, q, p, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(suffix.size()) * 16);
+}
+BENCHMARK(BM_RoundtripWedgeMessage)->Arg(4)->Arg(64)->Arg(1024);
+
+void BM_UnpackString(benchmark::State& state) {
+  ts::byte_buffer buf;
+  const std::string s(static_cast<std::size_t>(state.range(0)), 'y');
+  for (int i = 0; i < 256; ++i) ts::pack(buf, s);
+  for (auto _ : state) {
+    ts::buffer_reader rd(buf.view());
+    std::string out;
+    for (int i = 0; i < 256; ++i) ts::unpack(rd, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * 256 * static_cast<std::int64_t>(s.size()));
+}
+BENCHMARK(BM_UnpackString)->Arg(8)->Arg(64)->Arg(1024);
+
+void BM_Varint(benchmark::State& state) {
+  ts::byte_buffer buf;
+  for (auto _ : state) {
+    buf.clear();
+    ts::writer w(buf);
+    for (std::uint64_t i = 0; i < 4096; ++i) w.write_varint(i * i);
+    ts::buffer_reader rd(buf.view());
+    ts::reader r(rd);
+    std::uint64_t sum = 0;
+    for (std::uint64_t i = 0; i < 4096; ++i) sum += r.read_varint();
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_Varint);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,133 @@
+#include "baselines/serial_tc.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+#include <utility>
+
+#include "core/intersect.hpp"
+
+namespace tripoll::baselines {
+
+ordered_csr::ordered_csr(std::span<const graph::edge> edges) {
+  // Normalize: drop self-loops, dedup unordered pairs.
+  std::vector<std::pair<graph::vertex_id, graph::vertex_id>> pairs;
+  pairs.reserve(edges.size());
+  for (const auto& e : edges) {
+    if (e.u == e.v) continue;
+    pairs.emplace_back(std::min(e.u, e.v), std::max(e.u, e.v));
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  num_edges_ = pairs.size();
+
+  // Dense id assignment.
+  std::unordered_map<graph::vertex_id, std::uint32_t> dense;
+  dense.reserve(pairs.size() * 2);
+  auto densify = [&](graph::vertex_id v) {
+    auto [it, inserted] = dense.emplace(v, static_cast<std::uint32_t>(dense.size()));
+    if (inserted) original_ids_.push_back(v);
+    return it->second;
+  };
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> dedges;
+  dedges.reserve(pairs.size());
+  for (const auto& [a, b] : pairs) dedges.emplace_back(densify(a), densify(b));
+
+  const std::size_t n = dense.size();
+  degrees_.assign(n, 0);
+  for (const auto& [a, b] : dedges) {
+    ++degrees_[a];
+    ++degrees_[b];
+  }
+
+  // <+ rank: sort dense vertices by (degree, hash(original id), id); the
+  // rank of a vertex is its position, so comparing ranks == comparing <+.
+  std::vector<std::uint32_t> by_order(n);
+  std::iota(by_order.begin(), by_order.end(), 0u);
+  std::sort(by_order.begin(), by_order.end(), [&](std::uint32_t x, std::uint32_t y) {
+    return graph::make_order_key(original_ids_[x], degrees_[x]) <
+           graph::make_order_key(original_ids_[y], degrees_[y]);
+  });
+  std::vector<std::uint32_t> rank_of(n);
+  for (std::uint32_t i = 0; i < n; ++i) rank_of[by_order[i]] = i;
+
+  // Re-index everything by rank so adjacency sorting is plain integer order.
+  {
+    std::vector<graph::vertex_id> ids(n);
+    std::vector<std::uint64_t> degs(n);
+    for (std::uint32_t v = 0; v < n; ++v) {
+      ids[rank_of[v]] = original_ids_[v];
+      degs[rank_of[v]] = degrees_[v];
+    }
+    original_ids_ = std::move(ids);
+    degrees_ = std::move(degs);
+  }
+
+  // Orient low-rank -> high-rank; build CSR.
+  std::vector<std::size_t> counts(n, 0);
+  for (auto& [a, b] : dedges) {
+    a = rank_of[a];
+    b = rank_of[b];
+    if (a > b) std::swap(a, b);
+    ++counts[a];
+  }
+  offsets_.assign(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) offsets_[v + 1] = offsets_[v] + counts[v];
+  targets_.resize(offsets_[n]);
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const auto& [a, b] : dedges) targets_[cursor[a]++] = b;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    std::sort(targets_.begin() + static_cast<std::ptrdiff_t>(offsets_[v]),
+              targets_.begin() + static_cast<std::ptrdiff_t>(offsets_[v + 1]));
+  }
+}
+
+std::uint64_t ordered_csr::wedge_checks() const noexcept {
+  std::uint64_t wedges = 0;
+  for (std::size_t v = 0; v + 1 < offsets_.size(); ++v) {
+    const std::uint64_t dp = offsets_[v + 1] - offsets_[v];
+    wedges += dp * (dp - 1) / 2;
+  }
+  return wedges;
+}
+
+namespace {
+
+std::uint64_t count_at_vertex(const ordered_csr& csr, std::uint32_t p) {
+  const auto adj = csr.out(p);
+  std::uint64_t found = 0;
+  for (std::size_t i = 0; i + 1 < adj.size(); ++i) {
+    const auto q_adj = csr.out(adj[i]);
+    core::merge_path_intersect(
+        adj.begin() + static_cast<std::ptrdiff_t>(i) + 1, adj.end(), q_adj.begin(),
+        q_adj.end(), [](std::uint32_t x) { return x; }, [](std::uint32_t x) { return x; },
+        [&](std::uint32_t, std::uint32_t) { ++found; });
+  }
+  return found;
+}
+
+}  // namespace
+
+std::uint64_t serial_triangle_count(const ordered_csr& csr) {
+  std::uint64_t total = 0;
+  for (std::uint32_t p = 0; p < csr.num_vertices(); ++p) total += count_at_vertex(csr, p);
+  return total;
+}
+
+std::uint64_t serial_triangle_count(std::span<const graph::edge> edges) {
+  return serial_triangle_count(ordered_csr(edges));
+}
+
+std::uint64_t openmp_triangle_count(const ordered_csr& csr) {
+  std::uint64_t total = 0;
+  const auto n = static_cast<std::int64_t>(csr.num_vertices());
+#if defined(TRIPOLL_HAVE_OPENMP)
+#pragma omp parallel for schedule(dynamic, 256) reduction(+ : total)
+#endif
+  for (std::int64_t p = 0; p < n; ++p) {
+    total += count_at_vertex(csr, static_cast<std::uint32_t>(p));
+  }
+  return total;
+}
+
+}  // namespace tripoll::baselines

@@ -1,0 +1,64 @@
+// serial_tc.hpp -- exact single-thread triangle counting (ground truth).
+//
+// A compact-forward / node-iterator counter over a degree-ordered CSR.  It
+// uses the same <+ order as the distributed engine, so any disagreement in
+// tests points at the code under test rather than at orientation
+// conventions.  Also provides the shared-memory OpenMP variant used as a
+// single-node performance reference in the benches.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace tripoll::baselines {
+
+/// Degree-ordered CSR built from a raw undirected edge list (duplicates and
+/// self-loops tolerated and removed).  Vertex ids may be sparse.
+class ordered_csr {
+ public:
+  explicit ordered_csr(std::span<const graph::edge> edges);
+
+  [[nodiscard]] std::size_t num_vertices() const noexcept { return offsets_.size() - 1; }
+  [[nodiscard]] std::uint64_t num_undirected_edges() const noexcept { return num_edges_; }
+
+  /// Out-neighbors (dense ids) of dense vertex `v`, sorted ascending by the
+  /// dense <+ rank.
+  [[nodiscard]] std::span<const std::uint32_t> out(std::uint32_t v) const noexcept {
+    return {targets_.data() + offsets_[v], targets_.data() + offsets_[v + 1]};
+  }
+
+  /// Undirected degree of dense vertex `v`.
+  [[nodiscard]] std::uint64_t degree(std::uint32_t v) const noexcept {
+    return degrees_[v];
+  }
+
+  /// Original vertex id of dense vertex `v`.
+  [[nodiscard]] graph::vertex_id original_id(std::uint32_t v) const noexcept {
+    return original_ids_[v];
+  }
+
+  /// Total wedge checks sum_v C(d+(v), 2).
+  [[nodiscard]] std::uint64_t wedge_checks() const noexcept;
+
+ private:
+  std::vector<std::size_t> offsets_;
+  std::vector<std::uint32_t> targets_;  ///< dense target ids, ordered by <+ rank
+  std::vector<std::uint64_t> degrees_;
+  std::vector<graph::vertex_id> original_ids_;
+  std::uint64_t num_edges_ = 0;
+};
+
+/// Exact triangle count, single thread.
+[[nodiscard]] std::uint64_t serial_triangle_count(std::span<const graph::edge> edges);
+
+/// Exact triangle count over a prebuilt CSR (single thread).
+[[nodiscard]] std::uint64_t serial_triangle_count(const ordered_csr& csr);
+
+/// Exact triangle count, OpenMP-parallel over vertices (falls back to the
+/// serial path when OpenMP is unavailable).
+[[nodiscard]] std::uint64_t openmp_triangle_count(const ordered_csr& csr);
+
+}  // namespace tripoll::baselines

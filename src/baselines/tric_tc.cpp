@@ -1,0 +1,178 @@
+#include "baselines/tric_tc.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace tripoll::baselines {
+
+namespace {
+
+using plain_graph = graph::dodgr<graph::none, graph::none>;
+
+/// (target, target_degree) pair; sorted by the <+ order key for searching.
+struct slim_entry {
+  graph::vertex_id target = 0;
+  std::uint64_t degree = 0;
+
+  [[nodiscard]] graph::order_key key() const noexcept {
+    return graph::make_order_key(target, degree);
+  }
+};
+
+/// A batched closure query: does edge (v, w) exist?
+struct closure_query {
+  graph::vertex_id v = 0;
+  graph::vertex_id w = 0;
+  std::uint64_t w_degree = 0;
+};
+
+struct tric_state {
+  std::vector<graph::vertex_id> splits;  ///< contiguous range upper bounds
+  std::unordered_map<graph::vertex_id, std::vector<slim_entry>> owned;
+  std::uint64_t count = 0;
+
+  [[nodiscard]] int block_owner(graph::vertex_id v) const noexcept {
+    const auto it = std::upper_bound(splits.begin(), splits.end(), v);
+    return static_cast<int>(std::distance(splits.begin(), it));
+  }
+
+  [[nodiscard]] bool closes(graph::vertex_id v, graph::vertex_id w,
+                            std::uint64_t w_degree) const {
+    const auto it = owned.find(v);
+    if (it == owned.end()) return false;
+    const auto key = graph::make_order_key(w, w_degree);
+    const auto pos = std::lower_bound(
+        it->second.begin(), it->second.end(), key,
+        [](const slim_entry& e, const graph::order_key& k) { return e.key() < k; });
+    return pos != it->second.end() && pos->target == w;
+  }
+};
+
+struct take_vertex_handler {
+  void operator()(comm::communicator& c, comm::dist_handle<tric_state> h,
+                  graph::vertex_id u, const std::vector<slim_entry>& adj) {
+    c.resolve(h).owned[u] = adj;
+  }
+};
+
+struct query_batch_handler {
+  void operator()(comm::communicator& c, comm::dist_handle<tric_state> h,
+                  const std::vector<closure_query>& batch) {
+    tric_state& st = c.resolve(h);
+    for (const auto& qr : batch) {
+      if (st.closes(qr.v, qr.w, qr.w_degree)) ++st.count;
+    }
+  }
+};
+
+constexpr std::size_t kChunks = 4096;
+
+}  // namespace
+
+distributed_count_result tric_triangle_count(comm::communicator& c, plain_graph& g) {
+  tric_state state;
+  const auto handle = c.register_object(state);
+  c.barrier();
+
+  const auto stats_before = c.stats();
+  c.barrier();
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Phase 0: edge-balanced contiguous partition.  Work per vertex is its
+  // out-degree; accumulate per id-range chunk, then cut the chunk prefix sum
+  // into nranks equal-weight contiguous ranges (deterministic on all ranks).
+  graph::vertex_id local_max_id = 0;
+  std::vector<std::uint64_t> chunk_weight(kChunks, 0);
+  g.for_all_local([&](const graph::vertex_id& u, const plain_graph::record_type&) {
+    local_max_id = std::max(local_max_id, u);
+  });
+  const graph::vertex_id max_id = c.all_reduce_max(local_max_id);
+  const auto chunk_of = [max_id](graph::vertex_id v) {
+    return static_cast<std::size_t>((static_cast<unsigned __int128>(v) * kChunks) /
+                                    (static_cast<unsigned __int128>(max_id) + 1));
+  };
+  g.for_all_local([&](const graph::vertex_id& u, const plain_graph::record_type& rec) {
+    chunk_weight[chunk_of(u)] += rec.out_degree() + 1;
+  });
+  const auto gathered = c.all_gather(chunk_weight);
+  std::vector<std::uint64_t> total_weight(kChunks, 0);
+  std::uint64_t grand_total = 0;
+  for (const auto& w : gathered) {
+    for (std::size_t i = 0; i < kChunks; ++i) total_weight[i] += w[i];
+  }
+  for (const auto w : total_weight) grand_total += w;
+  state.splits.assign(static_cast<std::size_t>(c.size() - 1), 0);
+  {
+    std::uint64_t running = 0;
+    std::size_t next_cut = 1;
+    for (std::size_t i = 0; i < kChunks && next_cut < static_cast<std::size_t>(c.size());
+         ++i) {
+      running += total_weight[i];
+      while (next_cut < static_cast<std::size_t>(c.size()) &&
+             running * static_cast<std::uint64_t>(c.size()) >=
+                 grand_total * next_cut) {
+        // Chunk i's upper id bound becomes the cut point.
+        state.splits[next_cut - 1] = static_cast<graph::vertex_id>(
+            ((static_cast<unsigned __int128>(i) + 1) *
+             (static_cast<unsigned __int128>(max_id) + 1)) / kChunks);
+        ++next_cut;
+      }
+    }
+    for (std::size_t s = 0; s < state.splits.size(); ++s) {
+      if (state.splits[s] == 0 && s > 0) state.splits[s] = state.splits[s - 1];
+    }
+  }
+
+  // Phase 1: redistribute adjacency into the contiguous blocks.
+  g.for_all_local([&](const graph::vertex_id& u, const plain_graph::record_type& rec) {
+    std::vector<slim_entry> slim;
+    slim.reserve(rec.adj.size());
+    for (const auto& e : rec.adj) slim.push_back(slim_entry{e.target, e.target_degree});
+    c.async(state.block_owner(u), take_vertex_handler{}, handle, u, slim);
+  });
+  c.barrier();
+
+  // Phase 2: enumerate wedges on block owners; batch remote closure queries
+  // per destination, then exchange all batches in one superstep.
+  std::vector<std::vector<closure_query>> outgoing(static_cast<std::size_t>(c.size()));
+  for (const auto& [u, adj] : state.owned) {
+    (void)u;
+    for (std::size_t i = 0; i + 1 < adj.size(); ++i) {
+      const int dest = state.block_owner(adj[i].target);
+      for (std::size_t j = i + 1; j < adj.size(); ++j) {
+        closure_query qr{adj[i].target, adj[j].target, adj[j].degree};
+        if (dest == c.rank()) {
+          if (state.closes(qr.v, qr.w, qr.w_degree)) ++state.count;
+        } else {
+          outgoing[static_cast<std::size_t>(dest)].push_back(qr);
+        }
+      }
+    }
+  }
+  for (int dest = 0; dest < c.size(); ++dest) {
+    auto& batch = outgoing[static_cast<std::size_t>(dest)];
+    if (batch.empty()) continue;
+    c.async(dest, query_batch_handler{}, handle, batch);
+    batch.clear();
+    batch.shrink_to_fit();
+  }
+  c.barrier();
+
+  const double elapsed = std::chrono::duration<double>(
+      std::chrono::steady_clock::now() - t0).count();
+  const auto delta = c.stats() - stats_before;
+
+  distributed_count_result result;
+  result.triangles = c.all_reduce_sum(state.count);
+  result.seconds = c.all_reduce_max(elapsed);
+  result.volume_bytes = delta.remote_bytes;
+  result.messages = delta.messages_sent;
+  c.deregister_object(handle);
+  return result;
+}
+
+}  // namespace tripoll::baselines

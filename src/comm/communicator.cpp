@@ -1,0 +1,90 @@
+#include "comm/communicator.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+namespace tripoll::comm {
+
+void communicator::drain(std::size_t max_buffers) {
+  if (in_drain_) return;
+  in_drain_ = true;
+  mailbox::envelope env;
+  std::size_t processed = 0;
+  while (processed < max_buffers && transport_->try_receive(rank_, env)) {
+    serial::buffer_reader rd(env.payload.data(), env.payload.size());
+    serial::reader ar(rd);
+    auto& counters = transport_->counters(rank_);
+    while (!rd.exhausted()) {
+      const auto handler = static_cast<std::uint32_t>(ar.read_varint());
+      detail::thunk_table::instance().lookup(handler)(*this, rd);
+      counters.handlers_run.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Only acknowledge after every handler inside the buffer has run; any
+    // sends they performed sit in our send buffers and will be flushed
+    // before this rank can declare itself idle again.
+    transport_->acknowledge_processed();
+    ++processed;
+  }
+  in_drain_ = false;
+}
+
+void communicator::backoff(unsigned& spins) {
+  ++spins;
+  if (spins < 64) {
+    // busy spin
+  } else if (spins < 256) {
+    std::this_thread::yield();
+  } else {
+    std::this_thread::sleep_for(std::chrono::microseconds(20));
+  }
+}
+
+void communicator::barrier() {
+  transport_->throw_if_aborted();
+  flush_all();
+  drain(SIZE_MAX);
+  flush_all();  // handlers executed in the drain may have buffered new sends
+
+  const std::uint64_t my_generation = ++barrier_generation_;
+  transport_->announce_idle();
+
+  unsigned spins = 0;
+  auto wait_start = std::chrono::steady_clock::now();
+  const double timeout = cfg().barrier_timeout_seconds;
+  while (transport_->done_generation() < my_generation) {
+    if (transport_->aborted()) break;  // fall through to rendezvous-abort path
+    if (!transport_->inbox_empty(rank_)) {
+      transport_->retract_idle();
+      drain(SIZE_MAX);
+      flush_all();
+      transport_->announce_idle();
+      spins = 0;
+      wait_start = std::chrono::steady_clock::now();  // arrivals are progress
+      continue;
+    }
+    if (transport_->quiescent()) {
+      // Quiescence is stable once reached: every rank is idle with empty
+      // buffers and nothing is in flight, so nobody can create new work.
+      transport_->publish_done(my_generation);
+      break;
+    }
+    backoff(spins);
+    if (timeout > 0.0 && spins % 1024 == 0) {
+      const double waited = std::chrono::duration<double>(
+          std::chrono::steady_clock::now() - wait_start).count();
+      if (waited > timeout) {
+        transport_->abort_run(std::make_exception_ptr(std::runtime_error(
+            "barrier watchdog: no global progress for " +
+            std::to_string(waited) +
+            "s -- likely a mismatched collective (a rank skipped a "
+            "barrier/all_reduce/gather_all that others entered)")));
+      }
+    }
+  }
+
+  transport_->throw_if_aborted();
+  transport_->exit_rendezvous();
+}
+
+}  // namespace tripoll::comm

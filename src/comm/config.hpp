@@ -1,0 +1,32 @@
+// config.hpp -- tunables for the simulated distributed runtime.
+#pragma once
+
+#include <cstddef>
+
+namespace tripoll::comm {
+
+/// Runtime configuration.  Defaults mirror the message-buffering regime the
+/// paper describes (Sec. 4.1.1): small RPCs are aggregated into buffers of a
+/// few KiB before they ever reach the transport.
+struct config {
+  /// Per-destination send-buffer flush threshold in bytes.  Larger buffers
+  /// amortize per-message overhead but delay delivery; the ablation bench
+  /// `bench_ablation_buffering` sweeps this knob.
+  std::size_t buffer_capacity = 16 * 1024;
+
+  /// How many async() calls a rank performs between opportunistic polls of
+  /// its own inbox.  Keeps memory bounded when a rank is send-heavy.
+  std::size_t poll_every = 64;
+
+  /// Maximum number of inbound transport buffers drained per opportunistic
+  /// poll (a full drain happens at barriers).
+  std::size_t drain_batch = 16;
+
+  /// Watchdog: a rank waiting in a barrier longer than this without global
+  /// progress aborts the run with a diagnostic instead of hanging forever.
+  /// The usual cause is a mismatched collective (some rank skipped a
+  /// barrier/all_reduce/gather_all that others entered).  0 disables.
+  double barrier_timeout_seconds = 300.0;
+};
+
+}  // namespace tripoll::comm

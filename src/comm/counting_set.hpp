@@ -1,0 +1,123 @@
+// counting_set.hpp -- distributed multiset of counters with local caching.
+//
+// The paper's survey accumulator (Sec. 4.1.4): "a distributed counting set
+// that keeps individual counts of different items seen across ranks.  This
+// structure stores a small cache on each rank to keep values seen recently,
+// which must be flushed and have its contents sent across the network
+// occasionally."  Algorithms 3 and 4 increment it from inside triangle
+// callbacks; the interleaving of its flush RPCs with the survey's adjacency
+// RPCs is exactly the message heterogeneity YGM's serialization provides.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "comm/key_hash.hpp"
+
+namespace tripoll::comm {
+
+template <typename Key>
+class counting_set {
+ public:
+  using key_type = Key;
+  using count_type = std::uint64_t;
+  using self = counting_set<Key>;
+
+  /// `cache_capacity` bounds the number of distinct keys cached locally
+  /// before a flush sends the aggregated counts to their owners.
+  explicit counting_set(communicator& c, std::size_t cache_capacity = 4096)
+      : comm_(&c), handle_(c.register_object(*this)), cache_capacity_(cache_capacity) {}
+
+  ~counting_set() { comm_->deregister_object(handle_); }
+
+  counting_set(const counting_set&) = delete;
+  counting_set& operator=(const counting_set&) = delete;
+
+  [[nodiscard]] communicator& comm() noexcept { return *comm_; }
+
+  /// Count `k` once (or `by` times).  Cached locally; the aggregate reaches
+  /// the owner at the next cache flush or barrier-preceding flush_cache().
+  void async_increment(const Key& k, count_type by = 1) {
+    cache_[k] += by;
+    if (cache_.size() >= cache_capacity_) flush_cache();
+  }
+
+  /// Push all cached counts to their owners.  Must be followed by a
+  /// communicator barrier before reading counts (callers typically use
+  /// `finalize()`).
+  void flush_cache() {
+    for (const auto& [k, n] : cache_) {
+      comm_->async(owner(k), increment_handler{}, handle_, k, n);
+    }
+    cache_.clear();
+  }
+
+  /// Collective: flush every rank's cache and wait until all increments have
+  /// landed.  After this, local storage holds the final counts.
+  void finalize() {
+    flush_cache();
+    comm_->barrier();
+  }
+
+  [[nodiscard]] int owner(const Key& k) const noexcept {
+    return comm_->owner(key_hash<Key>{}(k));
+  }
+
+  // --- access (after finalize) -------------------------------------------------
+
+  template <typename Fn>
+  void for_all_local(Fn&& fn) const {
+    for (const auto& [k, n] : counts_) fn(k, n);
+  }
+
+  [[nodiscard]] std::size_t local_size() const noexcept { return counts_.size(); }
+
+  /// Collective: number of distinct keys across all ranks.
+  [[nodiscard]] std::uint64_t global_size() {
+    return comm_->all_reduce_sum<std::uint64_t>(counts_.size());
+  }
+
+  /// Collective: total of all counts across all ranks.
+  [[nodiscard]] std::uint64_t global_total() {
+    count_type local = 0;
+    for (const auto& [k, n] : counts_) local += n;
+    return comm_->all_reduce_sum<std::uint64_t>(local);
+  }
+
+  /// Collective: gather the complete distribution onto every rank, sorted by
+  /// key.  Intended for survey outputs, which are small relative to the
+  /// graph (log-binned histograms, label distributions).
+  [[nodiscard]] std::map<Key, count_type> gather_all() {
+    std::vector<std::pair<Key, count_type>> local(counts_.begin(), counts_.end());
+    auto per_rank = comm_->all_gather(local);
+    std::map<Key, count_type> out;
+    for (auto& vec : per_rank) {
+      for (auto& [k, n] : vec) out[k] += n;
+    }
+    return out;
+  }
+
+  void clear() {
+    cache_.clear();
+    counts_.clear();
+  }
+
+ private:
+  struct increment_handler {
+    void operator()(communicator& c, dist_handle<self> h, const Key& k, count_type by) {
+      c.resolve(h).counts_[k] += by;
+    }
+  };
+
+  communicator* comm_;
+  dist_handle<self> handle_;
+  std::size_t cache_capacity_;
+  std::unordered_map<Key, count_type, key_hash<Key>> cache_;
+  std::unordered_map<Key, count_type, key_hash<Key>> counts_;
+};
+
+}  // namespace tripoll::comm

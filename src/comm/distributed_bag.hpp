@@ -1,0 +1,75 @@
+// distributed_bag.hpp -- unordered distributed collection (YGM container).
+//
+// A bag holds items with no key: inserts scatter round-robin so storage
+// balances, and consumers iterate locally.  TriPoll uses it as the landing
+// area for generated/ingested edges before graph construction.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "comm/communicator.hpp"
+
+namespace tripoll::comm {
+
+template <typename T>
+class distributed_bag {
+ public:
+  using value_type = T;
+  using self = distributed_bag<T>;
+
+  explicit distributed_bag(communicator& c)
+      : comm_(&c), handle_(c.register_object(*this)), next_dest_(c.rank()) {}
+
+  ~distributed_bag() { comm_->deregister_object(handle_); }
+
+  distributed_bag(const distributed_bag&) = delete;
+  distributed_bag& operator=(const distributed_bag&) = delete;
+
+  [[nodiscard]] communicator& comm() noexcept { return *comm_; }
+
+  /// Store `item` somewhere (round-robin over ranks, starting at self).
+  void async_insert(const T& item) {
+    comm_->async(next_dest_, insert_handler{}, handle_, item);
+    next_dest_ = (next_dest_ + 1) % comm_->size();
+  }
+
+  /// Store `item` on this rank without communication.
+  void local_insert(T item) { items_.push_back(std::move(item)); }
+
+  template <typename Fn>
+  void for_all_local(Fn&& fn) {
+    for (auto& item : items_) fn(item);
+  }
+
+  template <typename Fn>
+  void for_all_local(Fn&& fn) const {
+    for (const auto& item : items_) fn(item);
+  }
+
+  [[nodiscard]] std::size_t local_size() const noexcept { return items_.size(); }
+
+  [[nodiscard]] std::uint64_t global_size() {
+    return comm_->all_reduce_sum<std::uint64_t>(items_.size());
+  }
+
+  [[nodiscard]] std::vector<T>& local_items() noexcept { return items_; }
+  [[nodiscard]] const std::vector<T>& local_items() const noexcept { return items_; }
+
+  void clear_local() { items_.clear(); }
+
+ private:
+  struct insert_handler {
+    void operator()(communicator& c, dist_handle<self> h, const T& item) {
+      c.resolve(h).items_.push_back(item);
+    }
+  };
+
+  communicator* comm_;
+  dist_handle<self> handle_;
+  int next_dest_;
+  std::vector<T> items_;
+};
+
+}  // namespace tripoll::comm

@@ -1,0 +1,160 @@
+// distributed_map.hpp -- hash-partitioned key/value store (YGM container).
+//
+// The paper's graph storage is "a custom structure built on YGM's
+// distributed map container" (Sec. 4.2).  Keys live at a deterministic rank;
+// mutation happens through asynchronous visits executed on the owner, which
+// keeps every value single-writer.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "comm/key_hash.hpp"
+
+namespace tripoll::comm {
+
+template <typename Key, typename Value>
+class distributed_map {
+ public:
+  using key_type = Key;
+  using mapped_type = Value;
+  using self = distributed_map<Key, Value>;
+
+  explicit distributed_map(communicator& c)
+      : comm_(&c), handle_(c.register_object(*this)) {}
+
+  ~distributed_map() { comm_->deregister_object(handle_); }
+
+  distributed_map(const distributed_map&) = delete;
+  distributed_map& operator=(const distributed_map&) = delete;
+
+  [[nodiscard]] communicator& comm() noexcept { return *comm_; }
+  [[nodiscard]] int owner(const Key& k) const noexcept {
+    return comm_->owner(key_hash<Key>{}(k));
+  }
+
+  // --- asynchronous mutation ------------------------------------------------
+
+  /// Insert-or-overwrite at the owner.
+  void async_insert(const Key& k, const Value& v) {
+    comm_->async(owner(k), insert_handler{}, handle_, k, v);
+  }
+
+  /// Run `Visitor{}(key, value&, args...)` on the owner, default-constructing
+  /// the value first if the key is absent.  The visitor may also accept a
+  /// leading `communicator&` to chain further asyncs.
+  template <typename Visitor, typename... Args>
+  void async_visit(const Key& k, Visitor /*v*/, const Args&... args) {
+    comm_->async(owner(k), visit_handler<Visitor, std::decay_t<Args>...>{}, handle_, k,
+                 args...);
+  }
+
+  /// Like async_visit but does nothing when the key is absent.
+  template <typename Visitor, typename... Args>
+  void async_visit_if_exists(const Key& k, Visitor /*v*/, const Args&... args) {
+    comm_->async(owner(k), visit_if_exists_handler<Visitor, std::decay_t<Args>...>{},
+                 handle_, k, args...);
+  }
+
+  /// Erase at the owner (no-op when absent).
+  void async_erase(const Key& k) {
+    comm_->async(owner(k), erase_handler{}, handle_, k);
+  }
+
+  // --- local access -----------------------------------------------------------
+
+  /// Apply `fn(key, value&)` to every locally stored pair.
+  template <typename Fn>
+  void for_all_local(Fn&& fn) {
+    for (auto& [k, v] : local_) fn(k, v);
+  }
+
+  template <typename Fn>
+  void for_all_local(Fn&& fn) const {
+    for (const auto& [k, v] : local_) fn(k, v);
+  }
+
+  [[nodiscard]] std::size_t local_size() const noexcept { return local_.size(); }
+
+  [[nodiscard]] bool local_contains(const Key& k) const { return local_.contains(k); }
+
+  [[nodiscard]] Value* local_find(const Key& k) {
+    auto it = local_.find(k);
+    return it == local_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] const Value* local_find(const Key& k) const {
+    auto it = local_.find(k);
+    return it == local_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] Value& local_at_or_create(const Key& k) { return local_[k]; }
+
+  /// Direct access to local storage (read-mostly utilities, tests).
+  [[nodiscard]] auto& local_storage() noexcept { return local_; }
+
+  // --- collectives ---------------------------------------------------------------
+
+  /// Global number of keys; collective.
+  [[nodiscard]] std::uint64_t global_size() {
+    return comm_->all_reduce_sum<std::uint64_t>(local_.size());
+  }
+
+  void clear_local() { local_.clear(); }
+
+ private:
+  struct insert_handler {
+    void operator()(communicator& c, dist_handle<self> h, const Key& k, const Value& v) {
+      c.resolve(h).local_[k] = v;
+    }
+  };
+
+  template <typename Visitor, typename... Args>
+  struct visit_handler {
+    void operator()(communicator& c, dist_handle<self> h, const Key& k,
+                    const Args&... args) {
+      auto& map = c.resolve(h);
+      Value& value = map.local_[k];
+      Visitor visitor{};
+      if constexpr (std::is_invocable_v<Visitor&, communicator&, const Key&, Value&,
+                                        const Args&...>) {
+        visitor(c, k, value, args...);
+      } else {
+        visitor(k, value, args...);
+      }
+    }
+  };
+
+  template <typename Visitor, typename... Args>
+  struct visit_if_exists_handler {
+    void operator()(communicator& c, dist_handle<self> h, const Key& k,
+                    const Args&... args) {
+      auto& map = c.resolve(h);
+      auto it = map.local_.find(k);
+      if (it == map.local_.end()) return;
+      Visitor visitor{};
+      if constexpr (std::is_invocable_v<Visitor&, communicator&, const Key&, Value&,
+                                        const Args&...>) {
+        visitor(c, k, it->second, args...);
+      } else {
+        visitor(k, it->second, args...);
+      }
+    }
+  };
+
+  struct erase_handler {
+    void operator()(communicator& c, dist_handle<self> h, const Key& k) {
+      c.resolve(h).local_.erase(k);
+    }
+  };
+
+  communicator* comm_;
+  dist_handle<self> handle_;
+  std::unordered_map<Key, Value, key_hash<Key>> local_;
+};
+
+}  // namespace tripoll::comm

@@ -1,0 +1,88 @@
+// handler_registry.hpp -- mapping RPC handler types to wire ids.
+//
+// YGM sends "a function to execute, arguments to pass, and an MPI rank at
+// which to evaluate" (paper Sec. 4.1.3).  Real YGM ships lambda offsets and
+// corrects for ASLR; in this single-process runtime each distinct
+// (Handler, Args...) instantiation registers a deserialize-and-invoke thunk
+// once and is addressed by a dense 32-bit id that is identical on every rank
+// because all ranks share the process.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "serial/buffer.hpp"
+#include "serial/serialize.hpp"
+
+namespace tripoll::comm {
+
+class communicator;
+
+namespace detail {
+
+/// A thunk deserializes one RPC's arguments and invokes the handler on the
+/// destination rank.  `c` is the destination rank's communicator.
+using thunk_fn = void (*)(communicator& c, serial::buffer_reader& rd);
+
+/// Global thunk table (append-only, mutex-guarded registration; lock-free
+/// lookup since entries are never moved after publication).
+class thunk_table {
+ public:
+  static thunk_table& instance() {
+    static thunk_table t;
+    return t;
+  }
+
+  std::uint32_t register_thunk(thunk_fn fn) {
+    const std::lock_guard lock(mutex_);
+    thunks_.push_back(fn);
+    return static_cast<std::uint32_t>(thunks_.size() - 1);
+  }
+
+  [[nodiscard]] thunk_fn lookup(std::uint32_t id) const {
+    // Safe without the lock: ids are only handed out after the push_back
+    // completes, and the deque-backed storage never invalidates entries.
+    const std::lock_guard lock(mutex_);
+    return thunks_.at(id);
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<thunk_fn> thunks_;
+};
+
+template <typename Handler, typename ArgsTuple>
+struct invoker;
+
+template <typename Handler, typename... Args>
+struct invoker<Handler, std::tuple<Args...>> {
+  static void invoke(communicator& c, serial::buffer_reader& rd) {
+    std::tuple<Args...> args{};
+    std::apply([&rd](auto&... unpacked) { serial::unpack(rd, unpacked...); }, args);
+    Handler h{};
+    if constexpr (std::is_invocable_v<Handler&, communicator&, Args&...>) {
+      std::apply([&](auto&... unpacked) { h(c, unpacked...); }, args);
+    } else {
+      static_assert(std::is_invocable_v<Handler&, Args&...>,
+                    "RPC handler must be callable as h(comm&, args...) or "
+                    "h(args...)");
+      std::apply([&](auto&... unpacked) { h(unpacked...); }, args);
+    }
+  }
+};
+
+/// The id for a (Handler, Args...) pair.  The magic static guarantees a
+/// single registration per instantiation, process-wide.
+template <typename Handler, typename... Args>
+std::uint32_t handler_id() {
+  static const std::uint32_t id = thunk_table::instance().register_thunk(
+      &invoker<Handler, std::tuple<Args...>>::invoke);
+  return id;
+}
+
+}  // namespace detail
+}  // namespace tripoll::comm

@@ -1,0 +1,58 @@
+// key_hash.hpp -- deterministic key hashing for ownership decisions.
+//
+// Distributed containers place a key at `hash(key) % nranks`.  The hash must
+// be identical on every rank; std::hash gives no such guarantee across
+// processes, so container keys route through these explicit hashes (paper
+// Sec. 4.1.4: "stores key-value pairs at deterministic MPI ranks based on a
+// hash of the keys").
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <utility>
+
+#include "serial/hash.hpp"
+
+namespace tripoll::comm {
+
+template <typename Key>
+struct key_hash;  // primary template intentionally undefined
+
+template <std::integral K>
+struct key_hash<K> {
+  [[nodiscard]] std::uint64_t operator()(K k) const noexcept {
+    return serial::splitmix64(static_cast<std::uint64_t>(k));
+  }
+};
+
+template <>
+struct key_hash<std::string> {
+  [[nodiscard]] std::uint64_t operator()(std::string_view s) const noexcept {
+    return serial::splitmix64(serial::fnv1a(s));
+  }
+};
+
+template <typename A, typename B>
+struct key_hash<std::pair<A, B>> {
+  [[nodiscard]] std::uint64_t operator()(const std::pair<A, B>& p) const noexcept {
+    return serial::hash_combine(key_hash<A>{}(p.first), key_hash<B>{}(p.second));
+  }
+};
+
+template <typename... Ts>
+struct key_hash<std::tuple<Ts...>> {
+  [[nodiscard]] std::uint64_t operator()(const std::tuple<Ts...>& t) const noexcept {
+    std::uint64_t seed = 0x51ED270B9A3F2A6DULL;
+    std::apply(
+        [&seed](const Ts&... es) {
+          ((seed = serial::hash_combine(seed, key_hash<Ts>{}(es))), ...);
+        },
+        t);
+    return seed;
+  }
+};
+
+}  // namespace tripoll::comm

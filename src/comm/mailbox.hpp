@@ -1,0 +1,56 @@
+// mailbox.hpp -- per-rank inbox of flushed transport buffers.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace tripoll::comm {
+
+/// A mailbox holds opaque byte buffers destined for one rank.  Producers are
+/// any rank (under the mutex); the consumer is the owning rank's thread.
+class mailbox {
+ public:
+  /// Buffer plus the number of logical RPC messages it contains (used for
+  /// accounting; the payload itself is self-describing).
+  struct envelope {
+    std::vector<std::byte> payload;
+    int source = 0;
+  };
+
+  void push(envelope e) {
+    {
+      const std::lock_guard lock(mutex_);
+      queue_.push_back(std::move(e));
+    }
+    cv_.notify_one();
+  }
+
+  /// Non-blocking pop; returns false when the mailbox is empty.
+  bool try_pop(envelope& out) {
+    const std::lock_guard lock(mutex_);
+    if (queue_.empty()) return false;
+    out = std::move(queue_.front());
+    queue_.pop_front();
+    return true;
+  }
+
+  [[nodiscard]] bool empty() const {
+    const std::lock_guard lock(mutex_);
+    return queue_.empty();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard lock(mutex_);
+    return queue_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<envelope> queue_;
+};
+
+}  // namespace tripoll::comm

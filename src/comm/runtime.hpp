@@ -1,0 +1,50 @@
+// runtime.hpp -- SPMD launcher for the threads-as-ranks runtime.
+//
+// `runtime::run(n, rank_main)` plays the role of mpirun: it spawns `n`
+// rank threads, hands each a communicator, executes `rank_main(comm)` on
+// every rank, performs a final implicit barrier (so fire-and-forget messages
+// in flight at return are still delivered), and joins.  The first exception
+// thrown on any rank aborts the whole run and is rethrown to the caller.
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "comm/config.hpp"
+#include "comm/stats.hpp"
+#include "comm/transport.hpp"
+
+namespace tripoll::comm {
+
+class runtime {
+ public:
+  /// Run `rank_main(communicator&)` on `nranks` simulated ranks.  Returns
+  /// the aggregate communication statistics of the whole run.
+  template <typename F>
+  static stats_snapshot run(int nranks, F&& rank_main, config cfg = {}) {
+    transport t(nranks, cfg);
+    {
+      std::vector<std::jthread> threads;
+      threads.reserve(static_cast<std::size_t>(nranks));
+      for (int r = 0; r < nranks; ++r) {
+        threads.emplace_back([&t, r, &rank_main] {
+          communicator c(t, r);
+          try {
+            rank_main(c);
+            c.barrier();  // final drain: deliver outstanding RPCs
+          } catch (...) {
+            t.abort_run(std::current_exception());
+          }
+        });
+      }
+    }  // join
+    if (t.first_error()) std::rethrow_exception(t.first_error());
+    return t.snapshot();
+  }
+};
+
+}  // namespace tripoll::comm

@@ -1,0 +1,46 @@
+// stats.hpp -- communication accounting for the simulated transport.
+//
+// Table 4 of the paper reports measured communication volume for Push-Only
+// vs Push-Pull.  Because every RPC in this runtime is really serialized into
+// byte buffers, the transport can count exactly how many bytes crossed
+// between ranks; surveys snapshot these counters around each phase.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace tripoll::comm {
+
+/// Monotonic counters kept per source rank (cache-line separated).
+struct alignas(64) rank_counters {
+  std::atomic<std::uint64_t> remote_bytes{0};   ///< bytes sent to other ranks
+  std::atomic<std::uint64_t> local_bytes{0};    ///< bytes self-delivered
+  std::atomic<std::uint64_t> buffers_sent{0};   ///< transport-level flushes
+  std::atomic<std::uint64_t> messages_sent{0};  ///< logical RPC messages
+  std::atomic<std::uint64_t> handlers_run{0};   ///< RPCs executed here
+};
+
+/// A point-in-time aggregate over all ranks.  Differences of snapshots give
+/// per-phase totals.
+struct stats_snapshot {
+  std::uint64_t remote_bytes = 0;
+  std::uint64_t local_bytes = 0;
+  std::uint64_t buffers_sent = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t handlers_run = 0;
+
+  friend stats_snapshot operator-(stats_snapshot a, const stats_snapshot& b) {
+    a.remote_bytes -= b.remote_bytes;
+    a.local_bytes -= b.local_bytes;
+    a.buffers_sent -= b.buffers_sent;
+    a.messages_sent -= b.messages_sent;
+    a.handlers_run -= b.handlers_run;
+    return a;
+  }
+
+  /// Total bytes that would traverse a network, the paper's
+  /// "communication volume".
+  [[nodiscard]] std::uint64_t volume() const noexcept { return remote_bytes; }
+};
+
+}  // namespace tripoll::comm

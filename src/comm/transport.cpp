@@ -1,0 +1,79 @@
+#include "comm/transport.hpp"
+
+#include <chrono>
+
+namespace tripoll::comm {
+
+transport::transport(int nranks, config cfg)
+    : nranks_(nranks),
+      cfg_(cfg),
+      mailboxes_(static_cast<std::size_t>(nranks)),
+      counters_(static_cast<std::size_t>(nranks)) {
+  if (nranks <= 0) throw std::invalid_argument("transport: nranks must be positive");
+}
+
+void transport::deliver(int src, int dst, std::vector<std::byte> payload,
+                        std::uint64_t n_messages) {
+  auto& c = counters(src);
+  if (src == dst) {
+    c.local_bytes.fetch_add(payload.size(), std::memory_order_relaxed);
+  } else {
+    c.remote_bytes.fetch_add(payload.size(), std::memory_order_relaxed);
+  }
+  c.buffers_sent.fetch_add(1, std::memory_order_relaxed);
+  c.messages_sent.fetch_add(n_messages, std::memory_order_relaxed);
+
+  // The in-flight count must rise before the buffer becomes visible in the
+  // destination mailbox; the termination detector relies on this ordering.
+  in_flight_.fetch_add(1, std::memory_order_seq_cst);
+  mailboxes_[static_cast<std::size_t>(dst)].push(
+      mailbox::envelope{std::move(payload), src});
+}
+
+void transport::publish_done(std::uint64_t gen) noexcept {
+  std::uint64_t cur = done_generation_.load(std::memory_order_seq_cst);
+  while (cur < gen &&
+         !done_generation_.compare_exchange_weak(cur, gen, std::memory_order_seq_cst)) {
+    // retry; cur reloaded by compare_exchange_weak
+  }
+}
+
+void transport::exit_rendezvous() {
+  std::unique_lock lock(exit_mutex_);
+  const std::uint64_t my_generation = exit_generation_;
+  if (++exit_count_ == nranks_) {
+    exit_count_ = 0;
+    ++exit_generation_;
+    // Reset barrier bookkeeping for the next use while every rank is still
+    // inside the rendezvous (nobody can be announcing idle concurrently).
+    idle_ranks_.store(0, std::memory_order_seq_cst);
+    lock.unlock();
+    exit_cv_.notify_all();
+    return;
+  }
+  exit_cv_.wait(lock, [&] { return exit_generation_ != my_generation || aborted(); });
+  if (exit_generation_ == my_generation) throw aborted_error{};
+}
+
+void transport::abort_run(std::exception_ptr error) noexcept {
+  {
+    const std::lock_guard lock(error_mutex_);
+    if (!first_error_) first_error_ = error;
+  }
+  aborted_.store(true, std::memory_order_release);
+  exit_cv_.notify_all();
+}
+
+stats_snapshot transport::snapshot() const {
+  stats_snapshot s;
+  for (const auto& c : counters_) {
+    s.remote_bytes += c.remote_bytes.load(std::memory_order_relaxed);
+    s.local_bytes += c.local_bytes.load(std::memory_order_relaxed);
+    s.buffers_sent += c.buffers_sent.load(std::memory_order_relaxed);
+    s.messages_sent += c.messages_sent.load(std::memory_order_relaxed);
+    s.handlers_run += c.handlers_run.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+}  // namespace tripoll::comm

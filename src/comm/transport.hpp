@@ -1,0 +1,135 @@
+// transport.hpp -- shared state of the threads-as-ranks runtime.
+//
+// The transport plays the role MPI plays for YGM: it moves opaque byte
+// buffers between ranks and provides the collective rendezvous needed for
+// barriers.  All cross-rank communication in this repository flows through
+// here, so its counters are the ground truth for the communication-volume
+// results (Table 4 reproduction).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "comm/config.hpp"
+#include "comm/mailbox.hpp"
+#include "comm/stats.hpp"
+
+namespace tripoll::comm {
+
+/// Thrown on ranks that observe another rank's failure so the whole run
+/// unwinds instead of deadlocking in a barrier.
+class aborted_error : public std::runtime_error {
+ public:
+  aborted_error() : std::runtime_error("tripoll::comm run aborted by another rank") {}
+};
+
+class transport {
+ public:
+  transport(int nranks, config cfg);
+
+  transport(const transport&) = delete;
+  transport& operator=(const transport&) = delete;
+
+  [[nodiscard]] int nranks() const noexcept { return nranks_; }
+  [[nodiscard]] const config& cfg() const noexcept { return cfg_; }
+
+  /// Deliver a flushed buffer from `src` to `dst`.  `n_messages` is the
+  /// number of logical RPCs inside (for stats only).
+  void deliver(int src, int dst, std::vector<std::byte> payload,
+               std::uint64_t n_messages);
+
+  /// Non-blocking receive for rank `rank`.
+  bool try_receive(int rank, mailbox::envelope& out) {
+    return mailboxes_[static_cast<std::size_t>(rank)].try_pop(out);
+  }
+
+  [[nodiscard]] bool inbox_empty(int rank) const {
+    return mailboxes_[static_cast<std::size_t>(rank)].empty();
+  }
+
+  /// Called by a rank after it fully processed one delivered buffer
+  /// (including running all handlers inside it).
+  void acknowledge_processed() noexcept { in_flight_.fetch_sub(1, std::memory_order_seq_cst); }
+
+  [[nodiscard]] std::int64_t in_flight() const noexcept {
+    return in_flight_.load(std::memory_order_seq_cst);
+  }
+
+  // --- termination-detection barrier ------------------------------------
+  // Ranks entering the barrier alternate between announcing themselves idle
+  // and retracting to process late arrivals; the barrier completes when all
+  // ranks are idle and no buffer is in flight.  See communicator::barrier.
+
+  void announce_idle() noexcept { idle_ranks_.fetch_add(1, std::memory_order_seq_cst); }
+  void retract_idle() noexcept { idle_ranks_.fetch_sub(1, std::memory_order_seq_cst); }
+
+  [[nodiscard]] bool quiescent() const noexcept {
+    return idle_ranks_.load(std::memory_order_seq_cst) == nranks_ &&
+           in_flight_.load(std::memory_order_seq_cst) == 0;
+  }
+
+  /// Publish that generation `gen` reached quiescence (idempotent; monotone).
+  void publish_done(std::uint64_t gen) noexcept;
+
+  [[nodiscard]] std::uint64_t done_generation() const noexcept {
+    return done_generation_.load(std::memory_order_seq_cst);
+  }
+
+  /// Exit rendezvous: every rank arrives exactly once per barrier; the last
+  /// arrival resets the idle count for the next barrier before releasing.
+  /// Throws aborted_error if the run was aborted while waiting.
+  void exit_rendezvous();
+
+  // --- failure propagation ----------------------------------------------
+
+  /// Record the first exception and wake all waiters.
+  void abort_run(std::exception_ptr error) noexcept;
+
+  [[nodiscard]] bool aborted() const noexcept {
+    return aborted_.load(std::memory_order_acquire);
+  }
+
+  void throw_if_aborted() const {
+    if (aborted()) throw aborted_error{};
+  }
+
+  [[nodiscard]] std::exception_ptr first_error() const noexcept { return first_error_; }
+
+  // --- stats --------------------------------------------------------------
+
+  [[nodiscard]] rank_counters& counters(int rank) noexcept {
+    return counters_[static_cast<std::size_t>(rank)];
+  }
+
+  /// Aggregate counters across all ranks (monotone; subtract snapshots for
+  /// per-phase numbers).
+  [[nodiscard]] stats_snapshot snapshot() const;
+
+ private:
+  int nranks_;
+  config cfg_;
+
+  std::vector<mailbox> mailboxes_;
+  std::vector<rank_counters> counters_;
+
+  std::atomic<std::int64_t> in_flight_{0};
+  std::atomic<std::int64_t> idle_ranks_{0};
+  std::atomic<std::uint64_t> done_generation_{0};
+
+  // Exit rendezvous state (a reusable generation barrier with abort support).
+  std::mutex exit_mutex_;
+  std::condition_variable exit_cv_;
+  int exit_count_ = 0;
+  std::uint64_t exit_generation_ = 0;
+
+  std::atomic<bool> aborted_{false};
+  std::exception_ptr first_error_;
+  std::mutex error_mutex_;
+};
+
+}  // namespace tripoll::comm

@@ -1,0 +1,119 @@
+// analytics.hpp -- triangle-derived graph analytics built on the survey.
+//
+// The paper motivates local triangle participation counts through their
+// applications: truss decomposition [15], clustering coefficients [7],
+// community detection [11], role analysis [26].  This module packages the
+// two primitives those applications share:
+//   * per-vertex participation -> local clustering coefficients and the
+//     global transitivity,
+//   * per-edge participation ("support") -> the k-truss building block.
+//
+// Both are ordinary TriPoll surveys whose callbacks accumulate into the
+// distributed counting set; the partition of counting-set keys matches the
+// graph's vertex partition, so the final division by degree is rank-local.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+
+#include "comm/counting_set.hpp"
+#include "core/survey.hpp"
+#include "graph/dodgr.hpp"
+
+namespace tripoll::analytics {
+
+/// Collective result of `clustering_coefficients`.
+struct clustering_summary {
+  std::uint64_t triangles = 0;        ///< global |T|
+  std::uint64_t closed_wedges = 0;    ///< 3 |T|
+  std::uint64_t total_wedges = 0;     ///< sum_v C(d(v), 2) (undirected wedges)
+  double transitivity = 0.0;          ///< 3|T| / total_wedges
+  double average_local_cc = 0.0;      ///< mean over vertices with d >= 2
+  std::uint64_t eligible_vertices = 0;  ///< vertices with d >= 2
+};
+
+/// Collective: run a per-vertex participation survey and reduce it to the
+/// standard clustering statistics.
+template <typename VertexMeta, typename EdgeMeta>
+[[nodiscard]] clustering_summary clustering_coefficients(
+    graph::dodgr<VertexMeta, EdgeMeta>& g,
+    survey_mode mode = survey_mode::push_pull) {
+  auto& c = g.comm();
+  comm::counting_set<graph::vertex_id> per_vertex(c);
+
+  struct vertex_count_cb {
+    void operator()(const triangle_view<VertexMeta, EdgeMeta>& view,
+                    comm::counting_set<graph::vertex_id>& counts) const {
+      counts.async_increment(view.p);
+      counts.async_increment(view.q);
+      counts.async_increment(view.r);
+    }
+  };
+  const auto result = triangle_survey(g, vertex_count_cb{}, per_vertex, {mode});
+  per_vertex.finalize();
+
+  // Counting-set keys and graph vertices share the hash partition, so each
+  // rank holds both T(v) and d(v) for its vertices; the division is local.
+  std::uint64_t local_wedges = 0;
+  std::uint64_t local_eligible = 0;
+  double local_cc_sum = 0.0;
+  {
+    std::unordered_map<graph::vertex_id, std::uint64_t> counts;
+    per_vertex.for_all_local(
+        [&](const graph::vertex_id& v, std::uint64_t n) { counts[v] = n; });
+    g.for_all_local([&](const graph::vertex_id& v, const auto& rec) {
+      const std::uint64_t d = rec.degree;
+      if (d < 2) return;
+      const std::uint64_t wedges = d * (d - 1) / 2;
+      local_wedges += wedges;
+      ++local_eligible;
+      const auto it = counts.find(v);
+      const std::uint64_t tv = it == counts.end() ? 0 : it->second;
+      local_cc_sum += static_cast<double>(tv) / static_cast<double>(wedges);
+    });
+  }
+
+  clustering_summary s;
+  s.triangles = result.triangles_found;
+  s.closed_wedges = 3 * s.triangles;
+  s.total_wedges = c.all_reduce_sum(local_wedges);
+  s.eligible_vertices = c.all_reduce_sum(local_eligible);
+  const double cc_sum = c.all_reduce_sum(local_cc_sum);
+  s.transitivity = s.total_wedges > 0
+                       ? static_cast<double>(s.closed_wedges) /
+                             static_cast<double>(s.total_wedges)
+                       : 0.0;
+  s.average_local_cc =
+      s.eligible_vertices > 0 ? cc_sum / static_cast<double>(s.eligible_vertices) : 0.0;
+  return s;
+}
+
+/// Normalized undirected edge key for support counting.
+using edge_key = std::pair<graph::vertex_id, graph::vertex_id>;
+
+[[nodiscard]] inline edge_key make_edge_key(graph::vertex_id a,
+                                            graph::vertex_id b) noexcept {
+  return a < b ? edge_key{a, b} : edge_key{b, a};
+}
+
+/// Collective: count, for every edge, the number of triangles containing it
+/// (the k-truss "support").  Results land in `support` (finalized).
+template <typename VertexMeta, typename EdgeMeta>
+survey_result edge_support(graph::dodgr<VertexMeta, EdgeMeta>& g,
+                           comm::counting_set<edge_key>& support,
+                           survey_mode mode = survey_mode::push_pull) {
+  struct edge_support_cb {
+    void operator()(const triangle_view<VertexMeta, EdgeMeta>& view,
+                    comm::counting_set<edge_key>& counts) const {
+      counts.async_increment(make_edge_key(view.p, view.q));
+      counts.async_increment(make_edge_key(view.p, view.r));
+      counts.async_increment(make_edge_key(view.q, view.r));
+    }
+  };
+  const auto result = triangle_survey(g, edge_support_cb{}, support, {mode});
+  support.finalize();
+  return result;
+}
+
+}  // namespace tripoll::analytics

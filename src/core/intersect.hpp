@@ -1,0 +1,68 @@
+// intersect.hpp -- adjacency-list intersection kernels.
+//
+// The wedge-closing step intersects a pushed adjacency suffix with the
+// target's adjacency list.  The paper uses merge-path intersection over
+// degree-sorted lists (Sec. 4.3); binary-search and hashing variants are the
+// two other canonical strategies in the distributed triangle-counting
+// literature (Sec. 2) and are implemented for the baselines and for the
+// `bench_micro_intersection` comparison.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <iterator>
+#include <unordered_map>
+
+namespace tripoll::core {
+
+/// Merge-path intersection of two ranges sorted ascending under keys
+/// extracted by `key_a`/`key_b` (comparable with <, ==).  Invokes
+/// `on_match(a_elem, b_elem)` for every common key.
+template <typename ItA, typename ItB, typename KeyA, typename KeyB, typename OnMatch>
+void merge_path_intersect(ItA a, ItA a_end, ItB b, ItB b_end, KeyA key_a, KeyB key_b,
+                          OnMatch&& on_match) {
+  while (a != a_end && b != b_end) {
+    const auto ka = key_a(*a);
+    const auto kb = key_b(*b);
+    if (ka < kb) {
+      ++a;
+    } else if (kb < ka) {
+      ++b;
+    } else {
+      on_match(*a, *b);
+      ++a;
+      ++b;
+    }
+  }
+}
+
+/// Binary-search intersection: for each element of [a, a_end), search the
+/// sorted range [b, b_end).  Preferable when |A| << |B|.
+template <typename ItA, typename ItB, typename KeyA, typename KeyB, typename OnMatch>
+void binary_search_intersect(ItA a, ItA a_end, ItB b, ItB b_end, KeyA key_a, KeyB key_b,
+                             OnMatch&& on_match) {
+  for (; a != a_end; ++a) {
+    const auto ka = key_a(*a);
+    auto it = std::lower_bound(b, b_end, ka, [&](const auto& elem, const auto& k) {
+      return key_b(elem) < k;
+    });
+    if (it != b_end && key_b(*it) == ka) on_match(*a, *it);
+  }
+}
+
+/// Hash intersection: builds a hash set over the keys of [b, b_end) and
+/// probes with each element of [a, a_end).  Keys must be hashable.
+template <typename ItA, typename ItB, typename KeyA, typename KeyB, typename OnMatch>
+void hash_intersect(ItA a, ItA a_end, ItB b, ItB b_end, KeyA key_a, KeyB key_b,
+                    OnMatch&& on_match) {
+  using key_type = std::decay_t<decltype(key_b(*b))>;
+  std::unordered_map<key_type, ItB> index;
+  index.reserve(static_cast<std::size_t>(std::distance(b, b_end)));
+  for (auto it = b; it != b_end; ++it) index.emplace(key_b(*it), it);
+  for (; a != a_end; ++a) {
+    auto hit = index.find(key_a(*a));
+    if (hit != index.end()) on_match(*a, *hit->second);
+  }
+}
+
+}  // namespace tripoll::core

@@ -1,0 +1,415 @@
+// survey.hpp -- the TriPoll triangle-survey engine (Secs. 4.3-4.4).
+//
+// `triangle_survey(graph, callback, context)` identifies every triangle
+// Δpqr (p <+ q <+ r) of a DODGr and executes a user callback on the six
+// pieces of metadata of each.  There is no return value in the traditional
+// sense (paper Sec. 4.5): the callback's side effects on the per-rank
+// `context` -- counters, distributed counting sets, file writers -- are the
+// output.  The engine itself returns execution metrics (per-phase wall time,
+// measured communication volume, pull statistics) used by the benchmark
+// harnesses.
+//
+// Two execution strategies:
+//   * push_only (Alg. 1): every wedge batch (p's adjacency suffix at q) is
+//     pushed to Rank(q) and merge-path-intersected with Adjm+(q).
+//   * push_pull (Sec. 4.4): a communication-free dry-run counts, for every
+//     (source rank, target vertex q), the suffix edges that would be pushed;
+//     Rank(q) grants a "pull" when shipping Adjm+(q) once to that rank is
+//     cheaper, and the work then splits into Push and Pull phases.
+#pragma once
+
+#include <cassert>
+#include <chrono>
+#include <cstdint>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "core/intersect.hpp"
+#include "graph/dodgr.hpp"
+#include "graph/types.hpp"
+
+namespace tripoll {
+
+/// Execution strategy for a survey.
+enum class survey_mode {
+  push_only,  ///< Alg. 1: always push adjacency suffixes
+  push_pull,  ///< Sec. 4.4: dry-run + per-(rank,vertex) push-vs-pull choice
+};
+
+struct survey_options {
+  survey_mode mode = survey_mode::push_pull;
+};
+
+/// Wall time and measured traffic of one survey phase.
+struct phase_metrics {
+  double seconds = 0.0;            ///< max over ranks
+  std::uint64_t volume_bytes = 0;  ///< remote bytes, summed over ranks
+  std::uint64_t messages = 0;      ///< logical RPCs, summed over ranks
+};
+
+/// Collective result of a survey run (identical on every rank).
+struct survey_result {
+  phase_metrics dry_run;  ///< push_pull only: proposal/decision pass
+  phase_metrics push;     ///< wedge pushing (the only phase of push_only)
+  phase_metrics pull;     ///< push_pull only: coalesced adjacency pulls
+  phase_metrics total;
+
+  std::uint64_t pulls_granted = 0;      ///< (rank, q) pull grants, global
+  std::uint64_t push_batches = 0;       ///< wedge-batch messages, global
+  std::uint64_t wedge_candidates = 0;   ///< candidate r vertices examined
+  std::uint64_t triangles_found = 0;    ///< engine-side cross-check counter
+
+  [[nodiscard]] double pulls_per_rank(int nranks) const noexcept {
+    return nranks > 0 ? static_cast<double>(pulls_granted) / nranks : 0.0;
+  }
+};
+
+/// The six pieces of metadata of a discovered triangle Δpqr, plus the vertex
+/// ids.  References point into rank-local storage or the received message
+/// and are valid only for the duration of the callback.
+template <typename VertexMeta, typename EdgeMeta>
+struct triangle_view {
+  graph::vertex_id p, q, r;
+  const VertexMeta& meta_p;
+  const VertexMeta& meta_q;
+  const VertexMeta& meta_r;
+  const EdgeMeta& meta_pq;
+  const EdgeMeta& meta_pr;
+  const EdgeMeta& meta_qr;
+};
+
+namespace core::detail {
+
+using clock = std::chrono::steady_clock;
+
+[[nodiscard]] inline double seconds_since(clock::time_point start) {
+  return std::chrono::duration<double>(clock::now() - start).count();
+}
+
+/// A candidate closing vertex r shipped with a wedge batch: enough to merge
+/// against Adjm+(q) under the <+ order, plus meta(p,r) for the callback.
+template <typename EdgeMeta>
+struct wedge_candidate {
+  graph::vertex_id r = 0;
+  std::uint64_t r_degree = 0;
+  EdgeMeta meta_pr{};
+
+  [[nodiscard]] graph::order_key key() const noexcept {
+    return graph::make_order_key(r, r_degree);
+  }
+
+  template <typename Archive>
+  void serialize(Archive& ar) {
+    ar(r, r_degree, meta_pr);
+  }
+};
+
+/// One entry of a pulled adjacency list Adjm+(q): target vertex metadata is
+/// deliberately omitted -- the puller already stores meta(r) in its own
+/// Adjm+(p) (paper Sec. 4.3: "this extra metadata is never actually
+/// transmitted").
+template <typename EdgeMeta>
+struct pulled_entry {
+  graph::vertex_id r = 0;
+  std::uint64_t r_degree = 0;
+  EdgeMeta meta_qr{};
+
+  [[nodiscard]] graph::order_key key() const noexcept {
+    return graph::make_order_key(r, r_degree);
+  }
+
+  template <typename Archive>
+  void serialize(Archive& ar) {
+    ar(r, r_degree, meta_qr);
+  }
+};
+
+}  // namespace core::detail
+
+/// Survey engine: one instance per rank, constructed collectively.  Usually
+/// accessed through the `triangle_survey` free function below.
+template <typename VertexMeta, typename EdgeMeta, typename Callback, typename Context>
+class survey_engine {
+ public:
+  using graph_type = graph::dodgr<VertexMeta, EdgeMeta>;
+  using record_type = typename graph_type::record_type;
+  using entry_type = typename graph_type::entry_type;
+  using candidate_type = core::detail::wedge_candidate<EdgeMeta>;
+  using pulled_type = core::detail::pulled_entry<EdgeMeta>;
+  using view_type = triangle_view<VertexMeta, EdgeMeta>;
+  using self = survey_engine<VertexMeta, EdgeMeta, Callback, Context>;
+
+  survey_engine(graph_type& g, Context& ctx)
+      : comm_(&g.comm()), graph_(&g), context_(&ctx),
+        handle_(comm_->register_object(*this)) {
+    static_assert(std::is_empty_v<Callback>,
+                  "survey callbacks must be stateless; put state in Context");
+  }
+
+  ~survey_engine() { comm_->deregister_object(handle_); }
+
+  survey_engine(const survey_engine&) = delete;
+  survey_engine& operator=(const survey_engine&) = delete;
+
+  /// Collective: run the survey and return global metrics.
+  survey_result run(survey_options opts = {}) {
+    comm_->barrier();
+    reset_counters();
+    const auto t_start = core::detail::clock::now();
+
+    survey_result result;
+    if (opts.mode == survey_mode::push_only) {
+      result.push = timed_phase([&] { push_all(); });
+    } else {
+      result.dry_run = timed_phase([&] { dry_run(); });
+      result.push = timed_phase([&] { push_undecided(); });
+      result.pull = timed_phase([&] { pull_phase(); });
+    }
+
+    result.total.seconds = comm_->all_reduce_max(core::detail::seconds_since(t_start));
+    // Total traffic is the sum of the phases; summing (rather than a fresh
+    // snapshot delta) keeps the collective chatter of the metric reductions
+    // themselves out of the reported volume.
+    result.total.volume_bytes =
+        result.dry_run.volume_bytes + result.push.volume_bytes + result.pull.volume_bytes;
+    result.total.messages =
+        result.dry_run.messages + result.push.messages + result.pull.messages;
+
+    result.pulls_granted = comm_->all_reduce_sum(local_pulls_granted_);
+    result.push_batches = comm_->all_reduce_sum(local_push_batches_);
+    result.wedge_candidates = comm_->all_reduce_sum(local_candidates_);
+    result.triangles_found = comm_->all_reduce_sum(local_triangles_);
+
+    // Release dry-run scratch.
+    targets_.clear();
+    targets_ = {};
+    pull_grants_.clear();
+    pull_grants_ = {};
+    return result;
+  }
+
+ private:
+  // --- shared helpers -------------------------------------------------------
+
+  void reset_counters() {
+    local_pulls_granted_ = local_push_batches_ = local_candidates_ = local_triangles_ = 0;
+    targets_.clear();
+    pull_grants_.clear();
+  }
+
+  template <typename Body>
+  phase_metrics timed_phase(Body&& body) {
+    // Snapshot / barrier / body / barrier / snapshot: the barriers guarantee
+    // every rank brackets exactly the same set of sends, so the global
+    // deltas agree on all ranks.
+    const auto before = comm_->stats();
+    comm_->barrier();
+    const auto start = core::detail::clock::now();
+    body();
+    comm_->barrier();
+    const double elapsed = core::detail::seconds_since(start);
+    const auto delta = comm_->stats() - before;  // before the reduction's own traffic
+    phase_metrics m;
+    m.seconds = comm_->all_reduce_max(elapsed);
+    m.volume_bytes = delta.remote_bytes;
+    m.messages = delta.messages_sent;
+    return m;
+  }
+
+  /// Ship the wedge batch (p; q at position i; suffix beyond i) to Rank(q).
+  void send_wedge_batch(graph::vertex_id p, const record_type& rec, std::size_t i) {
+    const entry_type& q_entry = rec.adj[i];
+    std::vector<candidate_type> candidates;
+    candidates.reserve(rec.adj.size() - i - 1);
+    for (std::size_t j = i + 1; j < rec.adj.size(); ++j) {
+      const entry_type& e = rec.adj[j];
+      candidates.push_back(candidate_type{e.target, e.target_degree, e.edge_meta});
+    }
+    local_candidates_ += candidates.size();
+    ++local_push_batches_;
+    comm_->async(graph_->owner(q_entry.target), wedge_batch_handler{}, handle_,
+                 q_entry.target, p, rec.meta, q_entry.edge_meta, candidates);
+  }
+
+  void fire_callback(const view_type& view) {
+    ++local_triangles_;
+    Callback cb{};
+    if constexpr (std::is_invocable_v<Callback&, comm::communicator&, const view_type&,
+                                      Context&>) {
+      cb(*comm_, view, *context_);
+    } else {
+      static_assert(std::is_invocable_v<Callback&, const view_type&, Context&>,
+                    "callback must be callable as cb(view, ctx) or "
+                    "cb(comm, view, ctx)");
+      cb(view, *context_);
+    }
+  }
+
+  // --- push-only (Alg. 1) ------------------------------------------------------
+
+  void push_all() {
+    graph_->for_all_local([&](const graph::vertex_id& p, const record_type& rec) {
+      for (std::size_t i = 0; i + 1 < rec.adj.size(); ++i) send_wedge_batch(p, rec, i);
+    });
+  }
+
+  struct wedge_batch_handler {
+    void operator()(comm::communicator& c, comm::dist_handle<self> h, graph::vertex_id q,
+                    graph::vertex_id p, const VertexMeta& meta_p, const EdgeMeta& meta_pq,
+                    const std::vector<candidate_type>& candidates) {
+      self& eng = c.resolve(h);
+      const record_type* rec_q = eng.graph_->local_find(q);
+      assert(rec_q != nullptr);
+      core::merge_path_intersect(
+          candidates.begin(), candidates.end(), rec_q->adj.begin(), rec_q->adj.end(),
+          [](const candidate_type& cand) { return cand.key(); },
+          [](const entry_type& e) { return e.key(); },
+          [&](const candidate_type& cand, const entry_type& e) {
+            eng.fire_callback(view_type{p, q, e.target, meta_p, rec_q->meta,
+                                        e.target_meta, meta_pq, cand.meta_pr,
+                                        e.edge_meta});
+          });
+    }
+  };
+
+  // --- push-pull (Sec. 4.4) ------------------------------------------------------
+
+  /// Dry-run product: for each target vertex q this rank would push to, the
+  /// total candidate count and the local (p, split-index) sources -- "the
+  /// pass also stores pointers to efficiently iterate over source vertices
+  /// stored locally".
+  struct per_target {
+    std::uint64_t candidate_count = 0;
+    std::uint64_t q_out_degree = 0;
+    bool pull_granted = false;
+    std::vector<std::pair<graph::vertex_id, std::uint32_t>> sources;
+  };
+
+  void dry_run() {
+    // Communication-free counting pass.
+    graph_->for_all_local([&](const graph::vertex_id& p, const record_type& rec) {
+      for (std::size_t i = 0; i + 1 < rec.adj.size(); ++i) {
+        const entry_type& q_entry = rec.adj[i];
+        per_target& t = targets_[q_entry.target];
+        t.candidate_count += rec.adj.size() - i - 1;
+        t.q_out_degree = q_entry.target_out_degree;
+        t.sources.emplace_back(p, static_cast<std::uint32_t>(i));
+      }
+    });
+    // One aggregate proposal per (this rank, q).
+    for (const auto& [q, t] : targets_) {
+      comm_->async(graph_->owner(q), propose_handler{}, handle_, q, comm_->rank(),
+                   t.candidate_count);
+    }
+    // The barrier of timed_phase() drains proposals and decisions.
+  }
+
+  struct propose_handler {
+    void operator()(comm::communicator& c, comm::dist_handle<self> h, graph::vertex_id q,
+                    int source_rank, std::uint64_t candidate_count) {
+      self& eng = c.resolve(h);
+      const record_type* rec_q = eng.graph_->local_find(q);
+      assert(rec_q != nullptr);
+      // Pull pays off when shipping Adjm+(q) once beats receiving the
+      // candidates: |Adj+(q)| < sum of suffix lengths from that rank.
+      const bool pull = rec_q->out_degree() < candidate_count;
+      if (pull) {
+        eng.pull_grants_[q].push_back(source_rank);
+        ++eng.local_pulls_granted_;
+      }
+      c.async(source_rank, decision_handler{}, h, q, pull);
+    }
+  };
+
+  struct decision_handler {
+    void operator()(comm::communicator& c, comm::dist_handle<self> h, graph::vertex_id q,
+                    bool pull) {
+      self& eng = c.resolve(h);
+      auto it = eng.targets_.find(q);
+      assert(it != eng.targets_.end());
+      it->second.pull_granted = pull;
+    }
+  };
+
+  void push_undecided() {
+    for (const auto& [q, t] : targets_) {
+      if (t.pull_granted) continue;
+      for (const auto& [p, i] : t.sources) {
+        const record_type* rec = graph_->local_find(p);
+        assert(rec != nullptr);
+        send_wedge_batch(p, *rec, i);
+      }
+    }
+  }
+
+  void pull_phase() {
+    for (const auto& [q, ranks] : pull_grants_) {
+      const record_type* rec_q = graph_->local_find(q);
+      assert(rec_q != nullptr);
+      std::vector<pulled_type> entries;
+      entries.reserve(rec_q->adj.size());
+      for (const entry_type& e : rec_q->adj) {
+        entries.push_back(pulled_type{e.target, e.target_degree, e.edge_meta});
+      }
+      for (const int dest : ranks) {
+        comm_->async(dest, pulled_adj_handler{}, handle_, q, rec_q->meta, entries);
+      }
+    }
+  }
+
+  struct pulled_adj_handler {
+    void operator()(comm::communicator& c, comm::dist_handle<self> h, graph::vertex_id q,
+                    const VertexMeta& meta_q, const std::vector<pulled_type>& entries) {
+      self& eng = c.resolve(h);
+      auto it = eng.targets_.find(q);
+      assert(it != eng.targets_.end());
+      for (const auto& [p, i] : it->second.sources) {
+        const record_type* rec_p = eng.graph_->local_find(p);
+        assert(rec_p != nullptr);
+        const entry_type& q_entry = rec_p->adj[i];
+        eng.local_candidates_ += rec_p->adj.size() - i - 1;
+        core::merge_path_intersect(
+            rec_p->adj.begin() + static_cast<std::ptrdiff_t>(i) + 1, rec_p->adj.end(),
+            entries.begin(), entries.end(),
+            [](const entry_type& e) { return e.key(); },
+            [](const pulled_type& pe) { return pe.key(); },
+            [&](const entry_type& e_pr, const pulled_type& e_qr) {
+              // Callback on Rank(p): meta(r) comes from p's own Adjm+ entry.
+              eng.fire_callback(view_type{p, q, e_pr.target, rec_p->meta, meta_q,
+                                          e_pr.target_meta, q_entry.edge_meta,
+                                          e_pr.edge_meta, e_qr.meta_qr});
+            });
+      }
+    }
+  };
+
+  comm::communicator* comm_;
+  graph_type* graph_;
+  Context* context_;
+  comm::dist_handle<self> handle_;
+
+  std::unordered_map<graph::vertex_id, per_target> targets_;
+  std::unordered_map<graph::vertex_id, std::vector<int>> pull_grants_;
+
+  std::uint64_t local_pulls_granted_ = 0;
+  std::uint64_t local_push_batches_ = 0;
+  std::uint64_t local_candidates_ = 0;
+  std::uint64_t local_triangles_ = 0;
+};
+
+/// Collective convenience wrapper: construct the engine, run one survey.
+///
+/// `callback` is a stateless functor invoked as `cb(view, ctx)` or
+/// `cb(comm, view, ctx)` for every triangle; `context` is this rank's local
+/// survey state (counters, counting sets, output sinks).
+template <typename VertexMeta, typename EdgeMeta, typename Callback, typename Context>
+survey_result triangle_survey(graph::dodgr<VertexMeta, EdgeMeta>& g, Callback /*callback*/,
+                              Context& context, survey_options opts = {}) {
+  survey_engine<VertexMeta, EdgeMeta, Callback, Context> engine(g, context);
+  return engine.run(opts);
+}
+
+}  // namespace tripoll

@@ -1,0 +1,7 @@
+#include "core/version.hpp"
+
+namespace tripoll {
+
+const char* version() noexcept { return "1.0.0"; }
+
+}  // namespace tripoll

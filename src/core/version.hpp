@@ -1,0 +1,9 @@
+// version.hpp -- library version string.
+#pragma once
+
+namespace tripoll {
+
+/// Semantic version of the TriPoll reproduction library.
+const char* version() noexcept;
+
+}  // namespace tripoll

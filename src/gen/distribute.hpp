@@ -1,0 +1,30 @@
+// distribute.hpp -- helpers for rank-sliced deterministic generation.
+//
+// Generators are pure functions of the item index, so each rank produces a
+// contiguous slice of the stream with no communication (the communication
+// happens when the builder shuffles edges to their owners).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "comm/communicator.hpp"
+
+namespace tripoll::gen {
+
+/// The [begin, end) item range rank `rank` of `size` owns out of `total`.
+[[nodiscard]] constexpr std::pair<std::uint64_t, std::uint64_t> rank_slice(
+    std::uint64_t total, int rank, int size) noexcept {
+  const auto r = static_cast<std::uint64_t>(rank);
+  const auto s = static_cast<std::uint64_t>(size);
+  return {total * r / s, total * (r + 1) / s};
+}
+
+/// Apply `fn(index)` to this rank's slice of [0, total).
+template <typename Fn>
+void for_rank_slice(const comm::communicator& c, std::uint64_t total, Fn&& fn) {
+  const auto [lo, hi] = rank_slice(total, c.rank(), c.size());
+  for (std::uint64_t k = lo; k < hi; ++k) fn(k);
+}
+
+}  // namespace tripoll::gen

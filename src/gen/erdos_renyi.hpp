@@ -1,0 +1,35 @@
+// erdos_renyi.hpp -- deterministic G(n, M) uniform random edges.
+//
+// Used by correctness tests (ground-truth cross checks need unstructured
+// graphs too) and as a low-clustering extreme in ablations.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/types.hpp"
+#include "serial/hash.hpp"
+
+namespace tripoll::gen {
+
+class erdos_renyi_generator {
+ public:
+  erdos_renyi_generator(std::uint64_t num_vertices, std::uint64_t num_edges,
+                        std::uint64_t seed = 7)
+      : n_(num_vertices), m_(num_edges), seed_(seed) {}
+
+  [[nodiscard]] std::uint64_t num_vertices() const noexcept { return n_; }
+  [[nodiscard]] std::uint64_t num_edges() const noexcept { return m_; }
+
+  [[nodiscard]] graph::edge edge_at(std::uint64_t index) const noexcept {
+    const std::uint64_t h1 = serial::splitmix64(seed_ ^ (index * 0xA24BAED4963EE407ULL));
+    const std::uint64_t h2 = serial::splitmix64(h1 + 0x9FB21C651E98DF25ULL);
+    return graph::edge{h1 % n_, h2 % n_};
+  }
+
+ private:
+  std::uint64_t n_;
+  std::uint64_t m_;
+  std::uint64_t seed_;
+};
+
+}  // namespace tripoll::gen

@@ -1,0 +1,158 @@
+#include "gen/presets.hpp"
+
+#include "gen/distribute.hpp"
+
+namespace tripoll::gen {
+
+std::vector<dataset_spec> standard_suite(int scale_delta) {
+  const auto shift = [scale_delta](std::uint32_t base) {
+    const int s = static_cast<int>(base) + scale_delta;
+    return static_cast<std::uint32_t>(s < 4 ? 4 : s);
+  };
+
+  std::vector<dataset_spec> suite;
+
+  // Friendster-like: large social network with *mild* degree skew relative
+  // to its size (real Friendster: dmax 5214 over 66M vertices).  Weak hubs
+  // mean a rank's wedges rarely aggregate toward shared targets -- this is
+  // the dataset where Push-Pull finds little to pull (paper Table 4:
+  // volume ratio only ~1.3x and Push-Only wins on runtime).
+  {
+    dataset_spec d;
+    d.name = "friendster-like";
+    d.kind = dataset_kind::rmat;
+    d.rmat = rmat_params{shift(17), 16, 0.38, 0.26, 0.26, 101, true};
+    suite.push_back(d);
+  }
+  // Twitter-like: follower graph, strong skew (celebrity hubs).
+  {
+    dataset_spec d;
+    d.name = "twitter-like";
+    d.kind = dataset_kind::rmat;
+    d.rmat = rmat_params{shift(16), 24, 0.52, 0.19, 0.19, 202, true};
+    suite.push_back(d);
+  }
+  // uk-2007-05-like: page-level web crawl, domain-clustered with hubs.
+  {
+    dataset_spec d;
+    d.name = "uk2007-like";
+    d.kind = dataset_kind::web;
+    d.web.scale = shift(16);
+    d.web.edge_factor = 20;
+    d.web.num_domains = 2048;
+    d.web.num_communities = 32;
+    d.web.num_hub_domains = 12;
+    d.web.domain_size_tau = 1.5;
+    d.web.p_intra_domain = 0.45;
+    d.web.p_hub = 0.20;
+    d.web.p_community = 0.20;
+    d.web.page_skew = 2.0;
+    d.web.seed = 303;
+    suite.push_back(d);
+  }
+  // web-cc12-hostgraph-like: host-level graph, fewer vertices, extreme
+  // hubs and very high triangle density; the extreme Push-Pull win case.
+  {
+    dataset_spec d;
+    d.name = "webcc12-host-like";
+    d.kind = dataset_kind::web;
+    d.web.scale = shift(15);
+    d.web.edge_factor = 40;
+    d.web.num_domains = 512;
+    d.web.num_communities = 16;
+    d.web.num_hub_domains = 10;
+    d.web.domain_size_tau = 1.9;
+    d.web.p_intra_domain = 0.45;
+    d.web.p_hub = 0.35;
+    d.web.p_community = 0.15;
+    d.web.page_skew = 3.0;
+    d.web.seed = 404;
+    suite.push_back(d);
+  }
+  return suite;
+}
+
+dataset_spec livejournal_like(int scale_delta) {
+  dataset_spec d;
+  d.name = "livejournal-like";
+  d.kind = dataset_kind::rmat;
+  const int s = 14 + scale_delta;
+  d.rmat = rmat_params{static_cast<std::uint32_t>(s < 4 ? 4 : s), 14,
+                       0.48, 0.21, 0.21, 505, true};
+  return d;
+}
+
+namespace {
+
+template <typename Builder>
+void feed_edges(comm::communicator& c, Builder& builder, const dataset_spec& spec) {
+  if (spec.kind == dataset_kind::rmat) {
+    const rmat_generator gen(spec.rmat);
+    for_rank_slice(c, gen.num_edges(), [&](std::uint64_t k) {
+      const auto e = gen.edge_at(k);
+      builder.add_edge(e.u, e.v);
+    });
+  } else {
+    const web_generator gen(spec.web);
+    for_rank_slice(c, gen.num_edges(), [&](std::uint64_t k) {
+      const auto e = gen.edge_at(k);
+      builder.add_edge(e.u, e.v);
+    });
+  }
+}
+
+}  // namespace
+
+void build_dataset(comm::communicator& c, plain_graph& g, const dataset_spec& spec) {
+  graph::graph_builder<graph::none, graph::none> builder(c);
+  feed_edges(c, builder, spec);
+  builder.build_into(g);
+}
+
+void build_temporal_graph(comm::communicator& c, temporal_graph& g,
+                          const temporal_params& params) {
+  // keep_least: duplicate contacts collapse to the chronologically-first
+  // timestamp, the paper's Reddit multigraph reduction.
+  graph::graph_builder<graph::none, std::uint64_t, graph::merge::keep_least> builder(c);
+  const temporal_generator gen(params);
+  for_rank_slice(c, gen.num_edges(), [&](std::uint64_t k) {
+    const auto e = gen.edge_at(k);
+    builder.add_edge(e.u, e.v, e.timestamp);
+  });
+  builder.build_into(g);
+}
+
+void build_web_graph(comm::communicator& c, web_graph& g, const web_params& params) {
+  graph::graph_builder<std::string, graph::none> builder(c);
+  const web_generator gen(params);
+  for_rank_slice(c, gen.num_edges(), [&](std::uint64_t k) {
+    const auto e = gen.edge_at(k);
+    builder.add_edge(e.u, e.v);
+  });
+  for_rank_slice(c, gen.num_vertices(), [&](std::uint64_t page) {
+    builder.add_vertex_meta(page, gen.vertex_meta_at(page));
+  });
+  builder.build_into(g);
+}
+
+std::vector<graph::edge> materialize_edges(comm::communicator& c,
+                                           const dataset_spec& spec) {
+  std::vector<graph::edge> local;
+  if (spec.kind == dataset_kind::rmat) {
+    const rmat_generator gen(spec.rmat);
+    for_rank_slice(c, gen.num_edges(),
+                   [&](std::uint64_t k) { local.push_back(gen.edge_at(k)); });
+  } else {
+    const web_generator gen(spec.web);
+    for_rank_slice(c, gen.num_edges(), [&](std::uint64_t k) {
+      const auto e = gen.edge_at(k);
+      local.push_back(graph::edge{e.u, e.v});
+    });
+  }
+  auto per_rank = c.all_gather(local);
+  std::vector<graph::edge> all;
+  for (auto& v : per_rank) all.insert(all.end(), v.begin(), v.end());
+  return all;
+}
+
+}  // namespace tripoll::gen

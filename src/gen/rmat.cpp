@@ -1,0 +1,65 @@
+#include "gen/rmat.hpp"
+
+#include <stdexcept>
+
+#include "serial/hash.hpp"
+
+namespace tripoll::gen {
+
+namespace {
+
+/// Uniform double in [0, 1) from 53 high bits of a mixed state.
+[[nodiscard]] double to_unit(std::uint64_t s) noexcept {
+  return static_cast<double>(s >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+rmat_generator::rmat_generator(rmat_params p) : params_(p) {
+  if (p.scale == 0 || p.scale > 40) {
+    throw std::invalid_argument("rmat: scale must be in [1, 40]");
+  }
+  if (p.a < 0 || p.b < 0 || p.c < 0 || p.a + p.b + p.c > 1.0) {
+    throw std::invalid_argument("rmat: quadrant probabilities must be a valid simplex");
+  }
+  mask_ = num_vertices() - 1;
+}
+
+graph::vertex_id rmat_generator::scramble(graph::vertex_id v) const noexcept {
+  if (!params_.scramble_ids) return v;
+  // Bijective permutation on `scale` bits: odd-multiplier mixing and a
+  // masked xorshift, both invertible modulo 2^scale.
+  const std::uint32_t half = params_.scale / 2 + 1;
+  v = (v * 0x9E3779B97F4A7C15ULL) & mask_;
+  v ^= v >> half;
+  v = (v * 0xC2B2AE3D27D4EB4FULL) & mask_;
+  return v;
+}
+
+graph::edge rmat_generator::edge_at(std::uint64_t index) const noexcept {
+  std::uint64_t state =
+      serial::splitmix64(params_.seed ^ (index * 0xD1B54A32D192ED03ULL));
+  graph::vertex_id u = 0;
+  graph::vertex_id v = 0;
+  const double ab = params_.a + params_.b;
+  const double abc = ab + params_.c;
+  for (std::uint32_t level = 0; level < params_.scale; ++level) {
+    state = serial::splitmix64(state);
+    const double r = to_unit(state);
+    u <<= 1;
+    v <<= 1;
+    if (r < params_.a) {
+      // top-left quadrant: both bits 0
+    } else if (r < ab) {
+      v |= 1;  // top-right
+    } else if (r < abc) {
+      u |= 1;  // bottom-left
+    } else {
+      u |= 1;  // bottom-right
+      v |= 1;
+    }
+  }
+  return graph::edge{scramble(u), scramble(v)};
+}
+
+}  // namespace tripoll::gen

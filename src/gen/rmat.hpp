@@ -1,0 +1,50 @@
+// rmat.hpp -- deterministic R-MAT (Chakrabarti et al.) edge generator.
+//
+// Used for the weak-scaling studies (paper Sec. 5.5 uses R-MAT up to scale
+// 32; this reproduction uses smaller scales on a single node).  Edges are a
+// pure function of (seed, index), so ranks generate disjoint slices of the
+// edge list with no communication and runs are exactly reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/types.hpp"
+
+namespace tripoll::gen {
+
+struct rmat_params {
+  std::uint32_t scale = 16;        ///< |V| = 2^scale
+  std::uint32_t edge_factor = 16;  ///< generated (undirected) edges = ef * |V|
+  double a = 0.57;                 ///< quadrant probabilities (Graph500 defaults)
+  double b = 0.19;
+  double c = 0.19;                 ///< d = 1 - a - b - c
+  std::uint64_t seed = 42;
+  bool scramble_ids = true;  ///< permute vertex ids to break degree locality
+};
+
+class rmat_generator {
+ public:
+  explicit rmat_generator(rmat_params p);
+
+  [[nodiscard]] std::uint64_t num_vertices() const noexcept {
+    return std::uint64_t{1} << params_.scale;
+  }
+
+  [[nodiscard]] std::uint64_t num_edges() const noexcept {
+    return num_vertices() * params_.edge_factor;
+  }
+
+  /// The `index`-th edge (deterministic; may be a duplicate or self-loop,
+  /// which graph construction removes, as with real R-MAT streams).
+  [[nodiscard]] graph::edge edge_at(std::uint64_t index) const noexcept;
+
+  [[nodiscard]] const rmat_params& params() const noexcept { return params_; }
+
+ private:
+  [[nodiscard]] graph::vertex_id scramble(graph::vertex_id v) const noexcept;
+
+  rmat_params params_;
+  std::uint64_t mask_;
+};
+
+}  // namespace tripoll::gen

@@ -1,0 +1,107 @@
+#include "gen/temporal.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "serial/hash.hpp"
+
+namespace tripoll::gen {
+
+namespace {
+
+[[nodiscard]] double to_unit(std::uint64_t s) noexcept {
+  return static_cast<double>(s >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+temporal_generator::temporal_generator(temporal_params p) : params_(p) {
+  if (p.scale == 0 || p.scale > 34) {
+    throw std::invalid_argument("temporal: scale must be in [1, 34]");
+  }
+  if (p.bot_fraction < 0 || p.bot_fraction > 1) {
+    throw std::invalid_argument("temporal: bot_fraction must be in [0, 1]");
+  }
+}
+
+bool temporal_generator::is_bot(graph::vertex_id author) const noexcept {
+  if (params_.bot_fraction <= 0.0) return false;
+  // Bots are the arithmetic subsequence {0, m, 2m, ...}: deterministic,
+  // O(1)-sampleable, and uniformly spread over the scrambled id space.
+  const auto modulus =
+      static_cast<graph::vertex_id>(1.0 / params_.bot_fraction + 0.5);
+  return author % std::max<graph::vertex_id>(1, modulus) == 0;
+}
+
+temporal_edge temporal_generator::edge_at(std::uint64_t index) const noexcept {
+  const std::uint64_t n = num_vertices();
+  std::uint64_t s = serial::splitmix64(params_.seed ^ (index * 0x2545F4914F6CDD1DULL));
+
+  // Heavy-tailed activity: author ~ floor(N * u^skew).
+  s = serial::splitmix64(s);
+  const auto u_id = static_cast<graph::vertex_id>(
+      static_cast<double>(n) * std::pow(to_unit(s), params_.activity_skew));
+
+  s = serial::splitmix64(s);
+  graph::vertex_id v_id;
+  if (to_unit(s) < params_.p_local) {
+    // Reply within a neighborhood of ids (thread locality): authors who
+    // interact once tend to share further contacts, seeding wedges.
+    s = serial::splitmix64(s);
+    const std::uint64_t offset = 1 + static_cast<std::uint64_t>(
+        63.0 * std::pow(to_unit(s), 2.0));
+    v_id = (u_id + offset) % n;
+  } else {
+    s = serial::splitmix64(s);
+    v_id = static_cast<graph::vertex_id>(
+        static_cast<double>(n) * std::pow(to_unit(s), params_.activity_skew));
+  }
+
+  // Coordination: a bot's interactions mostly target other bots, making the
+  // bot subpopulation a dense, burst-synchronized subgraph.
+  if (is_bot(u_id) && params_.bot_fraction > 0.0) {
+    s = serial::splitmix64(s);
+    if (to_unit(s) < 0.75) {
+      const auto modulus = std::max<graph::vertex_id>(
+          1, static_cast<graph::vertex_id>(1.0 / params_.bot_fraction + 0.5));
+      const graph::vertex_id num_bots = (n + modulus - 1) / modulus;
+      s = serial::splitmix64(s);
+      v_id = (s % num_bots) * modulus;
+    }
+  }
+
+  s = serial::splitmix64(s);
+  const bool bot_pair = is_bot(u_id) && is_bot(v_id);
+  std::uint64_t base;
+  std::uint64_t jitter;
+  if (bot_pair) {
+    // Coordinated machine activity: bots operate in cohorts sharing a burst
+    // window, so wedges -- and for same-cohort triangles, the closing edge
+    // too -- land within seconds of each other.  This is the fast-closure
+    // anomaly signal the paper's narrative anticipates (Sec. 5.7).
+    const std::uint64_t cohort_u = serial::splitmix64(u_id ^ 0xC0407ull) % 8;
+    const std::uint64_t cohort_v = serial::splitmix64(v_id ^ 0xC0407ull) % 8;
+    const std::uint64_t cohort = std::min(cohort_u, cohort_v);
+    base = params_.start_time +
+           static_cast<std::uint64_t>(
+               to_unit(serial::splitmix64((cohort + 1) * 0xB007ull)) * 0.9 *
+               static_cast<double>(params_.span_seconds));
+    jitter = static_cast<std::uint64_t>(to_unit(s) * 90.0);  // within seconds
+  } else {
+    // Growing network: the base timestamp advances linearly with the index;
+    // a log-uniform human reply delay (seconds .. ~1 week) reorders locally.
+    const double progress =
+        static_cast<double>(index) / static_cast<double>(num_edges());
+    base = params_.start_time +
+           static_cast<std::uint64_t>(progress *
+                                      static_cast<double>(params_.span_seconds));
+    const double log_low = std::log(30.0);
+    const double log_high = std::log(7.0 * 24 * 3600.0);
+    jitter = static_cast<std::uint64_t>(
+        std::exp(log_low + to_unit(s) * (log_high - log_low)));
+  }
+
+  return temporal_edge{std::min(u_id, v_id), std::max(u_id, v_id), base + jitter};
+}
+
+}  // namespace tripoll::gen

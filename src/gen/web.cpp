@@ -1,0 +1,137 @@
+#include "gen/web.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "serial/hash.hpp"
+
+namespace tripoll::gen {
+
+namespace {
+
+[[nodiscard]] double to_unit(std::uint64_t s) noexcept {
+  return static_cast<double>(s >> 11) * 0x1.0p-53;
+}
+
+// Hub domains carry recognizable names so survey outputs read like the
+// paper's Fig. 8 discussion (amazon family, a competing bookseller, an
+// edu/library community).
+constexpr std::array<const char*, 12> kHubNames{
+    "amazon.com",    "amazon.co.uk", "amazon.ca",     "audible.com",
+    "abebooks.com",  "wikipedia.org", "archive.org",  "loc.gov",
+    "harvard.edu",   "stanford.edu", "openlibrary.org", "worldcat.org"};
+
+constexpr std::array<const char*, 4> kTlds{"com", "org", "net", "edu"};
+
+}  // namespace
+
+web_generator::web_generator(web_params p) : params_(p) {
+  if (p.scale == 0 || p.scale > 34) {
+    throw std::invalid_argument("web: scale must be in [1, 34]");
+  }
+  num_pages_ = std::uint64_t{1} << p.scale;
+  if (p.num_domains > num_pages_) {
+    throw std::invalid_argument("web: num_domains must be in [0, pages]");
+  }
+  // Auto domain count: enough pages per domain that intra-domain links can
+  // close triangles rather than degenerate into self-loops.
+  num_domains_ = p.num_domains != 0
+                     ? p.num_domains
+                     : static_cast<std::uint32_t>(
+                           std::max<std::uint64_t>(16, num_pages_ / 32));
+  if (p.num_hub_domains > num_domains_) {
+    throw std::invalid_argument("web: more hub domains than domains");
+  }
+  const double total_p = p.p_intra_domain + p.p_hub + p.p_community;
+  if (total_p > 1.0) {
+    throw std::invalid_argument("web: link-mixture probabilities exceed 1");
+  }
+
+  // Power-law domain sizes over contiguous page ranges: weight of domain d
+  // is (d+1)^-tau; every domain keeps at least one page.
+  const std::uint32_t d_count = num_domains_;
+  std::vector<double> weights(d_count);
+  double total = 0.0;
+  for (std::uint32_t d = 0; d < d_count; ++d) {
+    weights[d] = std::pow(static_cast<double>(d + 1), -p.domain_size_tau);
+    total += weights[d];
+  }
+  domain_offsets_.assign(d_count + 1, 0);
+  const std::uint64_t spare = num_pages_ - d_count;  // after 1 page each
+  double cumulative = 0.0;
+  for (std::uint32_t d = 0; d < d_count; ++d) {
+    cumulative += weights[d];
+    const auto extra =
+        static_cast<std::uint64_t>(cumulative / total * static_cast<double>(spare));
+    domain_offsets_[d + 1] = (d + 1) + extra;
+  }
+  domain_offsets_[d_count] = num_pages_;
+}
+
+std::uint32_t web_generator::domain_of(graph::vertex_id page) const noexcept {
+  const auto it =
+      std::upper_bound(domain_offsets_.begin(), domain_offsets_.end(), page);
+  return static_cast<std::uint32_t>(std::distance(domain_offsets_.begin(), it) - 1);
+}
+
+std::string web_generator::fqdn_of_domain(std::uint32_t domain) const {
+  if (domain < params_.num_hub_domains && domain < kHubNames.size()) {
+    return kHubNames[domain];
+  }
+  return "site" + std::to_string(domain) + "." + kTlds[domain % kTlds.size()];
+}
+
+graph::vertex_id web_generator::sample_page_in_domain(std::uint32_t domain,
+                                                      std::uint64_t state) const noexcept {
+  const std::uint64_t lo = domain_offsets_[domain];
+  const std::uint64_t hi = domain_offsets_[domain + 1];
+  const double u = to_unit(serial::splitmix64(state));
+  return lo + static_cast<std::uint64_t>(
+                  static_cast<double>(hi - lo) * std::pow(u, params_.page_skew));
+}
+
+web_edge web_generator::edge_at(std::uint64_t index) const noexcept {
+  std::uint64_t s = serial::splitmix64(params_.seed ^ (index * 0x8CB92BA72F3D8DD7ULL));
+
+  // Source page: skewed toward the big (low-index) domains.
+  s = serial::splitmix64(s);
+  const auto src = static_cast<graph::vertex_id>(
+      static_cast<double>(num_pages_) * std::pow(to_unit(s), 1.5));
+  const std::uint32_t src_domain = domain_of(src);
+
+  s = serial::splitmix64(s);
+  const double r = to_unit(s);
+  s = serial::splitmix64(s);
+
+  graph::vertex_id dst;
+  if (r < params_.p_intra_domain) {
+    dst = sample_page_in_domain(src_domain, s);
+  } else if (r < params_.p_intra_domain + params_.p_hub) {
+    // Hub-directed link: hubs chosen with a skew so the very top hubs
+    // dominate, like amazon.com in the paper's analysis.
+    s = serial::splitmix64(s);
+    const auto hub = static_cast<std::uint32_t>(
+        static_cast<double>(params_.num_hub_domains) * std::pow(to_unit(s), 2.0));
+    dst = sample_page_in_domain(std::min(hub, params_.num_hub_domains - 1), s * 3 + 1);
+  } else if (r < params_.p_intra_domain + params_.p_hub + params_.p_community) {
+    // Topical community: another domain congruent mod num_communities.
+    const std::uint32_t c = params_.num_communities;
+    const std::uint32_t steps = 1 + static_cast<std::uint32_t>(serial::splitmix64(s) % 8);
+    std::uint32_t peer = src_domain + steps * c;
+    if (peer >= num_domains_) {
+      peer = src_domain % c + (serial::splitmix64(s + 1) % 8) * c;
+      if (peer >= num_domains_) peer = src_domain;
+    }
+    dst = sample_page_in_domain(peer, s * 5 + 2);
+  } else {
+    // Global random link, skewed like the source distribution.
+    dst = static_cast<graph::vertex_id>(
+        static_cast<double>(num_pages_) * std::pow(to_unit(serial::splitmix64(s)), 1.5));
+  }
+
+  return web_edge{src, dst};
+}
+
+}  // namespace tripoll::gen

@@ -1,0 +1,84 @@
+// web.hpp -- synthetic hyperlink graph with FQDN string metadata.
+//
+// Stand-in for the Web Data Commons 2012 page graph (paper Sec. 5.8) and
+// the uk-2007-05 / web-cc12-hostgraph topologies: pages partition into
+// domains with power-law sizes, domains group into topical communities,
+// links are a mixture of intra-domain, intra-community, hub-directed and
+// random, and each page carries its fully-qualified domain name as string
+// vertex metadata (variable length, no padding -- the serialization test
+// case the paper calls out).
+//
+// The hub structure (a few domains attracting links from everywhere) is
+// what makes web graphs the extreme win case for the Push-Pull
+// optimization: many local sources target the same high-degree vertices.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace tripoll::gen {
+
+struct web_params {
+  std::uint32_t scale = 15;        ///< pages = 2^scale
+  std::uint32_t edge_factor = 24;  ///< links = ef * pages
+  std::uint32_t num_domains = 0;   ///< 0 = auto: max(16, pages / 32)
+  std::uint32_t num_communities = 32;
+  std::uint32_t num_hub_domains = 12;
+  double domain_size_tau = 1.6;  ///< domain sizes ~ (rank+1)^-tau
+  double p_intra_domain = 0.40;
+  double p_hub = 0.25;
+  double p_community = 0.20;  ///< remainder: global random link
+  /// Within-domain page popularity skew: link targets concentrate on each
+  /// domain's front pages (u^skew sampling), giving web graphs the dense
+  /// triangle cores real crawls show (WDC-2012: |T|/|E| ~ 43).
+  double page_skew = 2.0;
+  std::uint64_t seed = 99;
+};
+
+struct web_edge {
+  graph::vertex_id u = 0;
+  graph::vertex_id v = 0;
+};
+
+class web_generator {
+ public:
+  explicit web_generator(web_params p);
+
+  [[nodiscard]] std::uint64_t num_vertices() const noexcept { return num_pages_; }
+  [[nodiscard]] std::uint64_t num_edges() const noexcept {
+    return num_pages_ * params_.edge_factor;
+  }
+
+  [[nodiscard]] web_edge edge_at(std::uint64_t index) const noexcept;
+
+  /// Effective number of domains (resolves the num_domains = 0 auto value).
+  [[nodiscard]] std::uint32_t num_domains() const noexcept { return num_domains_; }
+
+  /// Domain index of a page.
+  [[nodiscard]] std::uint32_t domain_of(graph::vertex_id page) const noexcept;
+
+  /// FQDN string of a domain (hub domains get recognizable names so the
+  /// Fig. 8 focus-domain analysis reads naturally).
+  [[nodiscard]] std::string fqdn_of_domain(std::uint32_t domain) const;
+
+  /// Vertex metadata for a page: the FQDN of its domain.
+  [[nodiscard]] std::string vertex_meta_at(graph::vertex_id page) const {
+    return fqdn_of_domain(domain_of(page));
+  }
+
+  [[nodiscard]] const web_params& params() const noexcept { return params_; }
+
+ private:
+  [[nodiscard]] graph::vertex_id sample_page_in_domain(std::uint32_t domain,
+                                                       std::uint64_t state) const noexcept;
+
+  web_params params_;
+  std::uint64_t num_pages_;
+  std::uint32_t num_domains_;
+  std::vector<std::uint64_t> domain_offsets_;  ///< page range per domain
+};
+
+}  // namespace tripoll::gen

@@ -1,0 +1,248 @@
+// builder.hpp -- distributed construction of the DODGr from raw edges.
+//
+// The input is a stream of undirected edges with optional metadata plus
+// per-vertex metadata, contributed by every rank.  Construction is itself a
+// distributed computation (the input never lands on one rank):
+//
+//   P1  dedup    : edges shuffle to the owner of their normalized (min,max)
+//                  pair; duplicates merge under a policy (e.g. keep the
+//                  chronologically-first timestamp, the paper's Reddit rule).
+//   P2  scatter  : each unique edge (a,b) delivers (b,meta) to Rank(a) and
+//                  (a,meta) to Rank(b), building undirected adjacency.
+//   P3  degrees  : d(v) = |Adj(v)| is now local.
+//   P4  exchange : every vertex sends (v, d(v), meta(v)) to each neighbor;
+//                  receivers learn target degrees/metadata for the <+ order
+//                  and the Adjm+ entries.
+//   P5  assemble : locally orient edges by <+, sort Adjm+(v), fill records.
+//   P6  d+ flow  : every vertex reports d+(v) to its DODGr in-neighbors so
+//                  their adjacency entries can drive Push-Pull decisions.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "comm/distributed_map.hpp"
+#include "graph/dodgr.hpp"
+#include "graph/types.hpp"
+
+namespace tripoll::graph {
+
+/// Merge policies for duplicate undirected edges (multigraph reduction).
+namespace merge {
+
+/// First writer wins (arrival order; nondeterministic under races across
+/// ranks, acceptable for metadata-free counting).
+struct keep_existing {
+  template <typename EM>
+  void operator()(EM& /*existing*/, const EM& /*incoming*/) const noexcept {}
+};
+
+/// Keep the smallest metadata value (deterministic; with timestamp metadata
+/// this is the paper's "chronologically-first comment" rule).
+struct keep_least {
+  template <typename EM>
+  void operator()(EM& existing, const EM& incoming) const {
+    if (incoming < existing) existing = incoming;
+  }
+};
+
+/// Keep the largest metadata value.
+struct keep_greatest {
+  template <typename EM>
+  void operator()(EM& existing, const EM& incoming) const {
+    if (existing < incoming) existing = incoming;
+  }
+};
+
+}  // namespace merge
+
+template <typename VertexMeta, typename EdgeMeta, typename MergePolicy = merge::keep_existing>
+class graph_builder {
+ public:
+  using graph_type = dodgr<VertexMeta, EdgeMeta>;
+  using self = graph_builder<VertexMeta, EdgeMeta, MergePolicy>;
+
+  explicit graph_builder(comm::communicator& c)
+      : comm_(&c), edges_(c), records_(c) {}
+
+  graph_builder(const graph_builder&) = delete;
+  graph_builder& operator=(const graph_builder&) = delete;
+
+  /// Contribute one undirected edge.  Self-loops are dropped (triangles
+  /// never use them); duplicates merge under MergePolicy at build time.
+  void add_edge(vertex_id u, vertex_id v, const EdgeMeta& meta = EdgeMeta{}) {
+    if (u == v) {
+      ++dropped_self_loops_;
+      return;
+    }
+    const auto key = normalize(u, v);
+    edges_.async_visit(key, dedup_visitor{}, meta);
+    // Both endpoints must exist as vertices even if metadata never arrives.
+    records_.async_visit(u, touch_visitor{});
+    records_.async_visit(v, touch_visitor{});
+  }
+
+  /// Contribute metadata for a vertex (may arrive from any rank).
+  void add_vertex_meta(vertex_id v, const VertexMeta& meta) {
+    records_.async_visit(v, set_meta_visitor{}, meta);
+  }
+
+  [[nodiscard]] std::uint64_t local_dropped_self_loops() const noexcept {
+    return dropped_self_loops_;
+  }
+
+  /// Collective: run the construction pipeline, filling `g`.  The builder's
+  /// staging storage is released afterwards; the builder may not be reused.
+  void build_into(graph_type& g) {
+    auto& c = *comm_;
+    c.barrier();  // P1 complete: all edges deduped, all vertex meta landed
+
+    // P2: scatter unique edges to both endpoints.
+    edges_.for_all_local([&](const pair_key& key, const dedup_slot& slot) {
+      records_.async_visit_if_exists(key.first, append_raw_visitor{}, key.second,
+                                     slot.meta);
+      records_.async_visit_if_exists(key.second, append_raw_visitor{}, key.first,
+                                     slot.meta);
+    });
+    c.barrier();
+
+    // P3+P4: degrees are local; exchange (id, degree, meta) with neighbors.
+    records_.for_all_local([&](const vertex_id& v, build_record& rec) {
+      const auto degree = static_cast<std::uint64_t>(rec.raw_adj.size());
+      for (const auto& [u, em] : rec.raw_adj) {
+        (void)em;
+        records_.async_visit_if_exists(u, deliver_ninfo_visitor{}, v, degree, rec.meta);
+      }
+    });
+    c.barrier();
+
+    // P5: orient by <+, sort, assemble final records (rank-local).
+    records_.for_all_local([&](const vertex_id& v, build_record& rec) {
+      std::sort(rec.ninfo.begin(), rec.ninfo.end(),
+                [](const ninfo_entry& a, const ninfo_entry& b) { return a.id < b.id; });
+      auto& out = g.storage().local_at_or_create(v);
+      out.degree = rec.raw_adj.size();
+      out.meta = rec.meta;
+      out.adj.clear();
+      for (const auto& [u, em] : rec.raw_adj) {
+        const auto it = std::lower_bound(
+            rec.ninfo.begin(), rec.ninfo.end(), u,
+            [](const ninfo_entry& e, vertex_id id) { return e.id < id; });
+        // Every neighbor reported itself in P4.
+        if (degree_less(v, out.degree, u, it->degree)) {
+          out.adj.push_back(adj_entry<VertexMeta, EdgeMeta>{u, it->degree, 0, em, it->meta});
+        }
+      }
+      std::sort(out.adj.begin(), out.adj.end(),
+                [](const auto& a, const auto& b) { return a.key() < b.key(); });
+    });
+    c.barrier();
+
+    // P6: report d+(v) to DODGr in-neighbors (u <+ v holds their entry for v).
+    records_.for_all_local([&](const vertex_id& v, build_record& rec) {
+      const auto* gv = g.local_find(v);
+      const auto d_v = static_cast<std::uint64_t>(rec.raw_adj.size());
+      const auto dplus_v = static_cast<std::uint64_t>(gv->adj.size());
+      for (const auto& [u, em] : rec.raw_adj) {
+        (void)em;
+        const auto it = std::lower_bound(
+            rec.ninfo.begin(), rec.ninfo.end(), u,
+            [](const ninfo_entry& e, vertex_id id) { return e.id < id; });
+        if (degree_less(u, it->degree, v, d_v)) {
+          g.async_visit(u, set_dplus_visitor{}, v, d_v, dplus_v);
+        }
+      }
+    });
+    c.barrier();
+
+    edges_.clear_local();
+    records_.clear_local();
+    g.invalidate_census();
+  }
+
+ private:
+  using pair_key = std::pair<vertex_id, vertex_id>;
+
+  [[nodiscard]] static pair_key normalize(vertex_id u, vertex_id v) noexcept {
+    return u < v ? pair_key{u, v} : pair_key{v, u};
+  }
+
+  struct dedup_slot {
+    EdgeMeta meta{};
+    bool set = false;
+
+    template <typename Archive>
+    void serialize(Archive& ar) {
+      ar(meta, set);
+    }
+  };
+
+  struct ninfo_entry {
+    vertex_id id = 0;
+    std::uint64_t degree = 0;
+    VertexMeta meta{};
+  };
+
+  struct build_record {
+    VertexMeta meta{};
+    std::vector<std::pair<vertex_id, EdgeMeta>> raw_adj;
+    std::vector<ninfo_entry> ninfo;
+  };
+
+  struct dedup_visitor {
+    void operator()(const pair_key& /*key*/, dedup_slot& slot, const EdgeMeta& incoming) {
+      if (!slot.set) {
+        slot.meta = incoming;
+        slot.set = true;
+      } else {
+        MergePolicy{}(slot.meta, incoming);
+      }
+    }
+  };
+
+  struct touch_visitor {
+    void operator()(const vertex_id& /*v*/, build_record& /*rec*/) {}
+  };
+
+  struct set_meta_visitor {
+    void operator()(const vertex_id& /*v*/, build_record& rec, const VertexMeta& meta) {
+      rec.meta = meta;
+    }
+  };
+
+  struct append_raw_visitor {
+    void operator()(const vertex_id& /*v*/, build_record& rec, vertex_id neighbor,
+                    const EdgeMeta& meta) {
+      rec.raw_adj.emplace_back(neighbor, meta);
+    }
+  };
+
+  struct deliver_ninfo_visitor {
+    void operator()(const vertex_id& /*v*/, build_record& rec, vertex_id neighbor,
+                    std::uint64_t neighbor_degree, const VertexMeta& neighbor_meta) {
+      rec.ninfo.push_back(ninfo_entry{neighbor, neighbor_degree, neighbor_meta});
+    }
+  };
+
+  struct set_dplus_visitor {
+    // Runs on the owner of `u`: find u's adjacency entry for `v` (search key
+    // is v's <+ order key) and record d+(v).
+    void operator()(const vertex_id& /*u*/, vertex_record<VertexMeta, EdgeMeta>& rec,
+                    vertex_id v, std::uint64_t d_v, std::uint64_t dplus_v) {
+      const auto key = make_order_key(v, d_v);
+      auto it = std::lower_bound(rec.adj.begin(), rec.adj.end(), key,
+                                 [](const auto& e, const order_key& k) { return e.key() < k; });
+      if (it != rec.adj.end() && it->target == v) it->target_out_degree = dplus_v;
+    }
+  };
+
+  comm::communicator* comm_;
+  comm::distributed_map<pair_key, dedup_slot> edges_;
+  comm::distributed_map<vertex_id, build_record> records_;
+  std::uint64_t dropped_self_loops_ = 0;
+};
+
+}  // namespace tripoll::graph

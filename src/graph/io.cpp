@@ -1,0 +1,177 @@
+#include "graph/io.hpp"
+
+#include <cerrno>
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace tripoll::graph {
+
+namespace {
+
+[[nodiscard]] bool parse_u64(std::string_view token, std::uint64_t& out) {
+  const char* first = token.data();
+  const char* last = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr == last;
+}
+
+[[nodiscard]] std::string_view next_token(std::string_view& rest) {
+  std::size_t start = 0;
+  while (start < rest.size() && (rest[start] == ' ' || rest[start] == '\t')) ++start;
+  std::size_t end = start;
+  while (end < rest.size() && rest[end] != ' ' && rest[end] != '\t') ++end;
+  const auto token = rest.substr(start, end - start);
+  rest.remove_prefix(end);
+  return token;
+}
+
+}  // namespace
+
+std::optional<parsed_edge> parse_edge_line(std::string_view line, bool* malformed) {
+  if (malformed != nullptr) *malformed = false;
+  // Trim trailing CR (Windows line endings) and leading whitespace.
+  while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+    line.remove_suffix(1);
+  }
+  std::string_view rest = line;
+  const auto first = next_token(rest);
+  if (first.empty() || first.front() == '#' || first.front() == '%') return std::nullopt;
+
+  parsed_edge e;
+  if (!parse_u64(first, e.u)) {
+    if (malformed != nullptr) *malformed = true;
+    return std::nullopt;
+  }
+  const auto second = next_token(rest);
+  if (!parse_u64(second, e.v)) {
+    if (malformed != nullptr) *malformed = true;
+    return std::nullopt;
+  }
+  const auto third = next_token(rest);
+  if (!third.empty()) {
+    std::uint64_t w = 0;
+    if (parse_u64(third, w)) {
+      e.weight = w;
+    } else {
+      if (malformed != nullptr) *malformed = true;
+      return std::nullopt;
+    }
+  }
+  return e;
+}
+
+ingest_stats read_edge_list(const comm::communicator& c, const std::string& path,
+                            const std::function<void(const parsed_edge&)>& sink) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw std::runtime_error("read_edge_list: cannot open '" + path +
+                             "': " + std::strerror(errno));
+  }
+  std::fseek(f, 0, SEEK_END);
+  const auto file_size = static_cast<std::uint64_t>(std::ftell(f));
+
+  const auto rank = static_cast<std::uint64_t>(c.rank());
+  const auto nranks = static_cast<std::uint64_t>(c.size());
+  std::uint64_t begin = file_size * rank / nranks;
+  const std::uint64_t nominal_end = file_size * (rank + 1) / nranks;
+
+  ingest_stats stats;
+
+  // Align the start forward to the next line boundary: the owner of a byte
+  // range parses only lines that *start* inside it, so every line is parsed
+  // by exactly one rank.  When the previous byte is already a newline, the
+  // slice begins exactly at a line start and no alignment is needed.
+  if (begin > 0) {
+    std::fseek(f, static_cast<long>(begin - 1), SEEK_SET);
+    std::uint64_t pos = begin - 1;  // position of the byte just read
+    int ch = std::fgetc(f);
+    while (ch != EOF && ch != '\n') {
+      ch = std::fgetc(f);
+      ++pos;
+    }
+    begin = pos + 1;  // first byte after the newline (== begin when the
+                      // previous byte already was one)
+  }
+
+  if (begin < file_size) {
+    std::fseek(f, static_cast<long>(begin), SEEK_SET);
+    std::uint64_t pos = begin;
+    std::string line;
+    line.reserve(128);
+    std::vector<char> buf(1 << 16);
+    bool stop = false;
+    while (!stop) {
+      const std::size_t got = std::fread(buf.data(), 1, buf.size(), f);
+      if (got == 0) break;
+      for (std::size_t i = 0; i < got && !stop; ++i) {
+        const char ch = buf[i];
+        ++pos;
+        if (ch != '\n') {
+          line.push_back(ch);
+          continue;
+        }
+        // A line belongs to this rank iff it started before nominal_end.
+        const std::uint64_t line_start = pos - line.size() - 1;
+        if (line_start >= nominal_end) {
+          stop = true;
+          break;
+        }
+        ++stats.lines;
+        bool malformed = false;
+        if (const auto e = parse_edge_line(line, &malformed)) {
+          ++stats.edges;
+          sink(*e);
+        } else if (malformed) {
+          ++stats.malformed;
+        }
+        stats.bytes += line.size() + 1;
+        line.clear();
+      }
+    }
+    // Trailing line without newline at EOF.
+    if (!stop && !line.empty()) {
+      const std::uint64_t line_start = pos - line.size();
+      if (line_start < nominal_end) {
+        ++stats.lines;
+        bool malformed = false;
+        if (const auto e = parse_edge_line(line, &malformed)) {
+          ++stats.edges;
+          sink(*e);
+        } else if (malformed) {
+          ++stats.malformed;
+        }
+        stats.bytes += line.size();
+      }
+    }
+  }
+  std::fclose(f);
+  return stats;
+}
+
+edge_list_writer::edge_list_writer(const std::string& path)
+    : file_(std::fopen(path.c_str(), "w")) {
+  if (file_ == nullptr) {
+    throw std::runtime_error("edge_list_writer: cannot open '" + path +
+                             "': " + std::strerror(errno));
+  }
+}
+
+edge_list_writer::~edge_list_writer() {
+  if (file_ != nullptr) std::fclose(static_cast<std::FILE*>(file_));
+}
+
+void edge_list_writer::write(vertex_id u, vertex_id v) {
+  std::fprintf(static_cast<std::FILE*>(file_), "%llu %llu\n",
+               static_cast<unsigned long long>(u), static_cast<unsigned long long>(v));
+}
+
+void edge_list_writer::write(vertex_id u, vertex_id v, std::uint64_t weight) {
+  std::fprintf(static_cast<std::FILE*>(file_), "%llu %llu %llu\n",
+               static_cast<unsigned long long>(u), static_cast<unsigned long long>(v),
+               static_cast<unsigned long long>(weight));
+}
+
+}  // namespace tripoll::graph

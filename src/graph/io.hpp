@@ -1,0 +1,63 @@
+// io.hpp -- distributed edge-list file ingestion and result export.
+//
+// The paper's pipeline starts from on-disk edge lists (SNAP/WebGraph-style
+// "u v" or "u v timestamp" text).  Ingestion is distributed the same way
+// real TriPoll/HavoqGT readers work: every rank claims a byte range of the
+// file, aligns it to line boundaries, parses its share and feeds the edges
+// to the (collective) graph builder, which shuffles them to their owners.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "comm/communicator.hpp"
+#include "graph/types.hpp"
+
+namespace tripoll::graph {
+
+/// One parsed line of an edge-list file.
+struct parsed_edge {
+  vertex_id u = 0;
+  vertex_id v = 0;
+  std::optional<std::uint64_t> weight;  ///< third column when present
+};
+
+/// Statistics of one rank's share of an ingestion.
+struct ingest_stats {
+  std::uint64_t lines = 0;          ///< lines scanned (excluding comments)
+  std::uint64_t edges = 0;          ///< well-formed edges parsed
+  std::uint64_t malformed = 0;      ///< lines that failed to parse
+  std::uint64_t bytes = 0;          ///< bytes this rank consumed
+};
+
+/// Parse one line ("u v" or "u v w"; '#' and '%' start comments).
+/// Returns std::nullopt for comment/blank lines; throws nothing.
+[[nodiscard]] std::optional<parsed_edge> parse_edge_line(std::string_view line,
+                                                         bool* malformed);
+
+/// Collective: read `path`, with rank r of P claiming the r-th byte slice
+/// (aligned forward to newline boundaries so each line is parsed exactly
+/// once), invoking `sink(parsed_edge)` per edge.  Returns this rank's
+/// stats.  Throws std::runtime_error when the file cannot be opened.
+ingest_stats read_edge_list(const comm::communicator& c, const std::string& path,
+                            const std::function<void(const parsed_edge&)>& sink);
+
+/// Rank-0 helper: write an edge list (one "u v [w]" line per call).
+class edge_list_writer {
+ public:
+  explicit edge_list_writer(const std::string& path);
+  ~edge_list_writer();
+
+  edge_list_writer(const edge_list_writer&) = delete;
+  edge_list_writer& operator=(const edge_list_writer&) = delete;
+
+  void write(vertex_id u, vertex_id v);
+  void write(vertex_id u, vertex_id v, std::uint64_t weight);
+
+ private:
+  void* file_;  // FILE*, kept opaque to avoid <cstdio> in the interface
+};
+
+}  // namespace tripoll::graph

@@ -1,0 +1,61 @@
+// types.hpp -- vertex/edge primitives and the degree ordering <+.
+//
+// Sec. 3 of the paper: vertices are compared by (degree, hash) so that the
+// degree-ordered directed graph G+ (DODGr) keeps each undirected edge only
+// as the directed edge (u,v) with u <+ v.  The ordering must be identical on
+// every rank, hence the explicit splitmix64 tie-break.
+#pragma once
+
+#include <cstdint>
+#include <tuple>
+
+#include "serial/hash.hpp"
+
+namespace tripoll::graph {
+
+using vertex_id = std::uint64_t;
+
+/// An undirected input edge (metadata-free form).
+struct edge {
+  vertex_id u = 0;
+  vertex_id v = 0;
+
+  friend bool operator==(const edge&, const edge&) = default;
+};
+
+/// The `<+` comparison key of a vertex: degree first, deterministic hash to
+/// break ties, id as a final total-order guarantee under hash collisions.
+struct order_key {
+  std::uint64_t degree = 0;
+  std::uint64_t hash = 0;
+  vertex_id id = 0;
+
+  [[nodiscard]] friend constexpr bool operator<(const order_key& a,
+                                                const order_key& b) noexcept {
+    return std::tie(a.degree, a.hash, a.id) < std::tie(b.degree, b.hash, b.id);
+  }
+  [[nodiscard]] friend constexpr bool operator==(const order_key& a,
+                                                 const order_key& b) noexcept {
+    return std::tie(a.degree, a.hash, a.id) == std::tie(b.degree, b.hash, b.id);
+  }
+};
+
+/// Build the `<+` key for vertex `v` of (undirected) degree `degree`.
+[[nodiscard]] constexpr order_key make_order_key(vertex_id v, std::uint64_t degree) noexcept {
+  return order_key{degree, serial::splitmix64(v), v};
+}
+
+/// u <+ v given both degrees.
+[[nodiscard]] constexpr bool degree_less(vertex_id u, std::uint64_t du, vertex_id v,
+                                         std::uint64_t dv) noexcept {
+  return make_order_key(u, du) < make_order_key(v, dv);
+}
+
+/// Dummy metadata for plain triangle counting.  The paper affixes booleans
+/// as dummy metadata in that case (Sec. 5.3); `none` models the same thing
+/// with an explicit name.
+struct none {
+  friend bool operator==(const none&, const none&) = default;
+};
+
+}  // namespace tripoll::graph

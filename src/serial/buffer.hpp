@@ -1,0 +1,109 @@
+// buffer.hpp -- growable byte buffer plus bounds-checked reader.
+//
+// This is the lowest layer of the cereal stand-in used by the simulated
+// distributed runtime: every RPC payload is serialized into a byte_buffer,
+// handed to the transport as an opaque blob, and re-read on the destination
+// rank through a buffer_reader.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace tripoll::serial {
+
+/// Error thrown when a reader runs past the end of its buffer or a size
+/// prefix is inconsistent with the remaining bytes.  Deserialization errors
+/// are programming errors in matched serialize/deserialize pairs, but they
+/// can also arise from corrupted transport buffers, so they are exceptions
+/// rather than asserts.
+class deserialize_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Growable, append-only byte sink.  A thin wrapper over std::vector<std::byte>
+/// with raw-memory append primitives; all typed encoding lives in
+/// serialize.hpp.
+class byte_buffer {
+ public:
+  byte_buffer() = default;
+
+  explicit byte_buffer(std::size_t reserve_bytes) { bytes_.reserve(reserve_bytes); }
+
+  /// Append `n` raw bytes from `src`.
+  void append(const void* src, std::size_t n) {
+    const auto* p = static_cast<const std::byte*>(src);
+    bytes_.insert(bytes_.end(), p, p + n);
+  }
+
+  /// Append the contents of another buffer.
+  void append(const byte_buffer& other) { append(other.data(), other.size()); }
+
+  [[nodiscard]] const std::byte* data() const noexcept { return bytes_.data(); }
+  [[nodiscard]] std::size_t size() const noexcept { return bytes_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return bytes_.empty(); }
+
+  void clear() noexcept { bytes_.clear(); }
+  void reserve(std::size_t n) { bytes_.reserve(n); }
+
+  [[nodiscard]] std::span<const std::byte> view() const noexcept {
+    return {bytes_.data(), bytes_.size()};
+  }
+
+  /// Move the underlying storage out (used by the transport to enqueue a
+  /// flushed buffer without copying).
+  [[nodiscard]] std::vector<std::byte> release() noexcept { return std::move(bytes_); }
+
+  /// Adopt externally produced storage.
+  void adopt(std::vector<std::byte> bytes) noexcept { bytes_ = std::move(bytes); }
+
+ private:
+  std::vector<std::byte> bytes_;
+};
+
+/// Bounds-checked sequential reader over a span of bytes.  The reader does
+/// not own the storage; callers must keep the underlying buffer alive.
+class buffer_reader {
+ public:
+  buffer_reader() = default;
+
+  explicit buffer_reader(std::span<const std::byte> bytes) noexcept : bytes_(bytes) {}
+
+  buffer_reader(const void* data, std::size_t n) noexcept
+      : bytes_(static_cast<const std::byte*>(data), n) {}
+
+  /// Copy `n` bytes into `dst`, advancing the cursor.
+  void read(void* dst, std::size_t n) {
+    require(n);
+    std::memcpy(dst, bytes_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  /// Return a view of the next `n` bytes and advance past them.
+  [[nodiscard]] std::span<const std::byte> take(std::size_t n) {
+    require(n);
+    auto out = bytes_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return bytes_.size() - pos_; }
+  [[nodiscard]] bool exhausted() const noexcept { return remaining() == 0; }
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+
+ private:
+  void require(std::size_t n) const {
+    if (n > remaining()) {
+      throw deserialize_error("buffer_reader: read past end of buffer");
+    }
+  }
+
+  std::span<const std::byte> bytes_{};
+  std::size_t pos_ = 0;
+};
+
+}  // namespace tripoll::serial

@@ -1,0 +1,39 @@
+// hash.hpp -- deterministic hashing shared by all ranks.
+//
+// The paper's `<+` vertex ordering breaks degree ties with a deterministic
+// hash, and vertex ownership is a hash of the vertex id.  std::hash makes no
+// cross-process determinism promises, so TriPoll uses an explicit splitmix64
+// finalizer everywhere an ordering or ownership decision must agree across
+// ranks.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace tripoll::serial {
+
+/// splitmix64 finalizer: a strong 64-bit mixer, deterministic everywhere.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a for strings (FQDN metadata keys, counting-set keys).
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// boost-style combiner for composite keys.
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t seed,
+                                                   std::uint64_t v) noexcept {
+  return seed ^ (splitmix64(v) + 0x9E3779B97F4A7C15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace tripoll::serial

@@ -1,0 +1,367 @@
+// serialize.hpp -- archive-style serialization of C++ values (cereal stand-in).
+//
+// TriPoll's RPC layer sends arbitrary user types between ranks: metadata can
+// be labels, timestamps, strings or whole containers.  Following the paper
+// (Sec. 4.1.2), structured message contents are serialized into
+// variable-length byte arrays, concatenated into transport buffers, and
+// deserialized back on the destination rank.
+//
+// Supported out of the box:
+//   * trivially copyable types (integers, floats, enums, simple structs)
+//   * std::string / std::string_view (write side)
+//   * std::vector, std::array, std::pair, std::tuple, std::optional
+//   * std::map / std::unordered_map / std::set / std::unordered_set
+//   * any user type exposing `void serialize(Archive&)` applied to both
+//     a writer archive and a reader archive (cereal-style single function)
+//
+// Sizes are varint-encoded, so small containers cost one length byte.
+#pragma once
+
+#include <array>
+#include <concepts>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <type_traits>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "serial/buffer.hpp"
+
+namespace tripoll::serial {
+
+class writer;
+class reader;
+
+namespace detail {
+
+/// A type is bitwise-serializable when memcpy round-trips it.  Pointers are
+/// excluded: addresses are meaningless on another rank even in a simulated
+/// runtime, and catching them at compile time avoids an entire bug class.
+template <typename T>
+concept bitwise = std::is_trivially_copyable_v<T> && !std::is_pointer_v<T>;
+
+template <typename T>
+concept has_member_serialize_w =
+    requires(T& t, writer& a) { t.serialize(a); };
+
+template <typename T>
+concept has_member_serialize_r =
+    requires(T& t, reader& a) { t.serialize(a); };
+
+}  // namespace detail
+
+/// Writer archive: `archive(a, b, c)` appends each value to the buffer.
+class writer {
+ public:
+  explicit writer(byte_buffer& sink) noexcept : sink_(&sink) {}
+
+  template <typename... Ts>
+  void operator()(const Ts&... values) {
+    (write_one(values), ...);
+  }
+
+  /// Varint (LEB128) encoding for sizes; small values take one byte.
+  void write_varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      const auto byte = static_cast<std::uint8_t>((v & 0x7F) | 0x80);
+      sink_->append(&byte, 1);
+      v >>= 7;
+    }
+    const auto byte = static_cast<std::uint8_t>(v);
+    sink_->append(&byte, 1);
+  }
+
+  void write_raw(const void* data, std::size_t n) { sink_->append(data, n); }
+
+  [[nodiscard]] byte_buffer& sink() noexcept { return *sink_; }
+
+ private:
+  template <typename T>
+  void write_one(const T& value);
+
+  byte_buffer* sink_;
+};
+
+/// Reader archive: `archive(a, b, c)` fills each value from the buffer.
+class reader {
+ public:
+  explicit reader(buffer_reader& source) noexcept : source_(&source) {}
+
+  template <typename... Ts>
+  void operator()(Ts&... values) {
+    (read_one(values), ...);
+  }
+
+  [[nodiscard]] std::uint64_t read_varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      std::uint8_t byte = 0;
+      source_->read(&byte, 1);
+      v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) break;
+      shift += 7;
+      if (shift >= 64) throw deserialize_error("varint too long");
+    }
+    return v;
+  }
+
+  void read_raw(void* dst, std::size_t n) { source_->read(dst, n); }
+
+  [[nodiscard]] buffer_reader& source() noexcept { return *source_; }
+
+ private:
+  template <typename T>
+  void read_one(T& value);
+
+  buffer_reader* source_;
+};
+
+// ---------------------------------------------------------------------------
+// serialize_traits: one specialization per supported family.  The primary
+// template handles bitwise types and user types with member serialize().
+// ---------------------------------------------------------------------------
+
+template <typename T, typename Enable = void>
+struct serialize_traits {
+  static void write(writer& ar, const T& v) {
+    if constexpr (std::is_empty_v<T>) {
+      // Stateless types occupy zero wire bytes.  Never memcpy through the
+      // address of an empty object: inside std::tuple, empty-base
+      // optimization can alias it with a *different* element's storage.
+      (void)ar;
+      (void)v;
+    } else if constexpr (detail::bitwise<T>) {
+      ar.write_raw(&v, sizeof(T));
+    } else {
+      static_assert(detail::has_member_serialize_w<T>,
+                    "type is neither bitwise-serializable nor provides "
+                    "serialize(Archive&)");
+      // serialize() is the cereal-style bidirectional hook; it only reads
+      // from the value on the write side.
+      const_cast<T&>(v).serialize(ar);
+    }
+  }
+  static void read(reader& ar, T& v) {
+    if constexpr (std::is_empty_v<T>) {
+      (void)ar;
+      (void)v;
+    } else if constexpr (detail::bitwise<T>) {
+      ar.read_raw(&v, sizeof(T));
+    } else {
+      static_assert(detail::has_member_serialize_r<T>,
+                    "type is neither bitwise-serializable nor provides "
+                    "serialize(Archive&)");
+      v.serialize(ar);
+    }
+  }
+};
+
+template <>
+struct serialize_traits<std::string> {
+  static void write(writer& ar, const std::string& s) {
+    ar.write_varint(s.size());
+    ar.write_raw(s.data(), s.size());
+  }
+  static void read(reader& ar, std::string& s) {
+    const auto n = ar.read_varint();
+    s.resize(n);
+    ar.read_raw(s.data(), n);
+  }
+};
+
+/// string_view is write-only: there is no storage to deserialize into.
+template <>
+struct serialize_traits<std::string_view> {
+  static void write(writer& ar, std::string_view s) {
+    ar.write_varint(s.size());
+    ar.write_raw(s.data(), s.size());
+  }
+};
+
+template <typename T, typename Alloc>
+struct serialize_traits<std::vector<T, Alloc>> {
+  static void write(writer& ar, const std::vector<T, Alloc>& v) {
+    ar.write_varint(v.size());
+    if constexpr (detail::bitwise<T>) {
+      ar.write_raw(v.data(), v.size() * sizeof(T));
+    } else {
+      for (const auto& e : v) ar(e);
+    }
+  }
+  static void read(reader& ar, std::vector<T, Alloc>& v) {
+    const auto n = ar.read_varint();
+    v.clear();
+    if constexpr (detail::bitwise<T>) {
+      v.resize(n);
+      ar.read_raw(v.data(), n * sizeof(T));
+    } else {
+      v.reserve(n);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        ar(v.emplace_back());
+      }
+    }
+  }
+};
+
+template <typename T, std::size_t N>
+struct serialize_traits<std::array<T, N>> {
+  static void write(writer& ar, const std::array<T, N>& v) {
+    if constexpr (detail::bitwise<T>) {
+      ar.write_raw(v.data(), N * sizeof(T));
+    } else {
+      for (const auto& e : v) ar(e);
+    }
+  }
+  static void read(reader& ar, std::array<T, N>& v) {
+    if constexpr (detail::bitwise<T>) {
+      ar.read_raw(v.data(), N * sizeof(T));
+    } else {
+      for (auto& e : v) ar(e);
+    }
+  }
+};
+
+template <typename A, typename B>
+struct serialize_traits<std::pair<A, B>> {
+  static void write(writer& ar, const std::pair<A, B>& p) { ar(p.first, p.second); }
+  static void read(reader& ar, std::pair<A, B>& p) { ar(p.first, p.second); }
+};
+
+template <typename... Ts>
+struct serialize_traits<std::tuple<Ts...>> {
+  static void write(writer& ar, const std::tuple<Ts...>& t) {
+    std::apply([&](const auto&... es) { ar(es...); }, t);
+  }
+  static void read(reader& ar, std::tuple<Ts...>& t) {
+    std::apply([&](auto&... es) { ar(es...); }, t);
+  }
+};
+
+template <typename T>
+struct serialize_traits<std::optional<T>> {
+  static void write(writer& ar, const std::optional<T>& o) {
+    const std::uint8_t engaged = o.has_value() ? 1 : 0;
+    ar(engaged);
+    if (o) ar(*o);
+  }
+  static void read(reader& ar, std::optional<T>& o) {
+    std::uint8_t engaged = 0;
+    ar(engaged);
+    if (engaged != 0) {
+      ar(o.emplace());
+    } else {
+      o.reset();
+    }
+  }
+};
+
+namespace detail {
+
+template <typename Map>
+struct map_traits {
+  static void write(writer& ar, const Map& m) {
+    ar.write_varint(m.size());
+    for (const auto& [k, v] : m) ar(k, v);
+  }
+  static void read(reader& ar, Map& m) {
+    const auto n = ar.read_varint();
+    m.clear();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      typename Map::key_type k{};
+      typename Map::mapped_type v{};
+      ar(k, v);
+      m.emplace(std::move(k), std::move(v));
+    }
+  }
+};
+
+template <typename Set>
+struct set_traits {
+  static void write(writer& ar, const Set& s) {
+    ar.write_varint(s.size());
+    for (const auto& e : s) ar(e);
+  }
+  static void read(reader& ar, Set& s) {
+    const auto n = ar.read_varint();
+    s.clear();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      typename Set::key_type e{};
+      ar(e);
+      s.emplace(std::move(e));
+    }
+  }
+};
+
+}  // namespace detail
+
+template <typename K, typename V, typename C, typename A>
+struct serialize_traits<std::map<K, V, C, A>> : detail::map_traits<std::map<K, V, C, A>> {};
+
+template <typename K, typename V, typename H, typename E, typename A>
+struct serialize_traits<std::unordered_map<K, V, H, E, A>>
+    : detail::map_traits<std::unordered_map<K, V, H, E, A>> {};
+
+template <typename K, typename C, typename A>
+struct serialize_traits<std::set<K, C, A>> : detail::set_traits<std::set<K, C, A>> {};
+
+template <typename K, typename H, typename E, typename A>
+struct serialize_traits<std::unordered_set<K, H, E, A>>
+    : detail::set_traits<std::unordered_set<K, H, E, A>> {};
+
+template <typename T>
+void writer::write_one(const T& value) {
+  serialize_traits<std::remove_cvref_t<T>>::write(*this, value);
+}
+
+template <typename T>
+void reader::read_one(T& value) {
+  serialize_traits<std::remove_cvref_t<T>>::read(*this, value);
+}
+
+// ---------------------------------------------------------------------------
+// Convenience entry points.
+// ---------------------------------------------------------------------------
+
+/// Serialize `values...` onto the end of `buf`.
+template <typename... Ts>
+void pack(byte_buffer& buf, const Ts&... values) {
+  writer ar(buf);
+  ar(values...);
+}
+
+/// Deserialize `values...` from `rd` in order.
+template <typename... Ts>
+void unpack(buffer_reader& rd, Ts&... values) {
+  reader ar(rd);
+  ar(values...);
+}
+
+/// Round-trip helper primarily for tests: serialize then deserialize a copy.
+template <typename T>
+[[nodiscard]] T roundtrip(const T& value) {
+  byte_buffer buf;
+  pack(buf, value);
+  buffer_reader rd(buf.view());
+  T out{};
+  unpack(rd, out);
+  return out;
+}
+
+/// Byte count a value would occupy when serialized (used by the Push-Pull
+/// dry-run cost model and by tests).
+template <typename... Ts>
+[[nodiscard]] std::size_t packed_size(const Ts&... values) {
+  byte_buffer buf;
+  pack(buf, values...);
+  return buf.size();
+}
+
+}  // namespace tripoll::serial

@@ -1,0 +1,242 @@
+// Tests for the baseline triangle counters (ground truth and comparators).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <random>
+#include <set>
+#include <stdexcept>
+#include <tuple>
+#include <vector>
+
+#include "baselines/pearce_tc.hpp"
+#include "baselines/serial_tc.hpp"
+#include "baselines/tom2d_tc.hpp"
+#include "baselines/tric_tc.hpp"
+#include "comm/runtime.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/rmat.hpp"
+#include "graph/builder.hpp"
+#include "graph/types.hpp"
+
+namespace tb = tripoll::baselines;
+namespace tc = tripoll::comm;
+namespace tg = tripoll::graph;
+
+namespace {
+
+std::vector<tg::edge> complete_graph(tg::vertex_id n) {
+  std::vector<tg::edge> edges;
+  for (tg::vertex_id u = 0; u < n; ++u) {
+    for (tg::vertex_id v = u + 1; v < n; ++v) edges.push_back({u, v});
+  }
+  return edges;
+}
+
+/// O(V^3)-ish brute force via sets; the independent oracle.
+std::uint64_t brute_force(const std::vector<tg::edge>& edges) {
+  std::map<tg::vertex_id, std::set<tg::vertex_id>> adj;
+  for (const auto& e : edges) {
+    if (e.u == e.v) continue;
+    adj[e.u].insert(e.v);
+    adj[e.v].insert(e.u);
+  }
+  std::uint64_t count = 0;
+  for (const auto& [u, nbrs] : adj) {
+    for (auto it = nbrs.begin(); it != nbrs.end(); ++it) {
+      if (*it <= u) continue;
+      for (auto jt = std::next(it); jt != nbrs.end(); ++jt) {
+        if (adj.at(*it).contains(*jt)) ++count;
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+TEST(SerialTc, KnownCounts) {
+  EXPECT_EQ(tb::serial_triangle_count(complete_graph(3)), 1u);
+  EXPECT_EQ(tb::serial_triangle_count(complete_graph(4)), 4u);
+  EXPECT_EQ(tb::serial_triangle_count(complete_graph(10)), 120u);
+  EXPECT_EQ(tb::serial_triangle_count(std::vector<tg::edge>{{0, 1}, {1, 2}}), 0u);
+  EXPECT_EQ(tb::serial_triangle_count(std::vector<tg::edge>{}), 0u);
+}
+
+TEST(SerialTc, ToleratesDuplicatesAndLoops) {
+  std::vector<tg::edge> edges{{0, 1}, {1, 0}, {0, 1}, {1, 1}, {1, 2}, {0, 2}, {2, 0}};
+  EXPECT_EQ(tb::serial_triangle_count(edges), 1u);
+}
+
+TEST(SerialTc, SparseIdsRemapped) {
+  std::vector<tg::edge> edges{{1000000007, 42}, {42, 999}, {999, 1000000007}};
+  EXPECT_EQ(tb::serial_triangle_count(edges), 1u);
+}
+
+TEST(SerialTc, CsrBasics) {
+  const auto edges = complete_graph(6);
+  tb::ordered_csr csr(edges);
+  EXPECT_EQ(csr.num_vertices(), 6u);
+  EXPECT_EQ(csr.num_undirected_edges(), 15u);
+  // Out-degrees in a complete graph under any total order: n-1, n-2, ..., 0.
+  std::multiset<std::size_t> outs;
+  for (std::uint32_t v = 0; v < 6; ++v) outs.insert(csr.out(v).size());
+  EXPECT_EQ(outs, (std::multiset<std::size_t>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(csr.wedge_checks(), 0u + 0 + 1 + 3 + 6 + 10);
+}
+
+TEST(SerialTc, OutAdjacencySorted) {
+  std::mt19937_64 rng(5);
+  std::vector<tg::edge> edges;
+  for (int i = 0; i < 2000; ++i) edges.push_back({rng() % 300, rng() % 300});
+  tb::ordered_csr csr(edges);
+  for (std::uint32_t v = 0; v < csr.num_vertices(); ++v) {
+    const auto out = csr.out(v);
+    for (std::size_t i = 1; i < out.size(); ++i) EXPECT_LT(out[i - 1], out[i]);
+    for (const auto t : out) EXPECT_GT(t, v);  // orientation low-rank -> high-rank
+  }
+}
+
+class SerialVsBrute : public ::testing::TestWithParam<int> {};
+
+TEST_P(SerialVsBrute, RandomGraphsAgree) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+  std::uniform_int_distribution<tg::vertex_id> vtx(0, 80);
+  std::vector<tg::edge> edges;
+  const int m = 400 + GetParam() * 37;
+  for (int i = 0; i < m; ++i) edges.push_back({vtx(rng), vtx(rng)});
+  const auto expected = brute_force(edges);
+  EXPECT_EQ(tb::serial_triangle_count(edges), expected);
+  tb::ordered_csr csr(edges);
+  EXPECT_EQ(tb::openmp_triangle_count(csr), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerialVsBrute, ::testing::Range(0, 12));
+
+TEST(OpenmpTc, MatchesSerialOnLargerGraph) {
+  std::mt19937_64 rng(99);
+  std::vector<tg::edge> edges;
+  for (int i = 0; i < 60000; ++i) edges.push_back({rng() % 3000, rng() % 3000});
+  tb::ordered_csr csr(edges);
+  EXPECT_EQ(tb::openmp_triangle_count(csr), tb::serial_triangle_count(csr));
+}
+
+// --- distributed baselines cross-checked against serial ground truth ---------------
+
+namespace {
+
+using plain_graph = tg::dodgr<tg::none, tg::none>;
+
+void build_distributed(tc::communicator& c, plain_graph& g,
+                       const std::vector<tg::edge>& edges) {
+  tg::graph_builder<tg::none, tg::none> builder(c);
+  for (std::size_t i = static_cast<std::size_t>(c.rank()); i < edges.size();
+       i += static_cast<std::size_t>(c.size())) {
+    builder.add_edge(edges[i].u, edges[i].v);
+  }
+  builder.build_into(g);
+}
+
+std::vector<tg::edge> random_test_graph(std::uint64_t seed) {
+  tripoll::gen::erdos_renyi_generator gen(300, 2500, seed);
+  std::vector<tg::edge> edges;
+  for (std::uint64_t k = 0; k < gen.num_edges(); ++k) edges.push_back(gen.edge_at(k));
+  return edges;
+}
+
+}  // namespace
+
+TEST(PerfectSquare, Detection) {
+  EXPECT_TRUE(tb::is_perfect_square(1));
+  EXPECT_TRUE(tb::is_perfect_square(4));
+  EXPECT_TRUE(tb::is_perfect_square(9));
+  EXPECT_TRUE(tb::is_perfect_square(16));
+  EXPECT_FALSE(tb::is_perfect_square(2));
+  EXPECT_FALSE(tb::is_perfect_square(8));
+  EXPECT_FALSE(tb::is_perfect_square(0));
+  EXPECT_FALSE(tb::is_perfect_square(-4));
+}
+
+class DistributedBaselines : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DistributedBaselines, PearceMatchesSerial) {
+  const auto [seed, nranks] = GetParam();
+  const auto edges = random_test_graph(static_cast<std::uint64_t>(seed));
+  const auto expected = tb::serial_triangle_count(edges);
+  tc::runtime::run(nranks, [&](tc::communicator& c) {
+    plain_graph g(c);
+    build_distributed(c, g, edges);
+    const auto result = tb::pearce_triangle_count(c, g);
+    EXPECT_EQ(result.triangles, expected);
+  });
+}
+
+TEST_P(DistributedBaselines, TricMatchesSerial) {
+  const auto [seed, nranks] = GetParam();
+  const auto edges = random_test_graph(static_cast<std::uint64_t>(seed) + 100);
+  const auto expected = tb::serial_triangle_count(edges);
+  tc::runtime::run(nranks, [&](tc::communicator& c) {
+    plain_graph g(c);
+    build_distributed(c, g, edges);
+    const auto result = tb::tric_triangle_count(c, g);
+    EXPECT_EQ(result.triangles, expected);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedsRanks, DistributedBaselines,
+                         ::testing::Combine(::testing::Range(0, 3),
+                                            ::testing::Values(1, 2, 3, 6)));
+
+class Tom2dBaseline : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(Tom2dBaseline, MatchesSerialOnSquareGrids) {
+  const auto [seed, nranks] = GetParam();
+  const auto edges = random_test_graph(static_cast<std::uint64_t>(seed) + 200);
+  const auto expected = tb::serial_triangle_count(edges);
+  tc::runtime::run(nranks, [&](tc::communicator& c) {
+    plain_graph g(c);
+    build_distributed(c, g, edges);
+    const auto result = tb::tom2d_triangle_count(c, g);
+    EXPECT_EQ(result.triangles, expected);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedsGrids, Tom2dBaseline,
+                         ::testing::Combine(::testing::Range(0, 3),
+                                            ::testing::Values(1, 4, 9)));
+
+TEST(Tom2dBaselineErrors, RejectsNonSquareRankCounts) {
+  tc::runtime::run(3, [](tc::communicator& c) {
+    plain_graph g(c);
+    build_distributed(c, g, {});
+    EXPECT_THROW((void)tb::tom2d_triangle_count(c, g), std::invalid_argument);
+  });
+}
+
+TEST(DistributedBaselinesRmat, AllAgreeOnSkewedGraph) {
+  tripoll::gen::rmat_generator gen(
+      tripoll::gen::rmat_params{10, 10, 0.57, 0.19, 0.19, 31, true});
+  std::vector<tg::edge> edges;
+  for (std::uint64_t k = 0; k < gen.num_edges(); ++k) edges.push_back(gen.edge_at(k));
+  const auto expected = tb::serial_triangle_count(edges);
+  ASSERT_GT(expected, 0u);
+  tc::runtime::run(4, [&](tc::communicator& c) {
+    plain_graph g(c);
+    build_distributed(c, g, edges);
+    EXPECT_EQ(tb::pearce_triangle_count(c, g).triangles, expected);
+    EXPECT_EQ(tb::tom2d_triangle_count(c, g).triangles, expected);
+    EXPECT_EQ(tb::tric_triangle_count(c, g).triangles, expected);
+  });
+}
+
+TEST(DistributedBaselinesStats, PearceReportsTraffic) {
+  const auto edges = random_test_graph(7);
+  tc::runtime::run(4, [&](tc::communicator& c) {
+    plain_graph g(c);
+    build_distributed(c, g, edges);
+    const auto result = tb::pearce_triangle_count(c, g);
+    EXPECT_GT(result.messages, 0u);
+    EXPECT_GT(result.volume_bytes, 0u);
+    EXPECT_GE(result.seconds, 0.0);
+  });
+}

@@ -1,0 +1,276 @@
+// Tests for the YGM-style distributed containers.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <numeric>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "comm/counting_set.hpp"
+#include "comm/distributed_bag.hpp"
+#include "comm/distributed_map.hpp"
+#include "comm/runtime.hpp"
+
+namespace tc = tripoll::comm;
+
+TEST(DistributedMap, InsertAndGlobalSize) {
+  tc::runtime::run(4, [](tc::communicator& c) {
+    tc::distributed_map<std::uint64_t, std::string> map(c);
+    c.barrier();
+    // Every rank inserts a disjoint key range.
+    for (std::uint64_t k = 0; k < 25; ++k) {
+      const auto key = static_cast<std::uint64_t>(c.rank()) * 100 + k;
+      map.async_insert(key, "v" + std::to_string(key));
+    }
+    c.barrier();
+    EXPECT_EQ(map.global_size(), 100u);
+  });
+}
+
+TEST(DistributedMap, KeysLandOnOwner) {
+  tc::runtime::run(4, [](tc::communicator& c) {
+    tc::distributed_map<std::uint64_t, int> map(c);
+    c.barrier();
+    if (c.rank0()) {
+      for (std::uint64_t k = 0; k < 200; ++k) map.async_insert(k, 1);
+    }
+    c.barrier();
+    map.for_all_local([&](const std::uint64_t& k, const int&) {
+      EXPECT_EQ(map.owner(k), c.rank());
+    });
+    EXPECT_EQ(map.global_size(), 200u);
+  });
+}
+
+TEST(DistributedMap, InsertOverwrites) {
+  tc::runtime::run(3, [](tc::communicator& c) {
+    tc::distributed_map<std::uint64_t, int> map(c);
+    c.barrier();
+    map.async_insert(7, c.rank());
+    c.barrier();
+    map.async_insert(7, 99);
+    c.barrier();
+    if (const int* v = map.local_find(7)) {
+      EXPECT_EQ(*v, 99);
+    }
+    EXPECT_EQ(map.global_size(), 1u);
+  });
+}
+
+namespace {
+
+struct add_visitor {
+  void operator()(const std::uint64_t& /*key*/, std::uint64_t& value, std::uint64_t by) {
+    value += by;
+  }
+};
+
+struct chain_visitor {
+  // Visitor that chains a further async from inside the visit: the map value
+  // update triggers a second visit to key+1 until `hops` runs out.
+  void operator()(tc::communicator& c, const std::uint64_t& key, std::uint64_t& value,
+                  tc::dist_handle<tc::distributed_map<std::uint64_t, std::uint64_t>> h,
+                  std::uint32_t hops) {
+    value += 1;
+    if (hops > 0) {
+      c.resolve(h).async_visit(key + 1, chain_visitor{}, h, hops - 1);
+    }
+  }
+};
+
+}  // namespace
+
+TEST(DistributedMap, VisitAccumulates) {
+  tc::runtime::run(4, [](tc::communicator& c) {
+    tc::distributed_map<std::uint64_t, std::uint64_t> map(c);
+    c.barrier();
+    // All ranks bump the same 10 keys.
+    for (std::uint64_t k = 0; k < 10; ++k) {
+      map.async_visit(k, add_visitor{}, std::uint64_t{2});
+    }
+    c.barrier();
+    std::uint64_t local_total = 0;
+    map.for_all_local([&](const std::uint64_t&, const std::uint64_t& v) { local_total += v; });
+    EXPECT_EQ(c.all_reduce_sum(local_total), 10u * 4u * 2u);
+  });
+}
+
+TEST(DistributedMap, VisitCanChainAsyncs) {
+  tc::runtime::run(4, [](tc::communicator& c) {
+    tc::distributed_map<std::uint64_t, std::uint64_t> map(c);
+    auto handle = c.register_object(map);
+    c.barrier();
+    if (c.rank0()) {
+      map.async_visit(0, chain_visitor{}, handle, std::uint32_t{31});
+    }
+    c.barrier();
+    EXPECT_EQ(map.global_size(), 32u);
+    std::uint64_t local_total = 0;
+    map.for_all_local([&](const std::uint64_t&, const std::uint64_t& v) { local_total += v; });
+    EXPECT_EQ(c.all_reduce_sum(local_total), 32u);
+  });
+}
+
+namespace {
+
+struct exists_probe {
+  void operator()(const std::string& /*key*/, std::uint64_t& value) { value += 1; }
+};
+
+struct bump_string_key {
+  void operator()(const std::string& /*key*/, std::uint64_t& value) { value += 1; }
+};
+
+}  // namespace
+
+TEST(DistributedMap, VisitIfExistsSkipsMissing) {
+  tc::runtime::run(3, [](tc::communicator& c) {
+    tc::distributed_map<std::string, std::uint64_t> map(c);
+    c.barrier();
+    if (c.rank0()) map.async_insert("present", 0);
+    c.barrier();
+    map.async_visit_if_exists("present", exists_probe{});
+    map.async_visit_if_exists("absent", exists_probe{});
+    c.barrier();
+    EXPECT_EQ(map.global_size(), 1u);  // "absent" was not created
+  });
+}
+
+TEST(DistributedMap, EraseRemovesGlobally) {
+  tc::runtime::run(3, [](tc::communicator& c) {
+    tc::distributed_map<std::uint64_t, int> map(c);
+    c.barrier();
+    if (c.rank0()) {
+      for (std::uint64_t k = 0; k < 10; ++k) map.async_insert(k, 1);
+    }
+    c.barrier();
+    if (c.rank() == 1) {
+      for (std::uint64_t k = 0; k < 5; ++k) map.async_erase(k);
+    }
+    c.barrier();
+    EXPECT_EQ(map.global_size(), 5u);
+  });
+}
+
+TEST(DistributedMap, StringKeys) {
+  tc::runtime::run(4, [](tc::communicator& c) {
+    tc::distributed_map<std::string, std::uint64_t> map(c);
+    c.barrier();
+    const std::vector<std::string> domains{"amazon.com", "abebooks.com", "llnl.gov",
+                                           "example.org"};
+    for (const auto& d : domains) map.async_visit(d, bump_string_key{});
+    c.barrier();
+    EXPECT_EQ(map.global_size(), 4u);
+    std::uint64_t local_total = 0;
+    map.for_all_local([&](const std::string&, const std::uint64_t& v) { local_total += v; });
+    EXPECT_EQ(c.all_reduce_sum(local_total), 16u);
+  });
+}
+
+// --- counting set ---------------------------------------------------------------
+
+TEST(CountingSet, CountsAcrossRanks) {
+  tc::runtime::run(4, [](tc::communicator& c) {
+    tc::counting_set<std::string> counts(c);
+    c.barrier();
+    counts.async_increment("a");
+    counts.async_increment("b", 2);
+    counts.finalize();
+    auto all = counts.gather_all();
+    EXPECT_EQ(all.at("a"), 4u);
+    EXPECT_EQ(all.at("b"), 8u);
+    EXPECT_EQ(counts.global_size(), 2u);
+    EXPECT_EQ(counts.global_total(), 12u);
+  });
+}
+
+TEST(CountingSet, CacheFlushPreservesTotals) {
+  // Tiny cache forces many mid-stream flushes; totals must be exact.
+  tc::runtime::run(3, [](tc::communicator& c) {
+    tc::counting_set<std::uint64_t> counts(c, /*cache_capacity=*/4);
+    c.barrier();
+    for (std::uint64_t i = 0; i < 1000; ++i) counts.async_increment(i % 13);
+    counts.finalize();
+    auto all = counts.gather_all();
+    std::uint64_t total = 0;
+    for (auto& [k, n] : all) {
+      EXPECT_LT(k, 13u);
+      total += n;
+    }
+    EXPECT_EQ(total, 3000u);
+  });
+}
+
+TEST(CountingSet, PairKeysForJointDistributions) {
+  // Alg. 4 counts pairs (open_time, close_time).
+  tc::runtime::run(4, [](tc::communicator& c) {
+    tc::counting_set<std::pair<std::uint32_t, std::uint32_t>> counts(c);
+    c.barrier();
+    counts.async_increment({static_cast<std::uint32_t>(c.rank() % 2), 7u});
+    counts.finalize();
+    auto all = counts.gather_all();
+    EXPECT_EQ(all.size(), 2u);
+    EXPECT_EQ(all.at({0u, 7u}), 2u);
+    EXPECT_EQ(all.at({1u, 7u}), 2u);
+  });
+}
+
+TEST(CountingSet, GatherAllIdenticalOnEveryRank) {
+  tc::runtime::run(3, [](tc::communicator& c) {
+    tc::counting_set<std::uint64_t> counts(c);
+    c.barrier();
+    counts.async_increment(static_cast<std::uint64_t>(c.rank()));
+    counts.finalize();
+    auto all = counts.gather_all();
+    EXPECT_EQ(all.size(), 3u);
+    for (auto& [k, n] : all) EXPECT_EQ(n, 1u);
+  });
+}
+
+// --- bag -----------------------------------------------------------------------------
+
+TEST(DistributedBag, GlobalSizeAndBalance) {
+  tc::runtime::run(4, [](tc::communicator& c) {
+    tc::distributed_bag<std::uint64_t> bag(c);
+    c.barrier();
+    for (int i = 0; i < 100; ++i) bag.async_insert(static_cast<std::uint64_t>(i));
+    c.barrier();
+    EXPECT_EQ(bag.global_size(), 400u);
+    // Round-robin placement: every rank holds exactly 100.
+    EXPECT_EQ(bag.local_size(), 100u);
+  });
+}
+
+TEST(DistributedBag, LocalInsertSkipsComm) {
+  auto stats = tc::runtime::run(2, [](tc::communicator& c) {
+    tc::distributed_bag<std::uint64_t> bag(c);
+    c.barrier();
+    const auto before = c.stats();
+    for (int i = 0; i < 100; ++i) bag.local_insert(static_cast<std::uint64_t>(i));
+    const auto delta = c.stats() - before;
+    EXPECT_EQ(delta.messages_sent, 0u);  // purely local
+    c.barrier();
+    EXPECT_EQ(bag.global_size(), 200u);
+  });
+  (void)stats;
+}
+
+TEST(DistributedBag, StructPayload) {
+  struct edge {
+    std::uint64_t src;
+    std::uint64_t dst;
+    double weight;
+  };
+  tc::runtime::run(3, [](tc::communicator& c) {
+    tc::distributed_bag<edge> bag(c);
+    c.barrier();
+    if (c.rank0()) {
+      for (std::uint64_t i = 0; i < 30; ++i) bag.async_insert({i, i + 1, 0.5});
+    }
+    c.barrier();
+    EXPECT_EQ(bag.global_size(), 30u);
+    bag.for_all_local([](const edge& e) { EXPECT_EQ(e.dst, e.src + 1); });
+  });
+}

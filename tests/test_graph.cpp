@@ -1,0 +1,276 @@
+// Tests for DODGr construction: orientation, ordering, metadata placement,
+// dedup/merge policies, census numbers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "comm/runtime.hpp"
+#include "graph/builder.hpp"
+#include "graph/dodgr.hpp"
+#include "graph/types.hpp"
+
+namespace tc = tripoll::comm;
+namespace tg = tripoll::graph;
+
+using plain_graph = tg::dodgr<tg::none, tg::none>;
+
+TEST(OrderKey, TotalOrderProperties) {
+  // degree dominates, then hash, then id; the relation is a strict total
+  // order on any sample set.
+  std::vector<std::pair<tg::vertex_id, std::uint64_t>> sample;
+  for (tg::vertex_id v = 0; v < 50; ++v) sample.emplace_back(v, v % 7);
+  for (const auto& [u, du] : sample) {
+    EXPECT_FALSE(tg::degree_less(u, du, u, du));  // irreflexive
+    for (const auto& [v, dv] : sample) {
+      if (u == v) continue;
+      // antisymmetric and total
+      EXPECT_NE(tg::degree_less(u, du, v, dv), tg::degree_less(v, dv, u, du));
+    }
+  }
+}
+
+TEST(OrderKey, DegreeDominates) {
+  EXPECT_TRUE(tg::degree_less(100, 1, 5, 2));
+  EXPECT_FALSE(tg::degree_less(5, 2, 100, 1));
+}
+
+namespace {
+
+/// Build a plain graph from an explicit edge list contributed by rank 0.
+void build_plain(tc::communicator& c, plain_graph& g,
+                 const std::vector<std::pair<tg::vertex_id, tg::vertex_id>>& edges) {
+  tg::graph_builder<tg::none, tg::none> builder(c);
+  if (c.rank0()) {
+    for (const auto& [u, v] : edges) builder.add_edge(u, v);
+  }
+  builder.build_into(g);
+}
+
+}  // namespace
+
+TEST(Builder, TriangleCensus) {
+  tc::runtime::run(3, [](tc::communicator& c) {
+    plain_graph g(c);
+    build_plain(c, g, {{0, 1}, {1, 2}, {0, 2}});
+    const auto census = g.census();
+    EXPECT_EQ(census.num_vertices, 3u);
+    EXPECT_EQ(census.num_directed_edges, 6u);  // paper convention: 2x undirected
+    EXPECT_EQ(census.max_degree, 2u);
+    EXPECT_EQ(census.max_out_degree, 2u);
+    EXPECT_EQ(census.wedge_checks, 1u);  // exactly one wedge at the pivot
+  });
+}
+
+TEST(Builder, EveryUndirectedEdgeOrientedExactlyOnce) {
+  tc::runtime::run(4, [](tc::communicator& c) {
+    plain_graph g(c);
+    // A 10-vertex graph with mixed degrees.
+    std::vector<std::pair<tg::vertex_id, tg::vertex_id>> edges;
+    for (tg::vertex_id v = 1; v < 10; ++v) edges.emplace_back(0, v);  // star
+    edges.insert(edges.end(), {{1, 2}, {2, 3}, {3, 4}, {4, 5}, {1, 5}});
+    build_plain(c, g, edges);
+
+    std::uint64_t local_out_edges = 0;
+    g.for_all_local([&](const tg::vertex_id&, const plain_graph::record_type& rec) {
+      local_out_edges += rec.adj.size();
+    });
+    EXPECT_EQ(c.all_reduce_sum(local_out_edges), edges.size());
+    EXPECT_EQ(g.census().num_directed_edges, 2 * edges.size());
+  });
+}
+
+TEST(Builder, AdjacencySortedByOrderKey) {
+  tc::runtime::run(3, [](tc::communicator& c) {
+    plain_graph g(c);
+    std::vector<std::pair<tg::vertex_id, tg::vertex_id>> edges;
+    for (tg::vertex_id u = 0; u < 20; ++u) {
+      for (tg::vertex_id v = u + 1; v < 20; v += (u % 3) + 1) edges.emplace_back(u, v);
+    }
+    build_plain(c, g, edges);
+    g.for_all_local([&](const tg::vertex_id&, const plain_graph::record_type& rec) {
+      for (std::size_t i = 1; i < rec.adj.size(); ++i) {
+        EXPECT_TRUE(rec.adj[i - 1].key() < rec.adj[i].key());
+      }
+    });
+  });
+}
+
+TEST(Builder, OrientationPointsToHigherOrder) {
+  tc::runtime::run(3, [](tc::communicator& c) {
+    plain_graph g(c);
+    build_plain(c, g, {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {2, 4}});
+    g.for_all_local([&](const tg::vertex_id& v, const plain_graph::record_type& rec) {
+      for (const auto& e : rec.adj) {
+        EXPECT_TRUE(tg::degree_less(v, rec.degree, e.target, e.target_degree))
+            << "edge " << v << "->" << e.target << " violates <+";
+      }
+    });
+  });
+}
+
+TEST(Builder, SelfLoopsAndDuplicatesRemoved) {
+  tc::runtime::run(2, [](tc::communicator& c) {
+    plain_graph g(c);
+    tg::graph_builder<tg::none, tg::none> builder(c);
+    if (c.rank0()) {
+      builder.add_edge(1, 1);  // self loop
+      builder.add_edge(1, 2);
+      builder.add_edge(2, 1);  // reverse duplicate
+      builder.add_edge(1, 2);  // exact duplicate
+    }
+    // Concurrent duplicate contribution from the other rank.
+    if (c.rank() == 1 % c.size()) builder.add_edge(2, 1);
+    builder.build_into(g);
+    const auto census = g.census();
+    EXPECT_EQ(census.num_vertices, 2u);
+    EXPECT_EQ(census.num_directed_edges, 2u);  // single undirected edge
+  });
+}
+
+TEST(Builder, TargetDegreeFieldsMatchActualDegrees) {
+  tc::runtime::run(4, [](tc::communicator& c) {
+    plain_graph g(c);
+    std::vector<std::pair<tg::vertex_id, tg::vertex_id>> edges = {
+        {0, 1}, {0, 2}, {0, 3}, {1, 2}, {2, 3}, {3, 4}, {4, 0}};
+    build_plain(c, g, edges);
+
+    // Gather true degrees and out-degrees on every rank.
+    std::vector<std::pair<tg::vertex_id, std::pair<std::uint64_t, std::uint64_t>>> local;
+    g.for_all_local([&](const tg::vertex_id& v, const plain_graph::record_type& rec) {
+      local.push_back({v, {rec.degree, rec.out_degree()}});
+    });
+    auto per_rank = c.all_gather(local);
+    std::map<tg::vertex_id, std::pair<std::uint64_t, std::uint64_t>> truth;
+    for (auto& vec : per_rank) {
+      for (auto& [v, d] : vec) truth[v] = d;
+    }
+
+    g.for_all_local([&](const tg::vertex_id&, const plain_graph::record_type& rec) {
+      for (const auto& e : rec.adj) {
+        EXPECT_EQ(e.target_degree, truth.at(e.target).first);
+        EXPECT_EQ(e.target_out_degree, truth.at(e.target).second);
+      }
+    });
+  });
+}
+
+TEST(Builder, KeepLeastMergesToChronologicallyFirst) {
+  tc::runtime::run(3, [](tc::communicator& c) {
+    tg::dodgr<tg::none, std::uint64_t> g(c);
+    tg::graph_builder<tg::none, std::uint64_t, tg::merge::keep_least> builder(c);
+    // The same contact reported with different timestamps from many ranks.
+    builder.add_edge(5, 9, 1000 + static_cast<std::uint64_t>(c.rank()));
+    if (c.rank0()) builder.add_edge(9, 5, 17);  // chronological first, reversed
+    builder.build_into(g);
+
+    std::uint64_t local_min = UINT64_MAX;
+    g.for_all_local([&](const tg::vertex_id&, const auto& rec) {
+      for (const auto& e : rec.adj) local_min = std::min(local_min, e.edge_meta);
+    });
+    EXPECT_EQ(c.all_reduce_min(local_min), 17u);
+    EXPECT_EQ(g.census().num_directed_edges, 2u);
+  });
+}
+
+TEST(Builder, KeepGreatestPolicy) {
+  tc::runtime::run(2, [](tc::communicator& c) {
+    tg::dodgr<tg::none, std::uint64_t> g(c);
+    tg::graph_builder<tg::none, std::uint64_t, tg::merge::keep_greatest> builder(c);
+    builder.add_edge(1, 2, static_cast<std::uint64_t>(10 + c.rank()));
+    builder.build_into(g);
+    std::uint64_t local_max = 0;
+    g.for_all_local([&](const tg::vertex_id&, const auto& rec) {
+      for (const auto& e : rec.adj) local_max = std::max(local_max, e.edge_meta);
+    });
+    EXPECT_EQ(c.all_reduce_max(local_max), 11u);
+  });
+}
+
+TEST(Builder, VertexMetadataColocatedOnAdjacency) {
+  tc::runtime::run(3, [](tc::communicator& c) {
+    tg::dodgr<std::string, tg::none> g(c);
+    tg::graph_builder<std::string, tg::none> builder(c);
+    if (c.rank0()) {
+      builder.add_edge(0, 1);
+      builder.add_edge(1, 2);
+      builder.add_edge(0, 2);
+      builder.add_vertex_meta(0, "zero.example");
+      builder.add_vertex_meta(1, "one.example");
+      builder.add_vertex_meta(2, "two.example");
+    }
+    builder.build_into(g);
+
+    const std::vector<std::string> names{"zero.example", "one.example", "two.example"};
+    g.for_all_local([&](const tg::vertex_id& v, const auto& rec) {
+      EXPECT_EQ(rec.meta, names[v]);  // own metadata
+      for (const auto& e : rec.adj) {
+        EXPECT_EQ(e.target_meta, names[e.target]);  // Adjm+ carries target meta
+      }
+    });
+  });
+}
+
+TEST(Builder, SelfLoopCounterTracksDrops) {
+  tc::runtime::run(2, [](tc::communicator& c) {
+    plain_graph g(c);
+    tg::graph_builder<tg::none, tg::none> builder(c);
+    builder.add_edge(3, 3);
+    builder.add_edge(4, 4);
+    builder.add_edge(3, 4);
+    EXPECT_EQ(builder.local_dropped_self_loops(), 2u);
+    builder.build_into(g);
+    EXPECT_EQ(g.census().num_directed_edges, 2u);
+  });
+}
+
+TEST(Builder, IsolatedVertexFromMetadataOnly) {
+  tc::runtime::run(2, [](tc::communicator& c) {
+    tg::dodgr<std::string, tg::none> g(c);
+    tg::graph_builder<std::string, tg::none> builder(c);
+    if (c.rank0()) {
+      builder.add_edge(0, 1);
+      builder.add_vertex_meta(7, "lonely.example");
+    }
+    builder.build_into(g);
+    const auto census = g.census();
+    EXPECT_EQ(census.num_vertices, 3u);  // 0, 1 and the isolated 7
+    EXPECT_EQ(census.num_directed_edges, 2u);
+  });
+}
+
+// --- parameterized: construction invariants across rank counts ---------------------
+
+class BuilderSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BuilderSweep, InvariantsHoldAcrossRankCounts) {
+  const int nranks = GetParam();
+  tc::runtime::run(nranks, [](tc::communicator& c) {
+    plain_graph g(c);
+    tg::graph_builder<tg::none, tg::none> builder(c);
+    // All ranks contribute overlapping slices of a ring + chords graph.
+    const tg::vertex_id n = 64;
+    for (tg::vertex_id v = 0; v < n; ++v) {
+      builder.add_edge(v, (v + 1) % n);
+      builder.add_edge(v, (v + 5) % n);
+    }
+    builder.build_into(g);
+    const auto census = g.census();
+    EXPECT_EQ(census.num_vertices, n);
+    EXPECT_EQ(census.num_directed_edges, 2 * 2 * n);  // 2n unique undirected edges
+    EXPECT_EQ(census.max_degree, 4u);
+
+    // Orientation invariant.
+    g.for_all_local([&](const tg::vertex_id& v, const plain_graph::record_type& rec) {
+      for (const auto& e : rec.adj) {
+        EXPECT_TRUE(tg::degree_less(v, rec.degree, e.target, e.target_degree));
+      }
+    });
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, BuilderSweep, ::testing::Values(1, 2, 3, 5, 8));

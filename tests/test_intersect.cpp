@@ -1,0 +1,113 @@
+// Property tests for the three adjacency-intersection kernels: all must
+// produce identical match sets on arbitrary sorted inputs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <set>
+#include <vector>
+
+#include "core/intersect.hpp"
+
+namespace core = tripoll::core;
+
+namespace {
+
+constexpr auto kIdentity = [](std::uint64_t x) { return x; };
+
+std::vector<std::uint64_t> sorted_unique(std::mt19937_64& rng, std::size_t n,
+                                         std::uint64_t universe) {
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = rng() % universe;
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+template <typename Fn>
+std::set<std::uint64_t> collect(Fn&& intersect, const std::vector<std::uint64_t>& a,
+                                const std::vector<std::uint64_t>& b) {
+  std::set<std::uint64_t> out;
+  intersect(a.begin(), a.end(), b.begin(), b.end(), kIdentity, kIdentity,
+            [&](std::uint64_t x, std::uint64_t y) {
+              EXPECT_EQ(x, y);
+              EXPECT_TRUE(out.insert(x).second) << "duplicate match " << x;
+            });
+  return out;
+}
+
+std::set<std::uint64_t> reference(const std::vector<std::uint64_t>& a,
+                                  const std::vector<std::uint64_t>& b) {
+  std::set<std::uint64_t> sa(a.begin(), a.end());
+  std::set<std::uint64_t> out;
+  for (const auto x : b) {
+    if (sa.contains(x)) out.insert(x);
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(Intersect, EmptyInputs) {
+  const std::vector<std::uint64_t> empty, some{1, 2, 3};
+  EXPECT_TRUE(collect([](auto... args) { core::merge_path_intersect(args...); }, empty,
+                      some)
+                  .empty());
+  EXPECT_TRUE(collect([](auto... args) { core::binary_search_intersect(args...); },
+                      some, empty)
+                  .empty());
+  EXPECT_TRUE(
+      collect([](auto... args) { core::hash_intersect(args...); }, empty, empty).empty());
+}
+
+TEST(Intersect, DisjointAndIdentical) {
+  const std::vector<std::uint64_t> a{1, 3, 5}, b{2, 4, 6};
+  EXPECT_TRUE(collect([](auto... args) { core::merge_path_intersect(args...); }, a, b)
+                  .empty());
+  const auto same =
+      collect([](auto... args) { core::merge_path_intersect(args...); }, a, a);
+  EXPECT_EQ(same, (std::set<std::uint64_t>{1, 3, 5}));
+}
+
+class IntersectProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntersectProperty, AllKernelsAgreeWithReference) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+  for (int round = 0; round < 20; ++round) {
+    const auto a = sorted_unique(rng, 1 + rng() % 200, 1 + rng() % 500);
+    const auto b = sorted_unique(rng, 1 + rng() % 200, 1 + rng() % 500);
+    const auto want = reference(a, b);
+    EXPECT_EQ(collect([](auto... args) { core::merge_path_intersect(args...); }, a, b),
+              want);
+    EXPECT_EQ(
+        collect([](auto... args) { core::binary_search_intersect(args...); }, a, b),
+        want);
+    EXPECT_EQ(collect([](auto... args) { core::hash_intersect(args...); }, a, b), want);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntersectProperty, ::testing::Range(0, 10));
+
+TEST(Intersect, HeterogeneousElementTypesViaKeys) {
+  // The survey intersects candidate structs against adjacency entries; the
+  // kernels must work through key extractors on different element types.
+  struct lhs {
+    std::uint64_t id;
+    int payload;
+  };
+  struct rhs {
+    double weight;
+    std::uint64_t id;
+  };
+  const std::vector<lhs> a{{1, 10}, {4, 40}, {9, 90}};
+  const std::vector<rhs> b{{0.5, 2}, {0.25, 4}, {0.125, 8}, {0.1, 9}};
+  std::vector<std::pair<int, double>> matches;
+  core::merge_path_intersect(
+      a.begin(), a.end(), b.begin(), b.end(), [](const lhs& x) { return x.id; },
+      [](const rhs& y) { return y.id; },
+      [&](const lhs& x, const rhs& y) { matches.emplace_back(x.payload, y.weight); });
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].first, 40);
+  EXPECT_EQ(matches[1].first, 90);
+}

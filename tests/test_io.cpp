@@ -1,0 +1,197 @@
+// Tests for distributed edge-list file ingestion.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "comm/runtime.hpp"
+#include "core/callbacks.hpp"
+#include "core/survey.hpp"
+#include "graph/builder.hpp"
+#include "graph/io.hpp"
+
+namespace tc = tripoll::comm;
+namespace tg = tripoll::graph;
+
+namespace {
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& contents) {
+    static std::atomic<int> counter{0};
+    path_ = std::filesystem::temp_directory_path() /
+            ("tripoll_io_test_" + std::to_string(counter.fetch_add(1)) + "_" +
+             std::to_string(::getpid()) + ".txt");
+    std::ofstream out(path_, std::ios::binary);
+    out << contents;
+  }
+  ~TempFile() { std::filesystem::remove(path_); }
+  [[nodiscard]] std::string path() const { return path_.string(); }
+
+ private:
+  std::filesystem::path path_;
+};
+
+}  // namespace
+
+TEST(ParseEdgeLine, BasicForms) {
+  bool malformed = false;
+  auto e = tg::parse_edge_line("1 2", &malformed);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->u, 1u);
+  EXPECT_EQ(e->v, 2u);
+  EXPECT_FALSE(e->weight.has_value());
+  EXPECT_FALSE(malformed);
+
+  e = tg::parse_edge_line("10\t20\t12345", &malformed);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->weight.value(), 12345u);
+
+  e = tg::parse_edge_line("  7   8  ", &malformed);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->u, 7u);
+}
+
+TEST(ParseEdgeLine, CommentsAndBlanks) {
+  bool malformed = false;
+  EXPECT_FALSE(tg::parse_edge_line("# a comment", &malformed).has_value());
+  EXPECT_FALSE(malformed);
+  EXPECT_FALSE(tg::parse_edge_line("% matrix-market comment", &malformed).has_value());
+  EXPECT_FALSE(malformed);
+  EXPECT_FALSE(tg::parse_edge_line("", &malformed).has_value());
+  EXPECT_FALSE(malformed);
+  EXPECT_FALSE(tg::parse_edge_line("   ", &malformed).has_value());
+  EXPECT_FALSE(malformed);
+}
+
+TEST(ParseEdgeLine, MalformedFlagged) {
+  bool malformed = false;
+  EXPECT_FALSE(tg::parse_edge_line("abc def", &malformed).has_value());
+  EXPECT_TRUE(malformed);
+  EXPECT_FALSE(tg::parse_edge_line("1", &malformed).has_value());
+  EXPECT_TRUE(malformed);
+  EXPECT_FALSE(tg::parse_edge_line("1 2 xyz", &malformed).has_value());
+  EXPECT_TRUE(malformed);
+}
+
+TEST(ParseEdgeLine, WindowsLineEndings) {
+  bool malformed = false;
+  auto e = tg::parse_edge_line("3 4\r", &malformed);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->v, 4u);
+}
+
+TEST(ReadEdgeList, MissingFileThrows) {
+  tc::runtime::run(1, [](tc::communicator& c) {
+    EXPECT_THROW(tg::read_edge_list(c, "/nonexistent/missing.txt",
+                                    [](const tg::parsed_edge&) {}),
+                 std::runtime_error);
+  });
+}
+
+class ReadEdgeListSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReadEdgeListSweep, EveryLineParsedExactlyOnce) {
+  const int nranks = GetParam();
+  // A file with varied line lengths so slice boundaries land mid-line.
+  std::string contents = "# header comment\n";
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> expected;
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t u = rng() % 100000;
+    const std::uint64_t v = rng() % 1000;
+    expected.emplace_back(u, v);
+    contents += std::to_string(u) + " " + std::to_string(v) + "\n";
+  }
+  contents += "999999 1\n";  // line without special role
+  expected.emplace_back(999999, 1);
+  const TempFile file(contents);
+
+  std::mutex mutex;
+  std::multiset<std::pair<std::uint64_t, std::uint64_t>> seen;
+  std::atomic<std::uint64_t> total_edges{0};
+  tc::runtime::run(nranks, [&](tc::communicator& c) {
+    const auto stats = tg::read_edge_list(c, file.path(), [&](const tg::parsed_edge& e) {
+      const std::lock_guard lock(mutex);
+      seen.emplace(e.u, e.v);
+    });
+    total_edges.fetch_add(stats.edges);
+    EXPECT_EQ(stats.malformed, 0u);
+  });
+
+  EXPECT_EQ(total_edges.load(), expected.size());
+  const std::multiset<std::pair<std::uint64_t, std::uint64_t>> want(expected.begin(),
+                                                                    expected.end());
+  EXPECT_EQ(seen, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, ReadEdgeListSweep, ::testing::Values(1, 2, 3, 7, 16));
+
+TEST(ReadEdgeList, NoTrailingNewline) {
+  const TempFile file("1 2\n3 4");  // last line lacks '\n'
+  std::atomic<std::uint64_t> edges{0};
+  tc::runtime::run(3, [&](tc::communicator& c) {
+    const auto stats =
+        tg::read_edge_list(c, file.path(), [&](const tg::parsed_edge&) {});
+    edges.fetch_add(stats.edges);
+  });
+  EXPECT_EQ(edges.load(), 2u);
+}
+
+TEST(ReadEdgeList, EmptyFile) {
+  const TempFile file("");
+  tc::runtime::run(2, [&](tc::communicator& c) {
+    const auto stats =
+        tg::read_edge_list(c, file.path(), [&](const tg::parsed_edge&) {});
+    EXPECT_EQ(stats.edges, 0u);
+  });
+}
+
+TEST(ReadEdgeList, EndToEndGraphFromFile) {
+  // Ingest a triangle + pendant from disk, survey it, check the count.
+  const TempFile file("# tiny graph\n0 1 100\n1 2 164\n0 2 1000\n2 3 5\n");
+  tc::runtime::run(4, [&](tc::communicator& c) {
+    tg::graph_builder<tg::none, std::uint64_t, tg::merge::keep_least> builder(c);
+    tg::read_edge_list(c, file.path(), [&](const tg::parsed_edge& e) {
+      builder.add_edge(e.u, e.v, e.weight.value_or(0));
+    });
+    tg::dodgr<tg::none, std::uint64_t> g(c);
+    builder.build_into(g);
+    EXPECT_EQ(g.census().num_directed_edges, 8u);
+
+    tripoll::callbacks::count_context ctx;
+    tripoll::triangle_survey(g, tripoll::callbacks::count_callback{}, ctx);
+    EXPECT_EQ(ctx.global_count(c), 1u);
+  });
+}
+
+TEST(EdgeListWriter, RoundTripsThroughReader) {
+  const auto path = (std::filesystem::temp_directory_path() /
+                     ("tripoll_writer_test_" + std::to_string(::getpid()) + ".txt"))
+                        .string();
+  {
+    tg::edge_list_writer writer(path);
+    writer.write(1, 2);
+    writer.write(3, 4, 99);
+  }
+  std::atomic<std::uint64_t> edges{0};
+  std::atomic<std::uint64_t> weighted{0};
+  tc::runtime::run(2, [&](tc::communicator& c) {
+    tg::read_edge_list(c, path, [&](const tg::parsed_edge& e) {
+      edges.fetch_add(1);
+      if (e.weight.has_value()) weighted.fetch_add(1);
+    });
+  });
+  std::filesystem::remove(path);
+  EXPECT_EQ(edges.load(), 2u);
+  EXPECT_EQ(weighted.load(), 1u);
+}

@@ -1,0 +1,207 @@
+// tripoll_cli -- command-line driver for the TriPoll library.
+//
+// Subcommands (all run on the simulated distributed runtime):
+//   gen <kind> <scale> <out.txt>        generate an edge list (rmat|er|web|temporal)
+//   census <edges.txt> [ranks]          |V|, |E|, degrees, |W+| of a file
+//   count <edges.txt> [ranks] [mode]    exact triangle count (push_pull|push_only)
+//   approx <edges.txt> [samples]        wedge-sampling estimate
+//   clustering <edges.txt> [ranks]      transitivity + average local cc
+//   closure <edges.txt> [ranks]         closure-time survey (3rd column = timestamp)
+//
+// Example:
+//   tripoll_cli gen rmat 14 /tmp/g.txt && tripoll_cli count /tmp/g.txt 8
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "baselines/approx_tc.hpp"
+#include "comm/runtime.hpp"
+#include "core/analytics.hpp"
+#include "core/callbacks.hpp"
+#include "core/survey.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/rmat.hpp"
+#include "gen/temporal.hpp"
+#include "gen/web.hpp"
+#include "graph/builder.hpp"
+#include "graph/io.hpp"
+
+namespace cb = tripoll::callbacks;
+namespace comm = tripoll::comm;
+namespace gen = tripoll::gen;
+namespace graph = tripoll::graph;
+namespace ta = tripoll::analytics;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  tripoll_cli gen <rmat|er|web|temporal> <scale> <out.txt>\n"
+               "  tripoll_cli census <edges.txt> [ranks]\n"
+               "  tripoll_cli count <edges.txt> [ranks] [push_pull|push_only]\n"
+               "  tripoll_cli approx <edges.txt> [samples]\n"
+               "  tripoll_cli clustering <edges.txt> [ranks]\n"
+               "  tripoll_cli closure <edges.txt> [ranks]\n");
+  return 2;
+}
+
+int cmd_gen(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const std::string kind = argv[2];
+  const auto scale = static_cast<std::uint32_t>(std::atoi(argv[3]));
+  const std::string out = argv[4];
+  graph::edge_list_writer writer(out);
+  std::uint64_t edges = 0;
+  if (kind == "rmat") {
+    gen::rmat_generator g(gen::rmat_params{scale, 16, 0.57, 0.19, 0.19, 42, true});
+    for (std::uint64_t k = 0; k < g.num_edges(); ++k) {
+      const auto e = g.edge_at(k);
+      writer.write(e.u, e.v);
+    }
+    edges = g.num_edges();
+  } else if (kind == "er") {
+    gen::erdos_renyi_generator g(std::uint64_t{1} << scale,
+                                 (std::uint64_t{1} << scale) * 16, 42);
+    for (std::uint64_t k = 0; k < g.num_edges(); ++k) {
+      const auto e = g.edge_at(k);
+      writer.write(e.u, e.v);
+    }
+    edges = g.num_edges();
+  } else if (kind == "web") {
+    gen::web_params p;
+    p.scale = scale;
+    gen::web_generator g(p);
+    for (std::uint64_t k = 0; k < g.num_edges(); ++k) {
+      const auto e = g.edge_at(k);
+      writer.write(e.u, e.v);
+    }
+    edges = g.num_edges();
+  } else if (kind == "temporal") {
+    gen::temporal_params p;
+    p.scale = scale;
+    gen::temporal_generator g(p);
+    for (std::uint64_t k = 0; k < g.num_edges(); ++k) {
+      const auto e = g.edge_at(k);
+      writer.write(e.u, e.v, e.timestamp);
+    }
+    edges = g.num_edges();
+  } else {
+    return usage();
+  }
+  std::printf("wrote %llu edges to %s\n", (unsigned long long)edges, out.c_str());
+  return 0;
+}
+
+template <typename Fn>
+int with_plain_graph_from_file(const std::string& path, int ranks, Fn&& fn) {
+  comm::runtime::run(ranks, [&](comm::communicator& c) {
+    graph::graph_builder<graph::none, graph::none> builder(c);
+    graph::read_edge_list(c, path, [&](const graph::parsed_edge& e) {
+      builder.add_edge(e.u, e.v);
+    });
+    graph::dodgr<graph::none, graph::none> g(c);
+    builder.build_into(g);
+    fn(c, g);
+  });
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "gen") return cmd_gen(argc, argv);
+    if (argc < 3) return usage();
+    const std::string path = argv[2];
+    const int ranks = argc > 3 ? std::atoi(argv[3]) : 4;
+
+    if (cmd == "census") {
+      return with_plain_graph_from_file(path, ranks, [](comm::communicator& c, auto& g) {
+        const auto s = g.census();
+        if (c.rank0()) {
+          std::printf("|V| %llu  |E|(directed) %llu  dmax %llu  dmax+ %llu  |W+| %llu\n",
+                      (unsigned long long)s.num_vertices,
+                      (unsigned long long)s.num_directed_edges,
+                      (unsigned long long)s.max_degree,
+                      (unsigned long long)s.max_out_degree,
+                      (unsigned long long)s.wedge_checks);
+        }
+      });
+    }
+    if (cmd == "count") {
+      const auto mode = (argc > 4 && std::strcmp(argv[4], "push_only") == 0)
+                            ? tripoll::survey_mode::push_only
+                            : tripoll::survey_mode::push_pull;
+      return with_plain_graph_from_file(path, ranks,
+                                        [mode](comm::communicator& c, auto& g) {
+        cb::count_context ctx;
+        const auto r = tripoll::triangle_survey(g, cb::count_callback{}, ctx, {mode});
+        const auto n = ctx.global_count(c);
+        if (c.rank0()) {
+          std::printf("triangles %llu  time %.3fs  volume %.2f MB  pulls %llu\n",
+                      (unsigned long long)n, r.total.seconds,
+                      static_cast<double>(r.total.volume_bytes) / 1e6,
+                      (unsigned long long)r.pulls_granted);
+        }
+      });
+    }
+    if (cmd == "approx") {
+      const auto samples =
+          argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 100000ull;
+      return with_plain_graph_from_file(path, 4,
+                                        [samples](comm::communicator& c, auto& g) {
+        const auto r = tripoll::baselines::approx_triangle_count(c, g, samples);
+        if (c.rank0()) {
+          std::printf("estimate %.0f  (samples %llu, closed %llu, |W+| %llu, %.3fs)\n",
+                      r.estimate, (unsigned long long)r.samples,
+                      (unsigned long long)r.closed,
+                      (unsigned long long)r.total_wedges, r.seconds);
+        }
+      });
+    }
+    if (cmd == "clustering") {
+      return with_plain_graph_from_file(path, ranks, [](comm::communicator& c, auto& g) {
+        const auto s = ta::clustering_coefficients(g);
+        if (c.rank0()) {
+          std::printf("triangles %llu  transitivity %.4f  avg local cc %.4f  "
+                      "(over %llu vertices with d>=2)\n",
+                      (unsigned long long)s.triangles, s.transitivity,
+                      s.average_local_cc, (unsigned long long)s.eligible_vertices);
+        }
+      });
+    }
+    if (cmd == "closure") {
+      comm::runtime::run(ranks, [&](comm::communicator& c) {
+        graph::graph_builder<graph::none, std::uint64_t, graph::merge::keep_least>
+            builder(c);
+        graph::read_edge_list(c, path, [&](const graph::parsed_edge& e) {
+          builder.add_edge(e.u, e.v, e.weight.value_or(0));
+        });
+        graph::dodgr<graph::none, std::uint64_t> g(c);
+        builder.build_into(g);
+        comm::counting_set<cb::closure_bin> counters(c);
+        cb::closure_time_context ctx{&counters};
+        tripoll::triangle_survey(g, cb::closure_time_callback{}, ctx);
+        counters.finalize();
+        auto joint = counters.gather_all();
+        if (c.rank0()) {
+          std::map<std::uint32_t, std::uint64_t> close_marginal;
+          for (const auto& [bin, n] : joint) close_marginal[bin.second] += n;
+          for (const auto& [bin, n] : close_marginal) {
+            std::printf("close 2^%-2u  %llu\n", bin, (unsigned long long)n);
+          }
+        }
+      });
+      return 0;
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
