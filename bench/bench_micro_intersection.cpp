@@ -1,11 +1,17 @@
-// bench_micro_intersection -- microbenchmark of the three adjacency
-// intersection strategies the distributed-TC literature uses (Sec. 2:
-// binary search, merge-path, hashing) and that back the survey engine's
-// wedge-closing step.
+// bench_micro_intersection -- microbenchmark of the adjacency intersection
+// strategies the distributed-TC literature uses (Sec. 2: binary search,
+// merge-path, hashing) plus the galloping and adaptive kernels that back
+// the survey engine's wedge-closing step.
 //
 // Expected shape: merge-path wins when |A| ~ |B| (the survey's common
-// case: suffix vs adjacency of similar degree class); binary search wins
-// when |A| << |B|; hashing pays off only when the build cost amortizes.
+// case: suffix vs adjacency of similar degree class); galloping/binary
+// search win when |A| << |B| (short suffix meeting a hub vertex); hashing
+// pays off only when the build cost amortizes.  The adaptive kernel --
+// what the survey engine actually calls -- should track the best of
+// merge-path and galloping across all shapes.
+//
+// Run with --quick (or TRIPOLL_BENCH_QUICK=1) for the CI smoke: small
+// sizes, short measurement windows, same benchmark names.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -13,6 +19,7 @@
 #include <random>
 #include <vector>
 
+#include "bench_micro_main.hpp"
 #include "core/intersect.hpp"
 
 namespace {
@@ -29,49 +36,68 @@ std::vector<std::uint64_t> sorted_random(std::size_t n, std::uint64_t universe,
 
 constexpr auto kIdentity = [](std::uint64_t x) { return x; };
 
-void BM_MergePath(benchmark::State& state) {
+template <typename Kernel>
+void run_kernel(benchmark::State& state, Kernel&& kernel, bool count_both) {
   const auto a = sorted_random(static_cast<std::size_t>(state.range(0)), 1 << 20, 1);
   const auto b = sorted_random(static_cast<std::size_t>(state.range(1)), 1 << 20, 2);
   for (auto _ : state) {
     std::uint64_t hits = 0;
-    tripoll::core::merge_path_intersect(a.begin(), a.end(), b.begin(), b.end(),
-                                        kIdentity, kIdentity,
-                                        [&](auto, auto) { ++hits; });
+    kernel(a.begin(), a.end(), b.begin(), b.end(), kIdentity, kIdentity,
+           [&](auto, auto) { ++hits; });
     benchmark::DoNotOptimize(hits);
   }
   state.SetItemsProcessed(state.iterations() *
-                          static_cast<std::int64_t>(a.size() + b.size()));
+                          static_cast<std::int64_t>(count_both ? a.size() + b.size()
+                                                               : a.size()));
 }
-BENCHMARK(BM_MergePath)->Args({64, 64})->Args({64, 4096})->Args({4096, 4096})->Args({16, 65536});
+
+void BM_MergePath(benchmark::State& state) {
+  run_kernel(state, [](auto... args) { tripoll::core::merge_path_intersect(args...); },
+             /*count_both=*/true);
+}
 
 void BM_BinarySearch(benchmark::State& state) {
-  const auto a = sorted_random(static_cast<std::size_t>(state.range(0)), 1 << 20, 1);
-  const auto b = sorted_random(static_cast<std::size_t>(state.range(1)), 1 << 20, 2);
-  for (auto _ : state) {
-    std::uint64_t hits = 0;
-    tripoll::core::binary_search_intersect(a.begin(), a.end(), b.begin(), b.end(),
-                                           kIdentity, kIdentity,
-                                           [&](auto, auto) { ++hits; });
-    benchmark::DoNotOptimize(hits);
-  }
-  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(a.size()));
+  run_kernel(state, [](auto... args) { tripoll::core::binary_search_intersect(args...); },
+             /*count_both=*/false);
 }
-BENCHMARK(BM_BinarySearch)->Args({64, 64})->Args({64, 4096})->Args({4096, 4096})->Args({16, 65536});
 
 void BM_Hash(benchmark::State& state) {
-  const auto a = sorted_random(static_cast<std::size_t>(state.range(0)), 1 << 20, 1);
-  const auto b = sorted_random(static_cast<std::size_t>(state.range(1)), 1 << 20, 2);
-  for (auto _ : state) {
-    std::uint64_t hits = 0;
-    tripoll::core::hash_intersect(a.begin(), a.end(), b.begin(), b.end(), kIdentity,
-                                  kIdentity, [&](auto, auto) { ++hits; });
-    benchmark::DoNotOptimize(hits);
-  }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<std::int64_t>(a.size() + b.size()));
+  run_kernel(state, [](auto... args) { tripoll::core::hash_intersect(args...); },
+             /*count_both=*/true);
 }
-BENCHMARK(BM_Hash)->Args({64, 64})->Args({64, 4096})->Args({4096, 4096})->Args({16, 65536});
+
+void BM_Gallop(benchmark::State& state) {
+  run_kernel(state, [](auto... args) { tripoll::core::gallop_intersect(args...); },
+             /*count_both=*/false);
+}
+
+// The kernel the survey engine calls at both wedge-closing sites.
+void BM_Adaptive(benchmark::State& state) {
+  run_kernel(state, [](auto... args) { tripoll::core::adaptive_intersect(args...); },
+             /*count_both=*/true);
+}
+
+void register_benchmarks(bool quick) {
+  const double min_time = quick ? 0.02 : 0.5;
+  using args_t = std::vector<std::pair<std::int64_t, std::int64_t>>;
+  const args_t shapes = quick
+                            ? args_t{{64, 64}, {64, 4096}, {16, 65536}}
+                            : args_t{{64, 64}, {64, 4096}, {4096, 4096}, {16, 65536}};
+  const std::vector<std::pair<const char*, void (*)(benchmark::State&)>> kernels = {
+      {"BM_MergePath", BM_MergePath}, {"BM_BinarySearch", BM_BinarySearch},
+      {"BM_Hash", BM_Hash},           {"BM_Gallop", BM_Gallop},
+      {"BM_Adaptive", BM_Adaptive},
+  };
+  for (const auto& [name, fn] : kernels) {
+    for (const auto& [na, nb] : shapes) {
+      benchmark::RegisterBenchmark(name, fn)->Args({na, nb})->MinTime(min_time);
+    }
+  }
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return tripoll::bench::run_micro_benchmark(
+      argc, argv, [](bool quick) { register_benchmarks(quick); });
+}

@@ -1,0 +1,24 @@
+// bench_micro_main.hpp -- shared entry point for the Google-Benchmark-based
+// micro benches: strips the --quick flag (see bench_util.hpp), registers the
+// bench's cases for the chosen mode, then hands argv to the benchmark
+// library.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+namespace tripoll::bench {
+
+template <typename RegisterFn>
+int run_micro_benchmark(int argc, char** argv, RegisterFn&& register_benchmarks) {
+  const bool quick = quick_mode(argc, argv);
+  register_benchmarks(quick);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace tripoll::bench

@@ -1,6 +1,10 @@
 // bench_micro_serialization -- microbenchmark of the cereal stand-in
 // (supporting Sec. 4.1.2: serialization cost is "a small amount of
-// computing overhead").
+// computing overhead") and of the buffer pool that recycles transport
+// payload storage.
+//
+// Run with --quick (or TRIPOLL_BENCH_QUICK=1) for the CI smoke: small
+// sizes, short measurement windows, same benchmark names.
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
@@ -8,6 +12,7 @@
 #include <tuple>
 #include <vector>
 
+#include "bench_micro_main.hpp"
 #include "serial/buffer.hpp"
 #include "serial/serialize.hpp"
 
@@ -25,7 +30,6 @@ void BM_PackU64(benchmark::State& state) {
   }
   state.SetBytesProcessed(state.iterations() * 1024 * sizeof(v));
 }
-BENCHMARK(BM_PackU64);
 
 void BM_PackString(benchmark::State& state) {
   ts::byte_buffer buf(1 << 20);
@@ -37,7 +41,6 @@ void BM_PackString(benchmark::State& state) {
   }
   state.SetBytesProcessed(state.iterations() * 256 * static_cast<std::int64_t>(s.size()));
 }
-BENCHMARK(BM_PackString)->Arg(8)->Arg(64)->Arg(1024);
 
 void BM_PackVectorPod(benchmark::State& state) {
   ts::byte_buffer buf(1 << 22);
@@ -49,7 +52,6 @@ void BM_PackVectorPod(benchmark::State& state) {
   }
   state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(v.size()) * 8);
 }
-BENCHMARK(BM_PackVectorPod)->Arg(64)->Arg(4096)->Arg(262144);
 
 void BM_RoundtripWedgeMessage(benchmark::State& state) {
   // The hot message of a survey: (handle, q, p, meta, meta, candidates).
@@ -72,7 +74,6 @@ void BM_RoundtripWedgeMessage(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() *
                           static_cast<std::int64_t>(suffix.size()) * 16);
 }
-BENCHMARK(BM_RoundtripWedgeMessage)->Arg(4)->Arg(64)->Arg(1024);
 
 void BM_UnpackString(benchmark::State& state) {
   ts::byte_buffer buf;
@@ -86,7 +87,6 @@ void BM_UnpackString(benchmark::State& state) {
   }
   state.SetBytesProcessed(state.iterations() * 256 * static_cast<std::int64_t>(s.size()));
 }
-BENCHMARK(BM_UnpackString)->Arg(8)->Arg(64)->Arg(1024);
 
 void BM_Varint(benchmark::State& state) {
   ts::byte_buffer buf;
@@ -101,8 +101,74 @@ void BM_Varint(benchmark::State& state) {
     benchmark::DoNotOptimize(sum);
   }
 }
-BENCHMARK(BM_Varint);
+
+// The payload-storage cycle of the transport hot path: flush hands a buffer
+// away, drain recycles one back.  Pooled steady state performs no
+// allocations; the fresh variant allocates and frees every cycle.
+void BM_BufferCyclePooled(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  ts::buffer_pool pool(16);
+  const std::uint64_t fill = 0x5555AAAA5555AAAAull;
+  for (auto _ : state) {
+    ts::byte_buffer buf = pool.acquire(bytes);
+    for (std::size_t n = 0; n < bytes; n += sizeof(fill)) buf.append(&fill, sizeof(fill));
+    benchmark::DoNotOptimize(buf.data());
+    pool.recycle(std::move(buf));
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(bytes));
+}
+
+void BM_BufferCycleFresh(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  const std::uint64_t fill = 0x5555AAAA5555AAAAull;
+  for (auto _ : state) {
+    ts::byte_buffer buf(bytes);
+    for (std::size_t n = 0; n < bytes; n += sizeof(fill)) buf.append(&fill, sizeof(fill));
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(bytes));
+}
+
+void register_benchmarks(bool quick) {
+  const double min_time = quick ? 0.02 : 0.5;
+  auto tune = [&](benchmark::internal::Benchmark* b) { b->MinTime(min_time); };
+
+  tune(benchmark::RegisterBenchmark("BM_PackU64", BM_PackU64));
+
+  const std::vector<std::int64_t> string_sizes =
+      quick ? std::vector<std::int64_t>{8, 64} : std::vector<std::int64_t>{8, 64, 1024};
+  for (auto n : string_sizes) {
+    tune(benchmark::RegisterBenchmark("BM_PackString", BM_PackString)->Arg(n));
+    tune(benchmark::RegisterBenchmark("BM_UnpackString", BM_UnpackString)->Arg(n));
+  }
+
+  const std::vector<std::int64_t> pod_sizes =
+      quick ? std::vector<std::int64_t>{64, 4096}
+            : std::vector<std::int64_t>{64, 4096, 262144};
+  for (auto n : pod_sizes) {
+    tune(benchmark::RegisterBenchmark("BM_PackVectorPod", BM_PackVectorPod)->Arg(n));
+  }
+
+  const std::vector<std::int64_t> wedge_sizes =
+      quick ? std::vector<std::int64_t>{4, 64} : std::vector<std::int64_t>{4, 64, 1024};
+  for (auto n : wedge_sizes) {
+    tune(benchmark::RegisterBenchmark("BM_RoundtripWedgeMessage", BM_RoundtripWedgeMessage)
+             ->Arg(n));
+  }
+
+  tune(benchmark::RegisterBenchmark("BM_Varint", BM_Varint));
+
+  const std::vector<std::int64_t> cycle_sizes =
+      quick ? std::vector<std::int64_t>{4096} : std::vector<std::int64_t>{4096, 65536};
+  for (auto n : cycle_sizes) {
+    tune(benchmark::RegisterBenchmark("BM_BufferCyclePooled", BM_BufferCyclePooled)->Arg(n));
+    tune(benchmark::RegisterBenchmark("BM_BufferCycleFresh", BM_BufferCycleFresh)->Arg(n));
+  }
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return tripoll::bench::run_micro_benchmark(
+      argc, argv, [](bool quick) { register_benchmarks(quick); });
+}

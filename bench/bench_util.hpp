@@ -11,8 +11,30 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <string_view>
 
 namespace tripoll::bench {
+
+/// CI smoke mode for the micro benches: small problem sizes and short
+/// measurement windows (seconds, not minutes).  Enabled by a `--quick`
+/// argument (stripped from argv so Google Benchmark never sees it) or the
+/// TRIPOLL_BENCH_QUICK environment variable.
+[[nodiscard]] inline bool quick_mode(int& argc, char** argv) {
+  bool quick = false;
+  if (const char* s = std::getenv("TRIPOLL_BENCH_QUICK")) {
+    quick = s[0] != '\0' && s[0] != '0';
+  }
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--quick") {
+      quick = true;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  return quick;
+}
 
 /// Scale adjustment for every bench: TRIPOLL_BENCH_SCALE_DELTA shifts all
 /// graph sizes by a power of two (negative = faster runs).

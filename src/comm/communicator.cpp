@@ -9,21 +9,37 @@ namespace tripoll::comm {
 void communicator::drain(std::size_t max_buffers) {
   if (in_drain_) return;
   in_drain_ = true;
+  // Resolve the dispatch table once for the whole drain: dispatch is then an
+  // indexed load off `thunks`.  `published` can lag a concurrent
+  // registration on another rank, so an id past it re-checks via the slow
+  // path (which reloads the count) before declaring the buffer corrupt.
+  auto& table = detail::thunk_table::instance();
+  const detail::thunk_fn* thunks = table.base();
+  std::uint32_t published = table.published();
   mailbox::envelope env;
   std::size_t processed = 0;
+  auto& counters = transport_->counters(rank_);
   while (processed < max_buffers && transport_->try_receive(rank_, env)) {
     serial::buffer_reader rd(env.payload.data(), env.payload.size());
     serial::reader ar(rd);
-    auto& counters = transport_->counters(rank_);
+    std::uint64_t handlers = 0;
     while (!rd.exhausted()) {
       const auto handler = static_cast<std::uint32_t>(ar.read_varint());
-      detail::thunk_table::instance().lookup(handler)(*this, rd);
-      counters.handlers_run.fetch_add(1, std::memory_order_relaxed);
+      if (handler >= published) [[unlikely]] {
+        (void)table.lookup(handler);  // throws if genuinely unknown
+        published = table.published();
+      }
+      thunks[handler](*this, rd);
+      ++handlers;
     }
+    counters.handlers_run.fetch_add(handlers, std::memory_order_relaxed);
     // Only acknowledge after every handler inside the buffer has run; any
     // sends they performed sit in our send buffers and will be flushed
     // before this rank can declare itself idle again.
     transport_->acknowledge_processed();
+    // The payload's storage block joins this rank's pool and backs a future
+    // outbound buffer; pools redistribute blocks across ranks.
+    pool_.recycle(std::move(env.payload));
     ++processed;
   }
   in_drain_ = false;
@@ -42,6 +58,7 @@ void communicator::backoff(unsigned& spins) {
 
 void communicator::barrier() {
   transport_->throw_if_aborted();
+  decay_flush_thresholds();
   flush_all();
   drain(SIZE_MAX);
   flush_all();  // handlers executed in the drain may have buffered new sends

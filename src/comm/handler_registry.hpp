@@ -8,12 +8,14 @@
 // because all ranks share the process.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <stdexcept>
 #include <tuple>
 #include <type_traits>
 #include <utility>
-#include <vector>
 
 #include "serial/buffer.hpp"
 #include "serial/serialize.hpp"
@@ -28,10 +30,20 @@ namespace detail {
 /// destination rank.  `c` is the destination rank's communicator.
 using thunk_fn = void (*)(communicator& c, serial::buffer_reader& rd);
 
-/// Global thunk table (append-only, mutex-guarded registration; lock-free
-/// lookup since entries are never moved after publication).
+/// Global thunk table: a dense, fixed-capacity function-pointer array.
+/// Registration (mutex-guarded, once per (Handler, Args...) instantiation)
+/// publishes the entry with a release store on the count; dispatch is a
+/// single indexed load with no lock and no branchy container machinery --
+/// the drain loop resolves the table base once per buffer and indexes it
+/// per message.
 class thunk_table {
  public:
+  /// Distinct (Handler, Args...) instantiations a process may register.
+  /// Each costs one registration, so 4096 is far beyond any real workload;
+  /// the fixed capacity is what makes lock-free lookup trivially safe
+  /// (entries never move).
+  static constexpr std::uint32_t kMaxThunks = 4096;
+
   static thunk_table& instance() {
     static thunk_table t;
     return t;
@@ -39,20 +51,36 @@ class thunk_table {
 
   std::uint32_t register_thunk(thunk_fn fn) {
     const std::lock_guard lock(mutex_);
-    thunks_.push_back(fn);
-    return static_cast<std::uint32_t>(thunks_.size() - 1);
+    const std::uint32_t id = count_.load(std::memory_order_relaxed);
+    if (id >= kMaxThunks) {
+      throw std::runtime_error("thunk_table: too many distinct RPC handler types");
+    }
+    table_[id] = fn;
+    count_.store(id + 1, std::memory_order_release);
+    return id;
   }
 
+  /// Lock-free dispatch lookup.  An id at or past the published count is a
+  /// corrupted buffer (ids only travel after registration completed).
   [[nodiscard]] thunk_fn lookup(std::uint32_t id) const {
-    // Safe without the lock: ids are only handed out after the push_back
-    // completes, and the deque-backed storage never invalidates entries.
-    const std::lock_guard lock(mutex_);
-    return thunks_.at(id);
+    if (id >= count_.load(std::memory_order_acquire)) {
+      throw std::out_of_range("thunk_table: unknown handler id");
+    }
+    return table_[id];
+  }
+
+  /// Table base + published count for tight dispatch loops: validate ids
+  /// against `published` and index `base` directly.
+  [[nodiscard]] const thunk_fn* base() const noexcept { return table_.data(); }
+
+  [[nodiscard]] std::uint32_t published() const noexcept {
+    return count_.load(std::memory_order_acquire);
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<thunk_fn> thunks_;
+  std::array<thunk_fn, kMaxThunks> table_{};
+  std::atomic<std::uint32_t> count_{0};
+  std::mutex mutex_;
 };
 
 template <typename Handler, typename ArgsTuple>

@@ -5,7 +5,8 @@
 #include <cstddef>
 #include <deque>
 #include <mutex>
-#include <vector>
+
+#include "serial/buffer.hpp"
 
 namespace tripoll::comm {
 
@@ -13,10 +14,10 @@ namespace tripoll::comm {
 /// any rank (under the mutex); the consumer is the owning rank's thread.
 class mailbox {
  public:
-  /// Buffer plus the number of logical RPC messages it contains (used for
-  /// accounting; the payload itself is self-describing).
+  /// A flushed transport buffer and its source rank.  The payload's storage
+  /// block is pool-recycled by the consumer after draining.
   struct envelope {
-    std::vector<std::byte> payload;
+    serial::byte_buffer payload;
     int source = 0;
   };
 

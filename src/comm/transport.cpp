@@ -12,7 +12,7 @@ transport::transport(int nranks, config cfg)
   if (nranks <= 0) throw std::invalid_argument("transport: nranks must be positive");
 }
 
-void transport::deliver(int src, int dst, std::vector<std::byte> payload,
+void transport::deliver(int src, int dst, serial::byte_buffer payload,
                         std::uint64_t n_messages) {
   auto& c = counters(src);
   if (src == dst) {

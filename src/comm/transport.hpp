@@ -40,7 +40,7 @@ class transport {
 
   /// Deliver a flushed buffer from `src` to `dst`.  `n_messages` is the
   /// number of logical RPCs inside (for stats only).
-  void deliver(int src, int dst, std::vector<std::byte> payload,
+  void deliver(int src, int dst, serial::byte_buffer payload,
                std::uint64_t n_messages);
 
   /// Non-blocking receive for rank `rank`.

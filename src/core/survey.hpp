@@ -263,7 +263,10 @@ class survey_engine {
       self& eng = c.resolve(h);
       const record_type* rec_q = eng.graph_->local_find(q);
       assert(rec_q != nullptr);
-      core::merge_path_intersect(
+      // Adaptive kernel: a short pushed suffix meeting a hub's long list
+      // gallops instead of scanning (degeneracy-ordering insight from
+      // Pashanasangi & Seshadhri; see core/intersect.hpp).
+      core::adaptive_intersect(
           candidates.begin(), candidates.end(), rec_q->adj.begin(), rec_q->adj.end(),
           [](const candidate_type& cand) { return cand.key(); },
           [](const entry_type& e) { return e.key(); },
@@ -371,7 +374,7 @@ class survey_engine {
         assert(rec_p != nullptr);
         const entry_type& q_entry = rec_p->adj[i];
         eng.local_candidates_ += rec_p->adj.size() - i - 1;
-        core::merge_path_intersect(
+        core::adaptive_intersect(
             rec_p->adj.begin() + static_cast<std::ptrdiff_t>(i) + 1, rec_p->adj.end(),
             entries.begin(), entries.end(),
             [](const entry_type& e) { return e.key(); },

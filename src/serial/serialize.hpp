@@ -18,8 +18,11 @@
 #pragma once
 
 #include <array>
+#include <compare>
 #include <concepts>
 #include <cstdint>
+#include <cstring>
+#include <iterator>
 #include <map>
 #include <optional>
 #include <set>
@@ -47,6 +50,68 @@ namespace detail {
 template <typename T>
 concept bitwise = std::is_trivially_copyable_v<T> && !std::is_pointer_v<T>;
 
+/// Random-access iterator that materializes T values out of a raw
+/// (possibly unaligned -- payload fields sit behind varints) byte stream
+/// via memcpy.  Lets vector::assign copy-construct elements straight from
+/// wire bytes with no value-initialization pass and no aliasing/alignment
+/// UB; compilers collapse the per-element memcpy into a vectorized copy.
+template <typename T>
+class raw_read_iterator {
+ public:
+  using iterator_category = std::random_access_iterator_tag;
+  using value_type = T;
+  using difference_type = std::ptrdiff_t;
+  using pointer = const T*;
+  using reference = T;
+
+  raw_read_iterator() = default;
+  explicit raw_read_iterator(const std::byte* p) noexcept : p_(p) {}
+
+  [[nodiscard]] T operator*() const noexcept {
+    T t;
+    std::memcpy(&t, p_, sizeof(T));
+    return t;
+  }
+
+  [[nodiscard]] T operator[](difference_type n) const noexcept { return *(*this + n); }
+
+  raw_read_iterator& operator++() noexcept { p_ += sizeof(T); return *this; }
+  raw_read_iterator operator++(int) noexcept { auto t = *this; ++*this; return t; }
+  raw_read_iterator& operator--() noexcept { p_ -= sizeof(T); return *this; }
+  raw_read_iterator operator--(int) noexcept { auto t = *this; --*this; return t; }
+  raw_read_iterator& operator+=(difference_type n) noexcept {
+    p_ += n * static_cast<difference_type>(sizeof(T));
+    return *this;
+  }
+  raw_read_iterator& operator-=(difference_type n) noexcept { return *this += -n; }
+  [[nodiscard]] raw_read_iterator operator+(difference_type n) const noexcept {
+    auto t = *this;
+    return t += n;
+  }
+  [[nodiscard]] friend raw_read_iterator operator+(difference_type n,
+                                                   raw_read_iterator it) noexcept {
+    return it + n;
+  }
+  [[nodiscard]] raw_read_iterator operator-(difference_type n) const noexcept {
+    auto t = *this;
+    return t -= n;
+  }
+  [[nodiscard]] difference_type operator-(raw_read_iterator o) const noexcept {
+    return (p_ - o.p_) / static_cast<difference_type>(sizeof(T));
+  }
+  [[nodiscard]] bool operator==(const raw_read_iterator&) const = default;
+  [[nodiscard]] auto operator<=>(const raw_read_iterator&) const = default;
+
+ private:
+  const std::byte* p_ = nullptr;
+};
+
+// The by-value reference means the Cpp17 random-access tag is a pragmatic
+// overstatement (Cpp17ForwardIterator wants a true reference), advertised so
+// vector::assign precomputes the distance and allocates once on mainstream
+// standard libraries; the C++20 iterator concept is genuinely satisfied.
+static_assert(std::random_access_iterator<raw_read_iterator<std::uint64_t>>);
+
 template <typename T>
 concept has_member_serialize_w =
     requires(T& t, writer& a) { t.serialize(a); };
@@ -68,14 +133,17 @@ class writer {
   }
 
   /// Varint (LEB128) encoding for sizes; small values take one byte.
+  /// Bytes are stored straight into the sink through prepare()/commit():
+  /// one capacity check per varint, no intermediate copies.
   void write_varint(std::uint64_t v) {
+    std::byte* out = sink_->prepare(10);  // 64 bits / 7 bits-per-byte, rounded up
+    std::size_t n = 0;
     while (v >= 0x80) {
-      const auto byte = static_cast<std::uint8_t>((v & 0x7F) | 0x80);
-      sink_->append(&byte, 1);
+      out[n++] = static_cast<std::byte>((v & 0x7F) | 0x80);
       v >>= 7;
     }
-    const auto byte = static_cast<std::uint8_t>(v);
-    sink_->append(&byte, 1);
+    out[n++] = static_cast<std::byte>(v);
+    sink_->commit(n);
   }
 
   void write_raw(const void* data, std::size_t n) { sink_->append(data, n); }
@@ -99,18 +167,25 @@ class reader {
     (read_one(values), ...);
   }
 
+  /// Varint decode against the raw cursor: one bounds condition on the
+  /// bytes remaining instead of a checked single-byte read per byte.
   [[nodiscard]] std::uint64_t read_varint() {
+    const std::byte* p = source_->cursor();
+    const std::size_t limit = source_->remaining();
     std::uint64_t v = 0;
     int shift = 0;
-    while (true) {
-      std::uint8_t byte = 0;
-      source_->read(&byte, 1);
+    std::size_t i = 0;
+    while (i < limit) {
+      const auto byte = static_cast<std::uint8_t>(p[i++]);
       v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
-      if ((byte & 0x80) == 0) break;
+      if ((byte & 0x80) == 0) {
+        source_->advance(i);
+        return v;
+      }
       shift += 7;
       if (shift >= 64) throw deserialize_error("varint too long");
     }
-    return v;
+    throw deserialize_error("buffer_reader: read past end of buffer");
   }
 
   void read_raw(void* dst, std::size_t n) { source_->read(dst, n); }
@@ -172,8 +247,19 @@ struct serialize_traits<std::string> {
   }
   static void read(reader& ar, std::string& s) {
     const auto n = ar.read_varint();
-    s.resize(n);
-    ar.read_raw(s.data(), n);
+    // take() bounds-checks against the remaining bytes.  Shrinking resize +
+    // memcpy touches each byte once; only a growing destination goes
+    // through assign() (which also avoids the value-initialization a
+    // grow-resize would pay).
+    const auto bytes = ar.source().take(n);
+    if (n == 0) {
+      s.clear();
+    } else if (n <= s.size()) {
+      s.resize(n);
+      std::memcpy(s.data(), bytes.data(), n);
+    } else {
+      s.assign(reinterpret_cast<const char*>(bytes.data()), n);
+    }
   }
 };
 
@@ -198,11 +284,27 @@ struct serialize_traits<std::vector<T, Alloc>> {
   }
   static void read(reader& ar, std::vector<T, Alloc>& v) {
     const auto n = ar.read_varint();
-    v.clear();
     if constexpr (detail::bitwise<T>) {
-      v.resize(n);
-      ar.read_raw(v.data(), n * sizeof(T));
+      // Guard n*sizeof(T) against wrap before trusting the length prefix.
+      if (n > ar.source().remaining() / sizeof(T)) {
+        throw deserialize_error("vector length prefix exceeds buffer");
+      }
+      const auto bytes = ar.source().take(n * sizeof(T));
+      if (n == 0) {
+        v.clear();
+      } else if (n <= v.size()) {
+        // Shrinking resize destroys (trivially) without initializing.
+        v.resize(n);
+        std::memcpy(v.data(), bytes.data(), n * sizeof(T));
+      } else {
+        // assign() through the memcpy-ing iterator copy-constructs straight
+        // from wire bytes -- no value-initialization pass, unlike a growing
+        // resize()+memcpy.
+        v.assign(detail::raw_read_iterator<T>(bytes.data()),
+                 detail::raw_read_iterator<T>(bytes.data() + n * sizeof(T)));
+      }
     } else {
+      v.clear();
       v.reserve(n);
       for (std::uint64_t i = 0; i < n; ++i) {
         ar(v.emplace_back());

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <numeric>
 #include <stdexcept>
 #include <string>
@@ -258,6 +259,164 @@ TEST(Stats, BufferingAggregatesMessages) {
       cfg);
   EXPECT_GE(stats.messages_sent, 1000u);
   EXPECT_LE(stats.buffers_sent, 20u);  // ~1000 tiny messages in a handful of flushes
+}
+
+// --- coalescing: watermarks, adaptivity, pooling, drain order ---------------
+
+namespace {
+
+struct seq_tally {
+  std::map<int, std::vector<std::uint64_t>> by_source;
+};
+
+struct seq_handler {
+  void operator()(tc::communicator& c, tc::dist_handle<seq_tally> h, int from,
+                  std::uint64_t seq) {
+    c.resolve(h).by_source[from].push_back(seq);
+  }
+};
+
+}  // namespace
+
+TEST(Flush, MessageWatermarkBoundsCoalescing) {
+  // With an effectively infinite byte threshold, the message-count watermark
+  // must still force flushes.
+  tc::config cfg;
+  cfg.buffer_capacity = 8 * 1024 * 1024;
+  cfg.adaptive_flush = false;  // pin byte threshold to buffer_capacity
+  cfg.flush_message_watermark = 8;
+  auto stats = tc::runtime::run(
+      2,
+      [](tc::communicator& c) {
+        if (c.rank0()) {
+          for (int i = 0; i < 100; ++i) c.async(1, bump_counter{}, std::uint64_t{1});
+        }
+        c.barrier();
+      },
+      cfg);
+  EXPECT_GE(stats.messages_sent, 100u);
+  // 100 messages at watermark 8 = 12 watermark flushes + the barrier flush.
+  EXPECT_GE(stats.buffers_sent, 12u);
+}
+
+TEST(Flush, AdaptiveThresholdGrowsUnderLoadAndDecaysAtBarriers) {
+  tc::config cfg;
+  cfg.buffer_capacity = 16 * 1024;
+  cfg.flush_min_bytes = 256;
+  cfg.adaptive_flush = true;
+  tc::runtime::run(
+      2,
+      [&](tc::communicator& c) {
+        EXPECT_EQ(c.flush_threshold(1), 256u);
+        if (c.rank0()) {
+          // ~160 KB of traffic: enough byte-watermark flushes to double the
+          // threshold up to the ceiling.
+          for (int i = 0; i < 20000; ++i) c.async(1, bump_counter{}, std::uint64_t{1});
+          EXPECT_EQ(c.flush_threshold(1), cfg.buffer_capacity);
+        }
+        c.barrier();
+        if (c.rank0()) {
+          // decay_flush_thresholds() halved it on barrier entry.
+          EXPECT_LT(c.flush_threshold(1), cfg.buffer_capacity);
+          for (int i = 0; i < 10; ++i) c.barrier();
+          EXPECT_EQ(c.flush_threshold(1), 256u);  // back at the floor
+        } else {
+          for (int i = 0; i < 10; ++i) c.barrier();
+        }
+      },
+      cfg);
+}
+
+TEST(Flush, FixedThresholdWhenAdaptiveDisabled) {
+  tc::config cfg;
+  cfg.buffer_capacity = 4096;
+  cfg.adaptive_flush = false;
+  tc::runtime::run(
+      2,
+      [&](tc::communicator& c) {
+        EXPECT_EQ(c.flush_threshold(0), 4096u);
+        if (c.rank0()) {
+          for (int i = 0; i < 5000; ++i) c.async(1, bump_counter{}, std::uint64_t{1});
+          EXPECT_EQ(c.flush_threshold(1), 4096u);  // never moves
+        }
+        c.barrier();
+        EXPECT_EQ(c.flush_threshold(0), 4096u);
+      },
+      cfg);
+}
+
+TEST(Pool, PayloadStorageIsRecycledAcrossRanks) {
+  // Rank 0 floods rank 1; the drained payload blocks join rank 1's pool and
+  // back its replies, so rank 1's flushes hit the pool instead of malloc.
+  tc::config cfg;
+  cfg.buffer_capacity = 2048;
+  cfg.flush_min_bytes = 2048;
+  auto stats = tc::runtime::run(
+      2,
+      [](tc::communicator& c) {
+        if (c.rank0()) {
+          for (int i = 0; i < 2000; ++i) c.async(1, bump_counter{}, std::uint64_t{1});
+        }
+        c.barrier();
+        if (c.rank() == 1) {
+          for (int i = 0; i < 2000; ++i) c.async(0, bump_counter{}, std::uint64_t{1});
+          EXPECT_GT(c.pool().hits(), 0u);
+        }
+        c.barrier();
+      },
+      cfg);
+  EXPECT_GE(stats.handlers_run, 4000u);
+}
+
+TEST(Pool, DisabledByZeroTierCap) {
+  tc::config cfg;
+  cfg.buffer_capacity = 2048;
+  cfg.pool_buffers_per_tier = 0;
+  tc::runtime::run(
+      2,
+      [](tc::communicator& c) {
+        if (c.rank0()) {
+          for (int i = 0; i < 2000; ++i) c.async(1, bump_counter{}, std::uint64_t{1});
+        }
+        c.barrier();
+        c.async((c.rank() + 1) % c.size(), bump_counter{}, std::uint64_t{1});
+        c.barrier();
+        EXPECT_EQ(c.pool().hits(), 0u);
+        EXPECT_EQ(c.pool().recycled(), 0u);
+      },
+      cfg);
+}
+
+TEST(Drain, PerSourceOrderSurvivesInterleavedDelivery) {
+  // Buffers from many sources drain in arbitrary interleaving (tiny flush
+  // thresholds force many small buffers), but messages from any one source
+  // must be processed in send order.
+  tc::config cfg;
+  cfg.buffer_capacity = 64;
+  cfg.flush_min_bytes = 64;
+  const int n = 4;
+  const std::uint64_t per_rank = 500;
+  tc::runtime::run(
+      n,
+      [&](tc::communicator& c) {
+        seq_tally tally;
+        auto handle = c.register_object(tally);
+        c.barrier();
+        for (std::uint64_t s = 0; s < per_rank; ++s) {
+          c.async(0, seq_handler{}, handle, c.rank(), s);
+        }
+        c.barrier();
+        if (c.rank0()) {
+          ASSERT_EQ(tally.by_source.size(), static_cast<std::size_t>(n));
+          for (const auto& [from, seqs] : tally.by_source) {
+            ASSERT_EQ(seqs.size(), per_rank) << "source " << from;
+            for (std::uint64_t s = 0; s < per_rank; ++s) {
+              ASSERT_EQ(seqs[s], s) << "source " << from << " reordered at " << s;
+            }
+          }
+        }
+      },
+      cfg);
 }
 
 TEST(Abort, ExceptionPropagatesToCaller) {

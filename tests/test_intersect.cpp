@@ -1,5 +1,6 @@
-// Property tests for the three adjacency-intersection kernels: all must
-// produce identical match sets on arbitrary sorted inputs.
+// Property tests for the adjacency-intersection kernels: all must produce
+// identical match sets on arbitrary sorted inputs, including the galloping
+// and adaptive kernels backing the survey's wedge-closing step.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -84,10 +85,64 @@ TEST_P(IntersectProperty, AllKernelsAgreeWithReference) {
         collect([](auto... args) { core::binary_search_intersect(args...); }, a, b),
         want);
     EXPECT_EQ(collect([](auto... args) { core::hash_intersect(args...); }, a, b), want);
+    EXPECT_EQ(collect([](auto... args) { core::gallop_intersect(args...); }, a, b), want);
+    EXPECT_EQ(collect([](auto... args) { core::adaptive_intersect(args...); }, a, b),
+              want);
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, IntersectProperty, ::testing::Range(0, 10));
+
+TEST(Intersect, GallopEmptyAndSkewedShapes) {
+  const std::vector<std::uint64_t> empty;
+  const std::vector<std::uint64_t> some{1, 2, 3};
+  EXPECT_TRUE(
+      collect([](auto... args) { core::gallop_intersect(args...); }, empty, some).empty());
+  EXPECT_TRUE(
+      collect([](auto... args) { core::adaptive_intersect(args...); }, some, empty)
+          .empty());
+
+  // Shapes straddling the gallop_ratio_threshold in both directions: every
+  // kernel must agree on strongly skewed inputs, where adaptive switches
+  // strategy.
+  std::mt19937_64 rng(7);
+  for (const auto& [na, nb] : {std::pair<std::size_t, std::size_t>{5, 3000},
+                              {3000, 5},
+                              {1, 5000},
+                              {64, 64},
+                              {33, 511}}) {
+    const auto a = sorted_unique(rng, na, 4000);
+    const auto b = sorted_unique(rng, nb, 4000);
+    const auto want = reference(a, b);
+    EXPECT_EQ(collect([](auto... args) { core::gallop_intersect(args...); }, a, b), want);
+    EXPECT_EQ(collect([](auto... args) { core::adaptive_intersect(args...); }, a, b),
+              want);
+  }
+}
+
+TEST(Intersect, AdaptivePreservesArgumentOrderWhenSwapped) {
+  // na >> nb drives adaptive through the swapped-gallop branch; on_match
+  // must still observe (a_elem, b_elem) in that order.
+  struct lhs {
+    std::uint64_t id;
+    char tag;
+  };
+  struct rhs {
+    std::uint64_t id;
+    int weight;
+  };
+  std::vector<lhs> a;
+  for (std::uint64_t i = 0; i < 200; ++i) a.push_back(lhs{i, 'a'});
+  const std::vector<rhs> b{{50, 500}, {199, 1990}};
+  std::vector<std::pair<char, int>> matches;
+  core::adaptive_intersect(
+      a.begin(), a.end(), b.begin(), b.end(), [](const lhs& x) { return x.id; },
+      [](const rhs& y) { return y.id; },
+      [&](const lhs& x, const rhs& y) { matches.emplace_back(x.tag, y.weight); });
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0], (std::pair<char, int>{'a', 500}));
+  EXPECT_EQ(matches[1], (std::pair<char, int>{'a', 1990}));
+}
 
 TEST(Intersect, HeterogeneousElementTypesViaKeys) {
   // The survey intersects candidate structs against adjacency entries; the

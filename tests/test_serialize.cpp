@@ -43,6 +43,89 @@ TEST(ByteBuffer, ReleaseMovesStorage) {
   EXPECT_TRUE(buf.empty());
 }
 
+TEST(ByteBuffer, MoveTransfersStorage) {
+  ts::byte_buffer buf;
+  const char data[] = "xyz";
+  buf.append(data, 3);
+  const auto* p = buf.data();
+  ts::byte_buffer other(std::move(buf));
+  EXPECT_EQ(other.data(), p);
+  EXPECT_EQ(other.size(), 3u);
+  EXPECT_TRUE(buf.empty());  // NOLINT(bugprone-use-after-move): moved-from is empty
+  EXPECT_EQ(buf.capacity(), 0u);
+}
+
+TEST(ByteBuffer, ClearKeepsCapacity) {
+  ts::byte_buffer buf;
+  const std::uint64_t v = 1;
+  for (int i = 0; i < 100; ++i) buf.append(&v, sizeof(v));
+  const auto cap = buf.capacity();
+  EXPECT_GE(cap, 800u);
+  buf.clear();
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.capacity(), cap);
+}
+
+TEST(ByteBuffer, PrepareCommitWritesInPlace) {
+  ts::byte_buffer buf;
+  std::byte* p = buf.prepare(4);
+  p[0] = std::byte{1};
+  p[1] = std::byte{2};
+  buf.commit(2);
+  EXPECT_EQ(buf.size(), 2u);
+  EXPECT_EQ(buf.data()[1], std::byte{2});
+}
+
+// --- buffer pool -------------------------------------------------------------
+
+TEST(BufferPool, RecycledStorageIsReused) {
+  ts::buffer_pool pool(4);
+  ts::byte_buffer buf = pool.acquire(4096);
+  EXPECT_EQ(pool.misses(), 1u);
+  const std::uint64_t v = 42;
+  buf.append(&v, sizeof(v));
+  const auto* storage = buf.data();
+  pool.recycle(std::move(buf));
+  EXPECT_EQ(pool.recycled(), 1u);
+  EXPECT_EQ(pool.pooled_count(), 1u);
+
+  ts::byte_buffer again = pool.acquire(4096);
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(again.data(), storage);  // same block, no allocation
+  EXPECT_TRUE(again.empty());        // recycled buffers come back cleared
+}
+
+TEST(BufferPool, AcquireGrantsRequestedCapacity) {
+  ts::buffer_pool pool;
+  for (std::size_t want : {std::size_t{1}, std::size_t{600}, std::size_t{100000}}) {
+    EXPECT_GE(pool.acquire(want).capacity(), want);
+  }
+}
+
+TEST(BufferPool, TierCapDropsExcess) {
+  ts::buffer_pool pool(2);
+  for (int i = 0; i < 5; ++i) pool.recycle(ts::byte_buffer(4096));
+  EXPECT_EQ(pool.pooled_count(), 2u);
+}
+
+TEST(BufferPool, TinyAndHugeBlocksAreDropped) {
+  ts::buffer_pool pool(8);
+  pool.recycle(ts::byte_buffer{});     // no storage at all
+  pool.recycle(ts::byte_buffer(16));   // below the smallest tier
+  EXPECT_EQ(pool.pooled_count(), 0u);
+}
+
+TEST(BufferPool, TryReuseLeavesBufferAloneWhenEmpty) {
+  ts::buffer_pool pool;
+  ts::byte_buffer buf;
+  pool.try_reuse(buf, 4096);
+  EXPECT_EQ(buf.capacity(), 0u);  // pool empty: no allocation forced
+  pool.recycle(ts::byte_buffer(4096));
+  pool.try_reuse(buf, 4096);
+  EXPECT_GE(buf.capacity(), 4096u);
+  EXPECT_EQ(pool.hits(), 1u);
+}
+
 TEST(BufferReader, ReadPastEndThrows) {
   ts::byte_buffer buf;
   const std::uint32_t v = 7;
@@ -246,6 +329,51 @@ TEST(Varint, RoundtripBoundaries) {
   ts::buffer_reader rd(buf.view());
   ts::reader r(rd);
   for (auto v : values) EXPECT_EQ(r.read_varint(), v);
+  EXPECT_TRUE(rd.exhausted());
+}
+
+TEST(Serialize, VectorLengthPrefixBeyondBufferThrows) {
+  // A corrupted length prefix must be caught before any allocation, even
+  // when n * sizeof(T) wraps around.
+  ts::byte_buffer buf;
+  ts::writer w(buf);
+  w.write_varint(std::numeric_limits<std::uint64_t>::max());
+  ts::buffer_reader rd(buf.view());
+  std::vector<std::uint64_t> v;
+  EXPECT_THROW(ts::unpack(rd, v), ts::deserialize_error);
+}
+
+TEST(Serialize, StringLengthPrefixBeyondBufferThrows) {
+  ts::byte_buffer buf;
+  ts::writer w(buf);
+  w.write_varint(1000);  // promises 1000 bytes that never come
+  ts::buffer_reader rd(buf.view());
+  std::string s;
+  EXPECT_THROW(ts::unpack(rd, s), ts::deserialize_error);
+}
+
+TEST(Serialize, ReusedDestinationsShrinkAndGrow) {
+  // Deserializing into live destinations exercises both the shrink
+  // (resize+memcpy) and grow (assign) read paths.
+  ts::byte_buffer buf;
+  ts::pack(buf, std::string(100, 'a'), std::string(3, 'b'), std::string(200, 'c'));
+  ts::pack(buf, std::vector<std::uint32_t>(50, 5), std::vector<std::uint32_t>(2, 7),
+           std::vector<std::uint32_t>(80, 9));
+  ts::buffer_reader rd(buf.view());
+  std::string s;
+  ts::unpack(rd, s);
+  EXPECT_EQ(s, std::string(100, 'a'));
+  ts::unpack(rd, s);
+  EXPECT_EQ(s, std::string(3, 'b'));
+  ts::unpack(rd, s);
+  EXPECT_EQ(s, std::string(200, 'c'));
+  std::vector<std::uint32_t> v;
+  ts::unpack(rd, v);
+  EXPECT_EQ(v, std::vector<std::uint32_t>(50, 5));
+  ts::unpack(rd, v);
+  EXPECT_EQ(v, std::vector<std::uint32_t>(2, 7));
+  ts::unpack(rd, v);
+  EXPECT_EQ(v, std::vector<std::uint32_t>(80, 9));
   EXPECT_TRUE(rd.exhausted());
 }
 

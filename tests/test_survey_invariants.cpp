@@ -91,7 +91,10 @@ TEST(SurveyDeterminism, CountIndependentOfRankCount) {
       build_rmat(c, g, 10, 321);
       cb::count_context ctx;
       tripoll::triangle_survey(g, cb::count_callback{}, ctx, {survey_mode::push_pull});
-      triangles = ctx.global_count(c);
+      // global_count is a collective; only one rank may write the captured
+      // result (every rank storing it concurrently is a data race).
+      const auto total = ctx.global_count(c);
+      if (c.rank0()) triangles = total;
     });
     counts.push_back(triangles);
   }
@@ -113,7 +116,8 @@ TEST_P(BufferSweep, CountsInvariantUnderFlushThreshold) {
         build_rmat(c, g, 9, 55);
         cb::count_context ctx;
         tripoll::triangle_survey(g, cb::count_callback{}, ctx, {survey_mode::push_pull});
-        triangles = ctx.global_count(c);
+        const auto total = ctx.global_count(c);
+        if (c.rank0()) triangles = total;
       },
       cfg);
   // Reference with default config.
@@ -123,7 +127,8 @@ TEST_P(BufferSweep, CountsInvariantUnderFlushThreshold) {
     build_rmat(c, g, 9, 55);
     cb::count_context ctx;
     tripoll::triangle_survey(g, cb::count_callback{}, ctx, {survey_mode::push_pull});
-    reference = ctx.global_count(c);
+    const auto total = ctx.global_count(c);
+    if (c.rank0()) reference = total;
   });
   EXPECT_EQ(triangles, reference);
 }
