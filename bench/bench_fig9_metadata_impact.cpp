@@ -63,11 +63,12 @@ double metadata_rate(int ranks, std::uint32_t scale, tripoll::survey_mode mode) 
     });
     graph::dodgr<std::uint64_t, graph::none> g(c);
     builder.build_into(g);
-    // Set each vertex's metadata to its own degree (rank-local fix-up).
-    g.for_all_local([](const graph::vertex_id&, auto& rec) { rec.meta = rec.degree; });
+    // Set each vertex's metadata to its own ordering rank (== degree under
+    // the default policy this bench builds with; rank-local fix-up).
+    g.for_all_local([](const graph::vertex_id&, auto& rec) { rec.meta = rec.order_rank; });
     // Target metadata along adjacency must match too.
     g.for_all_local([](const graph::vertex_id&, auto& rec) {
-      for (auto& e : rec.adj) e.target_meta = e.target_degree;
+      for (auto& e : rec.adj) e.target_meta = e.target_rank;
     });
     census = g.census();
     comm::counting_set<cb::degree_triple> counters(c);

@@ -20,11 +20,11 @@ struct approx_state {
 
 struct closure_probe_handler {
   void operator()(comm::communicator& c, comm::dist_handle<approx_state> h,
-                  graph::vertex_id q, graph::vertex_id r, std::uint64_t r_degree) {
+                  graph::vertex_id q, graph::vertex_id r, std::uint64_t r_rank) {
     approx_state& st = c.resolve(h);
     const auto* rec = st.g->local_find(q);
     if (rec == nullptr) return;
-    const auto key = graph::make_order_key(r, r_degree);
+    const auto key = graph::make_order_key(r, r_rank);
     const auto it = std::lower_bound(
         rec->adj.begin(), rec->adj.end(), key,
         [](const auto& e, const graph::order_key& k) { return e.key() < k; });
@@ -104,7 +104,7 @@ approx_count_result approx_triangle_count(comm::communicator& c, plain_graph& g,
     const auto& q = rec->adj[i];
     const auto& r = rec->adj[j];
     c.async(g.owner(q.target), closure_probe_handler{}, handle, q.target, r.target,
-            r.target_degree);
+            r.target_rank);
   }
   c.barrier();
 

@@ -17,11 +17,11 @@ struct pearce_state {
 
 struct wedge_query_handler {
   void operator()(comm::communicator& c, comm::dist_handle<pearce_state> h,
-                  graph::vertex_id q, graph::vertex_id r, std::uint64_t r_degree) {
+                  graph::vertex_id q, graph::vertex_id r, std::uint64_t r_rank) {
     pearce_state& st = c.resolve(h);
     const auto* rec = st.g->local_find(q);
     if (rec == nullptr) return;
-    const auto key = graph::make_order_key(r, r_degree);
+    const auto key = graph::make_order_key(r, r_rank);
     const auto it = std::lower_bound(
         rec->adj.begin(), rec->adj.end(), key,
         [](const auto& e, const graph::order_key& k) { return e.key() < k; });
@@ -38,7 +38,7 @@ distributed_count_result pearce_triangle_count(comm::communicator& c,
   const auto handle = c.register_object(state);
   c.barrier();
 
-  const auto stats_before = c.stats();
+  const auto stats_before = c.local_stats();
   c.barrier();
   const auto t0 = std::chrono::steady_clock::now();
 
@@ -49,7 +49,7 @@ distributed_count_result pearce_triangle_count(comm::communicator& c,
       for (std::size_t j = i + 1; j < rec.adj.size(); ++j) {
         const auto& r = rec.adj[j];
         c.async(g.owner(q.target), wedge_query_handler{}, handle, q.target, r.target,
-                r.target_degree);
+                r.target_rank);
       }
     }
   });
@@ -57,13 +57,13 @@ distributed_count_result pearce_triangle_count(comm::communicator& c,
 
   const double elapsed = std::chrono::duration<double>(
       std::chrono::steady_clock::now() - t0).count();
-  const auto delta = c.stats() - stats_before;
+  const auto delta = c.local_stats() - stats_before;
 
   distributed_count_result result;
   result.triangles = c.all_reduce_sum(state.local_count);
   result.seconds = c.all_reduce_max(elapsed);
-  result.volume_bytes = delta.remote_bytes;
-  result.messages = delta.messages_sent;
+  result.volume_bytes = c.all_reduce_sum(delta.remote_bytes);
+  result.messages = c.all_reduce_sum(delta.messages_sent);
   c.deregister_object(handle);
   return result;
 }

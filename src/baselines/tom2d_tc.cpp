@@ -77,7 +77,7 @@ distributed_count_result tom2d_triangle_count(comm::communicator& c, plain_graph
   const auto handle = c.register_object(state);
   c.barrier();
 
-  const auto stats_before = c.stats();
+  const auto stats_before = c.local_stats();
   c.barrier();
   const auto t0 = std::chrono::steady_clock::now();
 
@@ -133,13 +133,13 @@ distributed_count_result tom2d_triangle_count(comm::communicator& c, plain_graph
 
   const double elapsed = std::chrono::duration<double>(
       std::chrono::steady_clock::now() - t0).count();
-  const auto delta = c.stats() - stats_before;
+  const auto delta = c.local_stats() - stats_before;
 
   distributed_count_result result;
   result.triangles = c.all_reduce_sum(state.count);
   result.seconds = c.all_reduce_max(elapsed);
-  result.volume_bytes = delta.remote_bytes;
-  result.messages = delta.messages_sent;
+  result.volume_bytes = c.all_reduce_sum(delta.remote_bytes);
+  result.messages = c.all_reduce_sum(delta.messages_sent);
   c.deregister_object(handle);
   return result;
 }

@@ -13,13 +13,13 @@ namespace {
 
 using plain_graph = graph::dodgr<graph::none, graph::none>;
 
-/// (target, target_degree) pair; sorted by the <+ order key for searching.
+/// (target, target_rank) pair; sorted by the <+ order key for searching.
 struct slim_entry {
   graph::vertex_id target = 0;
-  std::uint64_t degree = 0;
+  std::uint64_t rank = 0;
 
   [[nodiscard]] graph::order_key key() const noexcept {
-    return graph::make_order_key(target, degree);
+    return graph::make_order_key(target, rank);
   }
 };
 
@@ -27,7 +27,7 @@ struct slim_entry {
 struct closure_query {
   graph::vertex_id v = 0;
   graph::vertex_id w = 0;
-  std::uint64_t w_degree = 0;
+  std::uint64_t w_rank = 0;
 };
 
 struct tric_state {
@@ -41,10 +41,10 @@ struct tric_state {
   }
 
   [[nodiscard]] bool closes(graph::vertex_id v, graph::vertex_id w,
-                            std::uint64_t w_degree) const {
+                            std::uint64_t w_rank) const {
     const auto it = owned.find(v);
     if (it == owned.end()) return false;
-    const auto key = graph::make_order_key(w, w_degree);
+    const auto key = graph::make_order_key(w, w_rank);
     const auto pos = std::lower_bound(
         it->second.begin(), it->second.end(), key,
         [](const slim_entry& e, const graph::order_key& k) { return e.key() < k; });
@@ -64,7 +64,7 @@ struct query_batch_handler {
                   const std::vector<closure_query>& batch) {
     tric_state& st = c.resolve(h);
     for (const auto& qr : batch) {
-      if (st.closes(qr.v, qr.w, qr.w_degree)) ++st.count;
+      if (st.closes(qr.v, qr.w, qr.w_rank)) ++st.count;
     }
   }
 };
@@ -78,7 +78,7 @@ distributed_count_result tric_triangle_count(comm::communicator& c, plain_graph&
   const auto handle = c.register_object(state);
   c.barrier();
 
-  const auto stats_before = c.stats();
+  const auto stats_before = c.local_stats();
   c.barrier();
   const auto t0 = std::chrono::steady_clock::now();
 
@@ -131,7 +131,7 @@ distributed_count_result tric_triangle_count(comm::communicator& c, plain_graph&
   g.for_all_local([&](const graph::vertex_id& u, const plain_graph::record_type& rec) {
     std::vector<slim_entry> slim;
     slim.reserve(rec.adj.size());
-    for (const auto& e : rec.adj) slim.push_back(slim_entry{e.target, e.target_degree});
+    for (const auto& e : rec.adj) slim.push_back(slim_entry{e.target, e.target_rank});
     c.async(state.block_owner(u), take_vertex_handler{}, handle, u, slim);
   });
   c.barrier();
@@ -144,9 +144,9 @@ distributed_count_result tric_triangle_count(comm::communicator& c, plain_graph&
     for (std::size_t i = 0; i + 1 < adj.size(); ++i) {
       const int dest = state.block_owner(adj[i].target);
       for (std::size_t j = i + 1; j < adj.size(); ++j) {
-        closure_query qr{adj[i].target, adj[j].target, adj[j].degree};
+        closure_query qr{adj[i].target, adj[j].target, adj[j].rank};
         if (dest == c.rank()) {
-          if (state.closes(qr.v, qr.w, qr.w_degree)) ++state.count;
+          if (state.closes(qr.v, qr.w, qr.w_rank)) ++state.count;
         } else {
           outgoing[static_cast<std::size_t>(dest)].push_back(qr);
         }
@@ -164,13 +164,13 @@ distributed_count_result tric_triangle_count(comm::communicator& c, plain_graph&
 
   const double elapsed = std::chrono::duration<double>(
       std::chrono::steady_clock::now() - t0).count();
-  const auto delta = c.stats() - stats_before;
+  const auto delta = c.local_stats() - stats_before;
 
   distributed_count_result result;
   result.triangles = c.all_reduce_sum(state.count);
   result.seconds = c.all_reduce_max(elapsed);
-  result.volume_bytes = delta.remote_bytes;
-  result.messages = delta.messages_sent;
+  result.volume_bytes = c.all_reduce_sum(delta.remote_bytes);
+  result.messages = c.all_reduce_sum(delta.messages_sent);
   c.deregister_object(handle);
   return result;
 }

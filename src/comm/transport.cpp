@@ -76,4 +76,15 @@ stats_snapshot transport::snapshot() const {
   return s;
 }
 
+stats_snapshot transport::snapshot(int rank) const {
+  const auto& c = counters_[static_cast<std::size_t>(rank)];
+  stats_snapshot s;
+  s.remote_bytes = c.remote_bytes.load(std::memory_order_relaxed);
+  s.local_bytes = c.local_bytes.load(std::memory_order_relaxed);
+  s.buffers_sent = c.buffers_sent.load(std::memory_order_relaxed);
+  s.messages_sent = c.messages_sent.load(std::memory_order_relaxed);
+  s.handlers_run = c.handlers_run.load(std::memory_order_relaxed);
+  return s;
+}
+
 }  // namespace tripoll::comm

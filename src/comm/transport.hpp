@@ -107,8 +107,16 @@ class transport {
   }
 
   /// Aggregate counters across all ranks (monotone; subtract snapshots for
-  /// per-phase numbers).
+  /// per-phase numbers).  Note this is a racy point-in-time view: other
+  /// ranks' counters keep moving, so two ranks bracketing the same phase can
+  /// observe different aggregates.  For metrics that must agree on every
+  /// rank, use the per-rank snapshot below and all_reduce the deltas.
   [[nodiscard]] stats_snapshot snapshot() const;
+
+  /// Counters of `rank`'s own sends only.  A rank's counters are written
+  /// exclusively from that rank's thread, so between two barriers this view
+  /// is exact and deterministic for the bracketing rank.
+  [[nodiscard]] stats_snapshot snapshot(int rank) const;
 
  private:
   int nranks_;

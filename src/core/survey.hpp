@@ -61,6 +61,7 @@ struct survey_result {
   std::uint64_t push_batches = 0;       ///< wedge-batch messages, global
   std::uint64_t wedge_candidates = 0;   ///< candidate r vertices examined
   std::uint64_t triangles_found = 0;    ///< engine-side cross-check counter
+  std::uint64_t proposals_filtered = 0; ///< hopeless pull proposals never sent
 
   [[nodiscard]] double pulls_per_rank(int nranks) const noexcept {
     return nranks > 0 ? static_cast<double>(pulls_granted) / nranks : 0.0;
@@ -94,16 +95,16 @@ using clock = std::chrono::steady_clock;
 template <typename EdgeMeta>
 struct wedge_candidate {
   graph::vertex_id r = 0;
-  std::uint64_t r_degree = 0;
+  std::uint64_t r_rank = 0;  ///< r's <+ ordering rank (degree or peel rank)
   EdgeMeta meta_pr{};
 
   [[nodiscard]] graph::order_key key() const noexcept {
-    return graph::make_order_key(r, r_degree);
+    return graph::make_order_key(r, r_rank);
   }
 
   template <typename Archive>
   void serialize(Archive& ar) {
-    ar(r, r_degree, meta_pr);
+    ar(r, r_rank, meta_pr);
   }
 };
 
@@ -114,16 +115,16 @@ struct wedge_candidate {
 template <typename EdgeMeta>
 struct pulled_entry {
   graph::vertex_id r = 0;
-  std::uint64_t r_degree = 0;
+  std::uint64_t r_rank = 0;  ///< r's <+ ordering rank (degree or peel rank)
   EdgeMeta meta_qr{};
 
   [[nodiscard]] graph::order_key key() const noexcept {
-    return graph::make_order_key(r, r_degree);
+    return graph::make_order_key(r, r_rank);
   }
 
   template <typename Archive>
   void serialize(Archive& ar) {
-    ar(r, r_degree, meta_qr);
+    ar(r, r_rank, meta_qr);
   }
 };
 
@@ -182,6 +183,7 @@ class survey_engine {
     result.push_batches = comm_->all_reduce_sum(local_push_batches_);
     result.wedge_candidates = comm_->all_reduce_sum(local_candidates_);
     result.triangles_found = comm_->all_reduce_sum(local_triangles_);
+    result.proposals_filtered = comm_->all_reduce_sum(local_proposals_filtered_);
 
     // Release dry-run scratch.
     targets_.clear();
@@ -196,26 +198,30 @@ class survey_engine {
 
   void reset_counters() {
     local_pulls_granted_ = local_push_batches_ = local_candidates_ = local_triangles_ = 0;
+    local_proposals_filtered_ = 0;
     targets_.clear();
     pull_grants_.clear();
   }
 
   template <typename Body>
   phase_metrics timed_phase(Body&& body) {
-    // Snapshot / barrier / body / barrier / snapshot: the barriers guarantee
-    // every rank brackets exactly the same set of sends, so the global
-    // deltas agree on all ranks.
-    const auto before = comm_->stats();
+    // Per-rank snapshot / barrier / body / barrier / per-rank snapshot: a
+    // rank's counters move only from its own thread, so the bracketed delta
+    // is exactly this rank's sends for the phase.  The explicit reductions
+    // turn the deltas into global sums that are bit-identical on every rank
+    // (a global point-in-time snapshot here would race with other ranks
+    // already issuing the reductions' own traffic).
+    const auto before = comm_->local_stats();
     comm_->barrier();
     const auto start = core::detail::clock::now();
     body();
     comm_->barrier();
     const double elapsed = core::detail::seconds_since(start);
-    const auto delta = comm_->stats() - before;  // before the reduction's own traffic
+    const auto delta = comm_->local_stats() - before;  // excludes the reductions below
     phase_metrics m;
     m.seconds = comm_->all_reduce_max(elapsed);
-    m.volume_bytes = delta.remote_bytes;
-    m.messages = delta.messages_sent;
+    m.volume_bytes = comm_->all_reduce_sum(delta.remote_bytes);
+    m.messages = comm_->all_reduce_sum(delta.messages_sent);
     return m;
   }
 
@@ -226,7 +232,7 @@ class survey_engine {
     candidates.reserve(rec.adj.size() - i - 1);
     for (std::size_t j = i + 1; j < rec.adj.size(); ++j) {
       const entry_type& e = rec.adj[j];
-      candidates.push_back(candidate_type{e.target, e.target_degree, e.edge_meta});
+      candidates.push_back(candidate_type{e.target, e.target_rank, e.edge_meta});
     }
     local_candidates_ += candidates.size();
     ++local_push_batches_;
@@ -286,7 +292,7 @@ class survey_engine {
   /// stored locally".
   struct per_target {
     std::uint64_t candidate_count = 0;
-    std::uint64_t q_out_degree = 0;
+    std::uint64_t q_out_degree = 0;  ///< d+(q), known locally from Adjm+ (P6)
     bool pull_granted = false;
     std::vector<std::pair<graph::vertex_id, std::uint32_t>> sources;
   };
@@ -302,8 +308,15 @@ class survey_engine {
         t.sources.emplace_back(p, static_cast<std::uint32_t>(i));
       }
     });
-    // One aggregate proposal per (this rank, q).
+    // One aggregate proposal per (this rank, q) -- but only where pulling
+    // could possibly win.  d+(q) is already local (the builder's P6 flow),
+    // and Rank(q) grants a pull iff d+(q) < candidate_count, so a proposal
+    // that fails that test here is known-hopeless and never sent.
     for (const auto& [q, t] : targets_) {
+      if (t.q_out_degree >= t.candidate_count) {
+        ++local_proposals_filtered_;
+        continue;  // pull_granted stays false; sources push in push_undecided()
+      }
       comm_->async(graph_->owner(q), propose_handler{}, handle_, q, comm_->rank(),
                    t.candidate_count);
     }
@@ -355,7 +368,7 @@ class survey_engine {
       std::vector<pulled_type> entries;
       entries.reserve(rec_q->adj.size());
       for (const entry_type& e : rec_q->adj) {
-        entries.push_back(pulled_type{e.target, e.target_degree, e.edge_meta});
+        entries.push_back(pulled_type{e.target, e.target_rank, e.edge_meta});
       }
       for (const int dest : ranks) {
         comm_->async(dest, pulled_adj_handler{}, handle_, q, rec_q->meta, entries);
@@ -401,6 +414,7 @@ class survey_engine {
   std::uint64_t local_push_batches_ = 0;
   std::uint64_t local_candidates_ = 0;
   std::uint64_t local_triangles_ = 0;
+  std::uint64_t local_proposals_filtered_ = 0;
 };
 
 /// Collective convenience wrapper: construct the engine, run one survey.

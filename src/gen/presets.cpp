@@ -103,17 +103,20 @@ void feed_edges(comm::communicator& c, Builder& builder, const dataset_spec& spe
 
 }  // namespace
 
-void build_dataset(comm::communicator& c, plain_graph& g, const dataset_spec& spec) {
-  graph::graph_builder<graph::none, graph::none> builder(c);
+void build_dataset(comm::communicator& c, plain_graph& g, const dataset_spec& spec,
+                   graph::ordering_policy ordering) {
+  graph::graph_builder<graph::none, graph::none> builder(c, ordering);
   feed_edges(c, builder, spec);
   builder.build_into(g);
 }
 
 void build_temporal_graph(comm::communicator& c, temporal_graph& g,
-                          const temporal_params& params) {
+                          const temporal_params& params,
+                          graph::ordering_policy ordering) {
   // keep_least: duplicate contacts collapse to the chronologically-first
   // timestamp, the paper's Reddit multigraph reduction.
-  graph::graph_builder<graph::none, std::uint64_t, graph::merge::keep_least> builder(c);
+  graph::graph_builder<graph::none, std::uint64_t, graph::merge::keep_least> builder(
+      c, ordering);
   const temporal_generator gen(params);
   for_rank_slice(c, gen.num_edges(), [&](std::uint64_t k) {
     const auto e = gen.edge_at(k);
@@ -122,8 +125,9 @@ void build_temporal_graph(comm::communicator& c, temporal_graph& g,
   builder.build_into(g);
 }
 
-void build_web_graph(comm::communicator& c, web_graph& g, const web_params& params) {
-  graph::graph_builder<std::string, graph::none> builder(c);
+void build_web_graph(comm::communicator& c, web_graph& g, const web_params& params,
+                     graph::ordering_policy ordering) {
+  graph::graph_builder<std::string, graph::none> builder(c, ordering);
   const web_generator gen(params);
   for_rank_slice(c, gen.num_edges(), [&](std::uint64_t k) {
     const auto e = gen.edge_at(k);

@@ -17,6 +17,7 @@
 #include "gen/web.hpp"
 #include "graph/builder.hpp"
 #include "graph/dodgr.hpp"
+#include "graph/ordering.hpp"
 #include "graph/types.hpp"
 
 namespace tripoll::gen {
@@ -45,16 +46,19 @@ using temporal_graph = graph::dodgr<graph::none, std::uint64_t>;
 using web_graph = graph::dodgr<std::string, graph::none>;
 
 /// Collective: generate and build a metadata-free stand-in graph.
-void build_dataset(comm::communicator& c, plain_graph& g, const dataset_spec& spec);
+void build_dataset(comm::communicator& c, plain_graph& g, const dataset_spec& spec,
+                   graph::ordering_policy ordering = graph::ordering_policy::degree);
 
 /// Collective: generate and build the Reddit-like temporal graph (edge
 /// metadata = first-contact timestamp, the paper's multigraph reduction).
 void build_temporal_graph(comm::communicator& c, temporal_graph& g,
-                          const temporal_params& params);
+                          const temporal_params& params,
+                          graph::ordering_policy ordering = graph::ordering_policy::degree);
 
 /// Collective: generate and build the WDC-like web graph (vertex metadata =
 /// FQDN string).
-void build_web_graph(comm::communicator& c, web_graph& g, const web_params& params);
+void build_web_graph(comm::communicator& c, web_graph& g, const web_params& params,
+                     graph::ordering_policy ordering = graph::ordering_policy::degree);
 
 /// Collective: gather every (deduplicated) edge of the generated stream on
 /// all ranks -- test support for cross-checking against the serial counter.

@@ -10,8 +10,12 @@
 //   P2  scatter  : each unique edge (a,b) delivers (b,meta) to Rank(a) and
 //                  (a,meta) to Rank(b), building undirected adjacency.
 //   P3  degrees  : d(v) = |Adj(v)| is now local.
-//   P4  exchange : every vertex sends (v, d(v), meta(v)) to each neighbor;
-//                  receivers learn target degrees/metadata for the <+ order
+//   P3b ordering : assign each vertex its <+ rank under the chosen
+//                  ordering_policy -- the degree itself, or the peel-wave
+//                  index of a distributed k-core peeling pass
+//                  (graph/ordering.hpp).
+//   P4  exchange : every vertex sends (v, rank(v), meta(v)) to each neighbor;
+//                  receivers learn target ranks/metadata for the <+ order
 //                  and the Adjm+ entries.
 //   P5  assemble : locally orient edges by <+, sort Adjm+(v), fill records.
 //   P6  d+ flow  : every vertex reports d+(v) to its DODGr in-neighbors so
@@ -20,12 +24,15 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "comm/communicator.hpp"
 #include "comm/distributed_map.hpp"
 #include "graph/dodgr.hpp"
+#include "graph/ordering.hpp"
 #include "graph/types.hpp"
 
 namespace tripoll::graph {
@@ -65,11 +72,14 @@ class graph_builder {
   using graph_type = dodgr<VertexMeta, EdgeMeta>;
   using self = graph_builder<VertexMeta, EdgeMeta, MergePolicy>;
 
-  explicit graph_builder(comm::communicator& c)
-      : comm_(&c), edges_(c), records_(c) {}
+  explicit graph_builder(comm::communicator& c,
+                         ordering_policy ordering = ordering_policy::degree)
+      : comm_(&c), edges_(c), records_(c), ordering_(ordering) {}
 
   graph_builder(const graph_builder&) = delete;
   graph_builder& operator=(const graph_builder&) = delete;
+
+  [[nodiscard]] ordering_policy ordering() const noexcept { return ordering_; }
 
   /// Contribute one undirected edge.  Self-loops are dropped (triangles
   /// never use them); duplicates merge under MergePolicy at build time.
@@ -94,6 +104,12 @@ class graph_builder {
     return dropped_self_loops_;
   }
 
+  /// Peeling summary of the last build (meaningful after build_into with
+  /// ordering_policy::degeneracy; zero-initialized otherwise).
+  [[nodiscard]] const degeneracy_stats& peel_stats() const noexcept {
+    return peel_stats_;
+  }
+
   /// Collective: run the construction pipeline, filling `g`.  The builder's
   /// staging storage is released afterwards; the builder may not be reused.
   void build_into(graph_type& g) {
@@ -109,12 +125,30 @@ class graph_builder {
     });
     c.barrier();
 
-    // P3+P4: degrees are local; exchange (id, degree, meta) with neighbors.
+    // P3+P3b: degrees are local; assign <+ ranks under the chosen policy.
+    if (ordering_ == ordering_policy::degeneracy) {
+      peel_stats_ = degeneracy_peel(
+          c, records_, [](const build_record& rec, auto&& fn) {
+            for (const auto& [u, em] : rec.raw_adj) {
+              (void)em;
+              fn(u);
+            }
+          });
+      records_.for_all_local([](const vertex_id&, build_record& rec) {
+        rec.order_rank = rec.peel.rank;
+      });
+    } else {
+      records_.for_all_local([](const vertex_id&, build_record& rec) {
+        rec.order_rank = static_cast<std::uint64_t>(rec.raw_adj.size());
+      });
+    }
+
+    // P4: exchange (id, rank, meta) with neighbors.
     records_.for_all_local([&](const vertex_id& v, build_record& rec) {
-      const auto degree = static_cast<std::uint64_t>(rec.raw_adj.size());
       for (const auto& [u, em] : rec.raw_adj) {
         (void)em;
-        records_.async_visit_if_exists(u, deliver_ninfo_visitor{}, v, degree, rec.meta);
+        records_.async_visit_if_exists(u, deliver_ninfo_visitor{}, v, rec.order_rank,
+                                       rec.meta);
       }
     });
     c.barrier();
@@ -125,15 +159,13 @@ class graph_builder {
                 [](const ninfo_entry& a, const ninfo_entry& b) { return a.id < b.id; });
       auto& out = g.storage().local_at_or_create(v);
       out.degree = rec.raw_adj.size();
+      out.order_rank = rec.order_rank;
       out.meta = rec.meta;
       out.adj.clear();
       for (const auto& [u, em] : rec.raw_adj) {
-        const auto it = std::lower_bound(
-            rec.ninfo.begin(), rec.ninfo.end(), u,
-            [](const ninfo_entry& e, vertex_id id) { return e.id < id; });
-        // Every neighbor reported itself in P4.
-        if (degree_less(v, out.degree, u, it->degree)) {
-          out.adj.push_back(adj_entry<VertexMeta, EdgeMeta>{u, it->degree, 0, em, it->meta});
+        const ninfo_entry& info = find_ninfo(rec, v, u, "P5");
+        if (order_less(v, rec.order_rank, u, info.rank)) {
+          out.adj.push_back(adj_entry<VertexMeta, EdgeMeta>{u, info.rank, 0, em, info.meta});
         }
       }
       std::sort(out.adj.begin(), out.adj.end(),
@@ -144,15 +176,17 @@ class graph_builder {
     // P6: report d+(v) to DODGr in-neighbors (u <+ v holds their entry for v).
     records_.for_all_local([&](const vertex_id& v, build_record& rec) {
       const auto* gv = g.local_find(v);
-      const auto d_v = static_cast<std::uint64_t>(rec.raw_adj.size());
+      if (gv == nullptr) {
+        throw std::runtime_error("tripoll: graph_builder P6: vertex " +
+                                 std::to_string(v) +
+                                 " has no assembled record on its owner rank");
+      }
       const auto dplus_v = static_cast<std::uint64_t>(gv->adj.size());
       for (const auto& [u, em] : rec.raw_adj) {
         (void)em;
-        const auto it = std::lower_bound(
-            rec.ninfo.begin(), rec.ninfo.end(), u,
-            [](const ninfo_entry& e, vertex_id id) { return e.id < id; });
-        if (degree_less(u, it->degree, v, d_v)) {
-          g.async_visit(u, set_dplus_visitor{}, v, d_v, dplus_v);
+        const ninfo_entry& info = find_ninfo(rec, v, u, "P6");
+        if (order_less(u, info.rank, v, rec.order_rank)) {
+          g.async_visit(u, set_dplus_visitor{}, v, rec.order_rank, dplus_v);
         }
       }
     });
@@ -160,6 +194,7 @@ class graph_builder {
 
     edges_.clear_local();
     records_.clear_local();
+    g.set_ordering(ordering_);
     g.invalidate_census();
   }
 
@@ -182,15 +217,34 @@ class graph_builder {
 
   struct ninfo_entry {
     vertex_id id = 0;
-    std::uint64_t degree = 0;
+    std::uint64_t rank = 0;  ///< neighbor's <+ ordering rank
     VertexMeta meta{};
   };
 
   struct build_record {
     VertexMeta meta{};
+    std::uint64_t order_rank = 0;
+    peel_state peel{};
     std::vector<std::pair<vertex_id, EdgeMeta>> raw_adj;
     std::vector<ninfo_entry> ninfo;
   };
+
+  /// The P4 report neighbor `u` delivered to `v`.  Every neighbor must have
+  /// reported itself; a miss means a lost or mis-routed P4 message and is a
+  /// construction-breaking bug, so fail loudly instead of dereferencing an
+  /// invalid iterator.
+  [[nodiscard]] static const ninfo_entry& find_ninfo(const build_record& rec, vertex_id v,
+                                                     vertex_id u, const char* phase) {
+    const auto it = std::lower_bound(
+        rec.ninfo.begin(), rec.ninfo.end(), u,
+        [](const ninfo_entry& e, vertex_id id) { return e.id < id; });
+    if (it == rec.ninfo.end() || it->id != u) {
+      throw std::runtime_error("tripoll: graph_builder " + std::string(phase) +
+                               ": neighbor " + std::to_string(u) + " of vertex " +
+                               std::to_string(v) + " never arrived in the P4 exchange");
+    }
+    return *it;
+  }
 
   struct dedup_visitor {
     void operator()(const pair_key& /*key*/, dedup_slot& slot, const EdgeMeta& incoming) {
@@ -222,8 +276,8 @@ class graph_builder {
 
   struct deliver_ninfo_visitor {
     void operator()(const vertex_id& /*v*/, build_record& rec, vertex_id neighbor,
-                    std::uint64_t neighbor_degree, const VertexMeta& neighbor_meta) {
-      rec.ninfo.push_back(ninfo_entry{neighbor, neighbor_degree, neighbor_meta});
+                    std::uint64_t neighbor_rank, const VertexMeta& neighbor_meta) {
+      rec.ninfo.push_back(ninfo_entry{neighbor, neighbor_rank, neighbor_meta});
     }
   };
 
@@ -231,8 +285,8 @@ class graph_builder {
     // Runs on the owner of `u`: find u's adjacency entry for `v` (search key
     // is v's <+ order key) and record d+(v).
     void operator()(const vertex_id& /*u*/, vertex_record<VertexMeta, EdgeMeta>& rec,
-                    vertex_id v, std::uint64_t d_v, std::uint64_t dplus_v) {
-      const auto key = make_order_key(v, d_v);
+                    vertex_id v, std::uint64_t rank_v, std::uint64_t dplus_v) {
+      const auto key = make_order_key(v, rank_v);
       auto it = std::lower_bound(rec.adj.begin(), rec.adj.end(), key,
                                  [](const auto& e, const order_key& k) { return e.key() < k; });
       if (it != rec.adj.end() && it->target == v) it->target_out_degree = dplus_v;
@@ -242,6 +296,8 @@ class graph_builder {
   comm::communicator* comm_;
   comm::distributed_map<pair_key, dedup_slot> edges_;
   comm::distributed_map<vertex_id, build_record> records_;
+  ordering_policy ordering_ = ordering_policy::degree;
+  degeneracy_stats peel_stats_{};
   std::uint64_t dropped_self_loops_ = 0;
 };
 

@@ -1,4 +1,4 @@
-// dodgr.hpp -- the degree-ordered directed graph with metadata (Sec. 4.2).
+// dodgr.hpp -- the order-directed graph with metadata (Sec. 4.2).
 //
 // Storage follows the paper exactly: a distributed map keyed by vertex id
 // whose value holds the vertex's metadata and its metadata-augmented
@@ -6,9 +6,11 @@
 //
 //   Adjm+(u) = { (v, meta(u,v), meta(v)) : v in Adj+(u) },
 //
-// ordered by the `<+` degree order.  Storing the *target's* metadata along
-// each out-edge moves vertex-metadata storage from O(|V|) to O(|E|) but lets
-// a triangle callback run with all six pieces of metadata already local.
+// ordered by the `<+` vertex order chosen at build time (degree or
+// degeneracy; see graph/ordering.hpp).  Storing the *target's* metadata
+// along each out-edge moves vertex-metadata storage from O(|V|) to O(|E|)
+// but lets a triangle callback run with all six pieces of metadata already
+// local.
 #pragma once
 
 #include <algorithm>
@@ -17,6 +19,7 @@
 
 #include "comm/communicator.hpp"
 #include "comm/distributed_map.hpp"
+#include "graph/ordering.hpp"
 #include "graph/types.hpp"
 
 namespace tripoll::graph {
@@ -25,25 +28,26 @@ namespace tripoll::graph {
 template <typename VertexMeta, typename EdgeMeta>
 struct adj_entry {
   vertex_id target = 0;
-  std::uint64_t target_degree = 0;      ///< d(target): the <+ comparison key
+  std::uint64_t target_rank = 0;        ///< target's <+ comparison rank
   std::uint64_t target_out_degree = 0;  ///< d+(target): drives pull decisions
   EdgeMeta edge_meta{};
   VertexMeta target_meta{};
 
   [[nodiscard]] order_key key() const noexcept {
-    return make_order_key(target, target_degree);
+    return make_order_key(target, target_rank);
   }
 
   template <typename Archive>
   void serialize(Archive& ar) {
-    ar(target, target_degree, target_out_degree, edge_meta, target_meta);
+    ar(target, target_rank, target_out_degree, edge_meta, target_meta);
   }
 };
 
 /// Per-vertex record: meta(u) plus Adjm+(u).
 template <typename VertexMeta, typename EdgeMeta>
 struct vertex_record {
-  std::uint64_t degree = 0;  ///< d(u) in the undirected graph G
+  std::uint64_t degree = 0;      ///< d(u) in the undirected graph G
+  std::uint64_t order_rank = 0;  ///< u's own <+ comparison rank
   VertexMeta meta{};
   std::vector<adj_entry<VertexMeta, EdgeMeta>> adj;  ///< sorted by <+ of target
 
@@ -134,12 +138,18 @@ class dodgr {
 
   void invalidate_census() noexcept { census_valid_ = false; }
 
+  /// Which ordering policy built this graph (set by the builder; the census
+  /// `wedge_checks`/`max_out_degree` columns compare orderings directly).
+  [[nodiscard]] ordering_policy ordering() const noexcept { return ordering_; }
+  void set_ordering(ordering_policy p) noexcept { ordering_ = p; }
+
  private:
   comm::communicator* comm_;
   map_type map_;
   comm::dist_handle<self> handle_;
   graph_census census_{};
   bool census_valid_ = false;
+  ordering_policy ordering_ = ordering_policy::degree;
 };
 
 }  // namespace tripoll::graph

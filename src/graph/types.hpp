@@ -1,9 +1,13 @@
-// types.hpp -- vertex/edge primitives and the degree ordering <+.
+// types.hpp -- vertex/edge primitives and the generalized vertex order <+.
 //
 // Sec. 3 of the paper: vertices are compared by (degree, hash) so that the
-// degree-ordered directed graph G+ (DODGr) keeps each undirected edge only
-// as the directed edge (u,v) with u <+ v.  The ordering must be identical on
-// every rank, hence the explicit splitmix64 tie-break.
+// ordered directed graph G+ (DODGr) keeps each undirected edge only as the
+// directed edge (u,v) with u <+ v.  This file generalizes the first
+// comparison component to an *ordering rank* supplied by the active
+// `ordering_policy` (graph/ordering.hpp): under degree order the rank is the
+// undirected degree (the paper's <+); under degeneracy order it is the
+// k-core peel-wave index.  The order must be identical on every rank, hence
+// the explicit splitmix64 tie-break.
 #pragma once
 
 #include <cstdint>
@@ -23,32 +27,39 @@ struct edge {
   friend bool operator==(const edge&, const edge&) = default;
 };
 
-/// The `<+` comparison key of a vertex: degree first, deterministic hash to
-/// break ties, id as a final total-order guarantee under hash collisions.
+/// The `<+` comparison key of a vertex: ordering rank first (degree or peel
+/// rank, depending on the builder's policy), deterministic hash to break
+/// ties, id as a final total-order guarantee under hash collisions.
 struct order_key {
-  std::uint64_t degree = 0;
+  std::uint64_t rank = 0;
   std::uint64_t hash = 0;
   vertex_id id = 0;
 
   [[nodiscard]] friend constexpr bool operator<(const order_key& a,
                                                 const order_key& b) noexcept {
-    return std::tie(a.degree, a.hash, a.id) < std::tie(b.degree, b.hash, b.id);
+    return std::tie(a.rank, a.hash, a.id) < std::tie(b.rank, b.hash, b.id);
   }
   [[nodiscard]] friend constexpr bool operator==(const order_key& a,
                                                  const order_key& b) noexcept {
-    return std::tie(a.degree, a.hash, a.id) == std::tie(b.degree, b.hash, b.id);
+    return std::tie(a.rank, a.hash, a.id) == std::tie(b.rank, b.hash, b.id);
   }
 };
 
-/// Build the `<+` key for vertex `v` of (undirected) degree `degree`.
-[[nodiscard]] constexpr order_key make_order_key(vertex_id v, std::uint64_t degree) noexcept {
-  return order_key{degree, serial::splitmix64(v), v};
+/// Build the `<+` key for vertex `v` of ordering rank `rank`.
+[[nodiscard]] constexpr order_key make_order_key(vertex_id v, std::uint64_t rank) noexcept {
+  return order_key{rank, serial::splitmix64(v), v};
 }
 
-/// u <+ v given both degrees.
+/// u <+ v given both ordering ranks.
+[[nodiscard]] constexpr bool order_less(vertex_id u, std::uint64_t rank_u, vertex_id v,
+                                        std::uint64_t rank_v) noexcept {
+  return make_order_key(u, rank_u) < make_order_key(v, rank_v);
+}
+
+/// u <+ v under plain degree order (ranks are the undirected degrees).
 [[nodiscard]] constexpr bool degree_less(vertex_id u, std::uint64_t du, vertex_id v,
                                          std::uint64_t dv) noexcept {
-  return make_order_key(u, du) < make_order_key(v, dv);
+  return order_less(u, du, v, dv);
 }
 
 /// Dummy metadata for plain triangle counting.  The paper affixes booleans

@@ -106,7 +106,7 @@ TEST(Builder, OrientationPointsToHigherOrder) {
     build_plain(c, g, {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {2, 4}});
     g.for_all_local([&](const tg::vertex_id& v, const plain_graph::record_type& rec) {
       for (const auto& e : rec.adj) {
-        EXPECT_TRUE(tg::degree_less(v, rec.degree, e.target, e.target_degree))
+        EXPECT_TRUE(tg::order_less(v, rec.order_rank, e.target, e.target_rank))
             << "edge " << v << "->" << e.target << " violates <+";
       }
     });
@@ -152,7 +152,7 @@ TEST(Builder, TargetDegreeFieldsMatchActualDegrees) {
 
     g.for_all_local([&](const tg::vertex_id&, const plain_graph::record_type& rec) {
       for (const auto& e : rec.adj) {
-        EXPECT_EQ(e.target_degree, truth.at(e.target).first);
+        EXPECT_EQ(e.target_rank, truth.at(e.target).first);
         EXPECT_EQ(e.target_out_degree, truth.at(e.target).second);
       }
     });
@@ -264,10 +264,11 @@ TEST_P(BuilderSweep, InvariantsHoldAcrossRankCounts) {
     EXPECT_EQ(census.num_directed_edges, 2 * 2 * n);  // 2n unique undirected edges
     EXPECT_EQ(census.max_degree, 4u);
 
-    // Orientation invariant.
+    // Orientation invariant (order_rank == degree under the default policy,
+    // but the assertion must compare ranks to stay valid for any ordering).
     g.for_all_local([&](const tg::vertex_id& v, const plain_graph::record_type& rec) {
       for (const auto& e : rec.adj) {
-        EXPECT_TRUE(tg::degree_less(v, rec.degree, e.target, e.target_degree));
+        EXPECT_TRUE(tg::order_less(v, rec.order_rank, e.target, e.target_rank));
       }
     });
   });

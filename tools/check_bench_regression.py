@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Per-phase bench regression gate.
+
+Compares a quick-mode Google Benchmark JSON artifact (the bench-smoke CI job)
+against the committed BENCH_*.json trajectory at the repo root and fails when
+any case regresses by more than the threshold.
+
+Baseline extraction: every BENCH_<pr>.json is scanned, in ascending PR order,
+for (a) arrays of objects carrying "case" + "after_ns" (the before/after rows
+the PR logs record) and (b) a "new_cases_after_only" {name: ns} object.  The
+latest PR that mentions a case wins, so the committed files form a
+trajectory, not a single frozen baseline.
+
+Quick mode keeps the full-run benchmark names and per-case problem sizes
+(only the measurement window shrinks), so per-case nanoseconds are directly
+comparable -- but quick mode registers a *subset* of the cases (the largest
+shapes are dropped), so baselines without a matching current case are simply
+not gated; the gate prints only what it compared.  CI machines are noisy,
+hence the generous default threshold.
+
+Usage:
+  tools/check_bench_regression.py --current bench-results [--baseline-dir .]
+                                  [--threshold 3.0]
+Exit status: 0 ok, 1 regression found, 2 usage/IO error.
+"""
+
+import argparse
+import glob
+import json
+import os
+import re
+import sys
+
+
+def load_baselines(baseline_dir):
+    """Return {case_name: (ns, source_file)} from the BENCH_*.json trajectory."""
+    files = glob.glob(os.path.join(baseline_dir, "BENCH_*.json"))
+
+    def pr_number(path):
+        m = re.search(r"BENCH_\D*(\d+)", os.path.basename(path))
+        return int(m.group(1)) if m else -1
+
+    baselines = {}
+    for path in sorted(files, key=pr_number):
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"warning: skipping unreadable baseline {path}: {e}")
+            continue
+        for value in doc.values():
+            if isinstance(value, list):
+                for row in value:
+                    if isinstance(row, dict) and "case" in row and "after_ns" in row:
+                        # "A -> B" rows rename a case; the new name is the target.
+                        name = row["case"].split("->")[-1].strip()
+                        baselines[name] = (float(row["after_ns"]), path)
+        extra = doc.get("new_cases_after_only")
+        if isinstance(extra, dict):
+            for name, ns in extra.items():
+                baselines[name] = (float(ns), path)
+    return baselines
+
+
+def normalize_name(name):
+    """Drop Google Benchmark option suffixes (quick mode appends
+    /min_time:..., repetitions append /repeats:...) so quick-mode cases match
+    the full-run names the BENCH_*.json files record."""
+    return re.sub(r"/(min_time|min_warmup_time|repeats|iterations|threads"
+                  r"|real_time|process_time|manual_time):?[^/]*", "", name)
+
+
+def load_current(current_dir):
+    """Return {case_name: ns} from Google Benchmark JSON files in a directory."""
+    results = {}
+    paths = glob.glob(os.path.join(current_dir, "*.json"))
+    if not paths:
+        raise FileNotFoundError(f"no *.json bench results under {current_dir}")
+    for path in paths:
+        with open(path) as f:
+            doc = json.load(f)
+        for bench in doc.get("benchmarks", []):
+            if bench.get("aggregate_name"):  # skip mean/median/stddev rows
+                continue
+            unit = bench.get("time_unit", "ns")
+            scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
+            if scale is None:
+                print(f"warning: unknown time unit '{unit}' for {bench.get('name')}")
+                continue
+            results[normalize_name(bench["name"])] = float(bench["cpu_time"]) * scale
+    return results
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", required=True,
+                        help="directory of Google Benchmark JSON files from this run")
+    parser.add_argument("--baseline-dir", default=".",
+                        help="directory holding the committed BENCH_*.json files")
+    parser.add_argument("--threshold", type=float, default=3.0,
+                        help="fail when current/baseline exceeds this ratio")
+    args = parser.parse_args()
+
+    try:
+        baselines = load_baselines(args.baseline_dir)
+        current = load_current(args.current)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: {e}")
+        return 2
+    if not baselines:
+        print(f"error: no baseline cases found in {args.baseline_dir}/BENCH_*.json")
+        return 2
+
+    regressions = []
+    compared = 0
+    print(f"{'case':40s} {'baseline':>12s} {'current':>12s} {'ratio':>7s}")
+    for name in sorted(current):
+        if name not in baselines:
+            print(f"{name:40s} {'(new)':>12s} {current[name]:>10.1f}ns       -")
+            continue
+        base_ns, source = baselines[name]
+        ratio = current[name] / base_ns if base_ns > 0 else float("inf")
+        flag = "  REGRESSION" if ratio > args.threshold else ""
+        print(f"{name:40s} {base_ns:>10.1f}ns {current[name]:>10.1f}ns {ratio:>6.2f}x{flag}")
+        compared += 1
+        if ratio > args.threshold:
+            regressions.append((name, ratio, source))
+
+    if compared == 0:
+        print("error: no current case matched any committed baseline")
+        return 2
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} case(s) regressed beyond "
+              f"{args.threshold:.2f}x:")
+        for name, ratio, source in regressions:
+            print(f"  {name}: {ratio:.2f}x vs {source}")
+        return 1
+    print(f"\nOK: {compared} case(s) within {args.threshold:.2f}x of the "
+          f"committed trajectory")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,8 +8,12 @@
 //   clustering <edges.txt> [ranks]      transitivity + average local cc
 //   closure <edges.txt> [ranks]         closure-time survey (3rd column = timestamp)
 //
+// The graph-building subcommands accept --ordering {degree,degeneracy} to
+// pick the <+ vertex order of the DODGr (graph/ordering.hpp).
+//
 // Example:
 //   tripoll_cli gen rmat 14 /tmp/g.txt && tripoll_cli count /tmp/g.txt 8
+//   tripoll_cli census /tmp/g.txt 8 --ordering degeneracy
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,6 +31,7 @@
 #include "gen/web.hpp"
 #include "graph/builder.hpp"
 #include "graph/io.hpp"
+#include "graph/ordering.hpp"
 
 namespace cb = tripoll::callbacks;
 namespace comm = tripoll::comm;
@@ -44,8 +49,40 @@ int usage() {
                "  tripoll_cli count <edges.txt> [ranks] [push_pull|push_only]\n"
                "  tripoll_cli approx <edges.txt> [samples]\n"
                "  tripoll_cli clustering <edges.txt> [ranks]\n"
-               "  tripoll_cli closure <edges.txt> [ranks]\n");
+               "  tripoll_cli closure <edges.txt> [ranks]\n"
+               "options (graph-building subcommands):\n"
+               "  --ordering <degree|degeneracy>   DODGr <+ vertex order (default degree)\n");
   return 2;
+}
+
+/// The --ordering flag, stripped from argv before positional parsing.
+graph::ordering_policy g_ordering = graph::ordering_policy::degree;
+
+/// Strip `--ordering <x>` / `--ordering=<x>` from argv; returns false (and
+/// prints usage) on an unknown ordering name or missing value.
+bool strip_ordering_flag(int& argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string value;
+    if (arg == "--ordering") {
+      if (i + 1 >= argc) return false;
+      value = argv[++i];
+    } else if (arg.rfind("--ordering=", 0) == 0) {
+      value = arg.substr(std::strlen("--ordering="));
+    } else {
+      argv[out++] = argv[i];
+      continue;
+    }
+    const auto parsed = graph::parse_ordering(value);
+    if (!parsed) {
+      std::fprintf(stderr, "unknown ordering '%s'\n", value.c_str());
+      return false;
+    }
+    g_ordering = *parsed;
+  }
+  argc = out;
+  return true;
 }
 
 int cmd_gen(int argc, char** argv) {
@@ -98,7 +135,7 @@ int cmd_gen(int argc, char** argv) {
 template <typename Fn>
 int with_plain_graph_from_file(const std::string& path, int ranks, Fn&& fn) {
   comm::runtime::run(ranks, [&](comm::communicator& c) {
-    graph::graph_builder<graph::none, graph::none> builder(c);
+    graph::graph_builder<graph::none, graph::none> builder(c, g_ordering);
     graph::read_edge_list(c, path, [&](const graph::parsed_edge& e) {
       builder.add_edge(e.u, e.v);
     });
@@ -112,6 +149,7 @@ int with_plain_graph_from_file(const std::string& path, int ranks, Fn&& fn) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (!strip_ordering_flag(argc, argv)) return usage();
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {
@@ -124,12 +162,14 @@ int main(int argc, char** argv) {
       return with_plain_graph_from_file(path, ranks, [](comm::communicator& c, auto& g) {
         const auto s = g.census();
         if (c.rank0()) {
-          std::printf("|V| %llu  |E|(directed) %llu  dmax %llu  dmax+ %llu  |W+| %llu\n",
+          std::printf("|V| %llu  |E|(directed) %llu  dmax %llu  dmax+ %llu  |W+| %llu"
+                      "  (ordering %s)\n",
                       (unsigned long long)s.num_vertices,
                       (unsigned long long)s.num_directed_edges,
                       (unsigned long long)s.max_degree,
                       (unsigned long long)s.max_out_degree,
-                      (unsigned long long)s.wedge_checks);
+                      (unsigned long long)s.wedge_checks,
+                      graph::ordering_name(g.ordering()));
         }
       });
     }
@@ -178,7 +218,7 @@ int main(int argc, char** argv) {
     if (cmd == "closure") {
       comm::runtime::run(ranks, [&](comm::communicator& c) {
         graph::graph_builder<graph::none, std::uint64_t, graph::merge::keep_least>
-            builder(c);
+            builder(c, g_ordering);
         graph::read_edge_list(c, path, [&](const graph::parsed_edge& e) {
           builder.add_edge(e.u, e.v, e.weight.value_or(0));
         });
