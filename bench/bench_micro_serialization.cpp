@@ -75,6 +75,79 @@ void BM_RoundtripWedgeMessage(benchmark::State& state) {
                           static_cast<std::int64_t>(suffix.size()) * 16);
 }
 
+void BM_RoundtripWedgeMessageSum(benchmark::State& state) {
+  // Owning-vector receive path WITH element access (sum), the before side
+  // of the zero-copy comparison: unpack copies every candidate into a
+  // fresh vector, then the handler walks them.
+  struct candidate {
+    std::uint64_t r, deg;
+  };
+  std::vector<candidate> suffix(static_cast<std::size_t>(state.range(0)),
+                                candidate{7, 9});
+  ts::byte_buffer buf(1 << 22);
+  for (auto _ : state) {
+    buf.clear();
+    ts::pack(buf, std::uint32_t{3}, std::uint64_t{11}, std::uint64_t{13}, suffix);
+    ts::buffer_reader rd(buf.view());
+    std::uint32_t h;
+    std::uint64_t q, p;
+    std::vector<candidate> out;
+    ts::unpack(rd, h, q, p, out);
+    std::uint64_t sum = 0;
+    for (const candidate& c : out) sum += c.r + c.deg;
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(suffix.size()) * 16);
+}
+
+void BM_RoundtripWedgeMessageView(benchmark::State& state) {
+  // Zero-copy receive path: the candidate batch is unpacked as a wire_span
+  // viewing the serialized bytes (no allocation, no element copies), the
+  // way the survey engine's wedge handlers consume it.  Elements are still
+  // touched (summed) so the comparison against the vector roundtrip above
+  // reflects access through the view, not just skipping the copy.
+  struct candidate {
+    std::uint64_t r, deg;
+  };
+  std::vector<candidate> suffix(static_cast<std::size_t>(state.range(0)),
+                                candidate{7, 9});
+  ts::byte_buffer buf(1 << 22);
+  for (auto _ : state) {
+    buf.clear();
+    ts::pack(buf, std::uint32_t{3}, std::uint64_t{11}, std::uint64_t{13},
+             ts::as_wire_span(suffix));
+    ts::buffer_reader rd(buf.view());
+    std::uint32_t h;
+    std::uint64_t q, p;
+    ts::wire_span<candidate> out;
+    ts::unpack(rd, h, q, p, out);
+    std::uint64_t sum = 0;
+    for (const candidate c : out) sum += c.r + c.deg;
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(suffix.size()) * 16);
+}
+
+void BM_UnpackStringView(benchmark::State& state) {
+  // Zero-copy string deserialization: string_view pointing into the buffer.
+  ts::byte_buffer buf;
+  const std::string s(static_cast<std::size_t>(state.range(0)), 'y');
+  for (int i = 0; i < 256; ++i) ts::pack(buf, s);
+  for (auto _ : state) {
+    ts::buffer_reader rd(buf.view());
+    std::string_view out;
+    std::size_t total = 0;
+    for (int i = 0; i < 256; ++i) {
+      ts::unpack(rd, out);
+      total += out.size();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetBytesProcessed(state.iterations() * 256 * static_cast<std::int64_t>(s.size()));
+}
+
 void BM_UnpackString(benchmark::State& state) {
   ts::byte_buffer buf;
   const std::string s(static_cast<std::size_t>(state.range(0)), 'y');
@@ -140,6 +213,7 @@ void register_benchmarks(bool quick) {
   for (auto n : string_sizes) {
     tune(benchmark::RegisterBenchmark("BM_PackString", BM_PackString)->Arg(n));
     tune(benchmark::RegisterBenchmark("BM_UnpackString", BM_UnpackString)->Arg(n));
+    tune(benchmark::RegisterBenchmark("BM_UnpackStringView", BM_UnpackStringView)->Arg(n));
   }
 
   const std::vector<std::int64_t> pod_sizes =
@@ -153,6 +227,12 @@ void register_benchmarks(bool quick) {
       quick ? std::vector<std::int64_t>{4, 64} : std::vector<std::int64_t>{4, 64, 1024};
   for (auto n : wedge_sizes) {
     tune(benchmark::RegisterBenchmark("BM_RoundtripWedgeMessage", BM_RoundtripWedgeMessage)
+             ->Arg(n));
+    tune(benchmark::RegisterBenchmark("BM_RoundtripWedgeMessageSum",
+                                      BM_RoundtripWedgeMessageSum)
+             ->Arg(n));
+    tune(benchmark::RegisterBenchmark("BM_RoundtripWedgeMessageView",
+                                      BM_RoundtripWedgeMessageView)
              ->Arg(n));
   }
 

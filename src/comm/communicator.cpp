@@ -36,7 +36,7 @@ void communicator::drain(std::size_t max_buffers) {
     // Only acknowledge after every handler inside the buffer has run; any
     // sends they performed sit in our send buffers and will be flushed
     // before this rank can declare itself idle again.
-    transport_->acknowledge_processed();
+    transport_->acknowledge_processed(rank_);
     // The payload's storage block joins this rank's pool and backs a future
     // outbound buffer; pools redistribute blocks across ranks.
     pool_.recycle(std::move(env.payload));
@@ -52,7 +52,7 @@ void communicator::backoff(unsigned& spins) {
   } else if (spins < 256) {
     std::this_thread::yield();
   } else {
-    std::this_thread::sleep_for(std::chrono::microseconds(20));
+    transport_->wait_for_inbox(rank_, std::chrono::microseconds(50));
   }
 }
 
@@ -64,27 +64,21 @@ void communicator::barrier() {
   flush_all();  // handlers executed in the drain may have buffered new sends
 
   const std::uint64_t my_generation = ++barrier_generation_;
-  transport_->announce_idle();
+  transport_->announce_idle(rank_, my_generation);
 
   unsigned spins = 0;
   auto wait_start = std::chrono::steady_clock::now();
   const double timeout = cfg().barrier_timeout_seconds;
-  while (transport_->done_generation() < my_generation) {
+  while (!transport_->poll_barrier(rank_, my_generation)) {
     if (transport_->aborted()) break;  // fall through to rendezvous-abort path
     if (!transport_->inbox_empty(rank_)) {
-      transport_->retract_idle();
+      transport_->retract_idle(rank_);
       drain(SIZE_MAX);
       flush_all();
-      transport_->announce_idle();
+      transport_->announce_idle(rank_, my_generation);
       spins = 0;
       wait_start = std::chrono::steady_clock::now();  // arrivals are progress
       continue;
-    }
-    if (transport_->quiescent()) {
-      // Quiescence is stable once reached: every rank is idle with empty
-      // buffers and nothing is in flight, so nobody can create new work.
-      transport_->publish_done(my_generation);
-      break;
     }
     backoff(spins);
     if (timeout > 0.0 && spins % 1024 == 0) {
@@ -101,7 +95,7 @@ void communicator::barrier() {
   }
 
   transport_->throw_if_aborted();
-  transport_->exit_rendezvous();
+  transport_->exit_rendezvous(rank_);
 }
 
 }  // namespace tripoll::comm

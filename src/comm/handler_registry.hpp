@@ -2,10 +2,19 @@
 //
 // YGM sends "a function to execute, arguments to pass, and an MPI rank at
 // which to evaluate" (paper Sec. 4.1.3).  Real YGM ships lambda offsets and
-// corrects for ASLR; in this single-process runtime each distinct
-// (Handler, Args...) instantiation registers a deserialize-and-invoke thunk
-// once and is addressed by a dense 32-bit id that is identical on every rank
-// because all ranks share the process.
+// corrects for ASLR; here each distinct (Handler, Args...) instantiation
+// registers a deserialize-and-invoke thunk and is addressed by a dense
+// 32-bit id.
+//
+// Cross-process id stability (socket backend): registration is driven by
+// the dynamic initialization of `thunk_registration<...>::id`, i.e. it
+// happens during static init, before main, in the (fixed) initializer order
+// of the executable image.  Every rank of an SPMD job runs the same binary,
+// so every process assigns identical ids without any negotiation -- the
+// moral equivalent of YGM's ASLR correction.  The table additionally keeps
+// a fingerprint (FNV-1a over registration order and mangled thunk names)
+// that the socket backend exchanges in its HELLO handshake to fail fast if
+// two processes ever disagree (e.g. mismatched binaries).
 #pragma once
 
 #include <array>
@@ -15,6 +24,7 @@
 #include <stdexcept>
 #include <tuple>
 #include <type_traits>
+#include <typeinfo>
 #include <utility>
 
 #include "serial/buffer.hpp"
@@ -31,11 +41,11 @@ namespace detail {
 using thunk_fn = void (*)(communicator& c, serial::buffer_reader& rd);
 
 /// Global thunk table: a dense, fixed-capacity function-pointer array.
-/// Registration (mutex-guarded, once per (Handler, Args...) instantiation)
-/// publishes the entry with a release store on the count; dispatch is a
-/// single indexed load with no lock and no branchy container machinery --
-/// the drain loop resolves the table base once per buffer and indexes it
-/// per message.
+/// Registration (mutex-guarded, once per (Handler, Args...) instantiation,
+/// during static init) publishes the entry with a release store on the
+/// count; dispatch is a single indexed load with no lock and no branchy
+/// container machinery -- the drain loop resolves the table base once per
+/// buffer and indexes it per message.
 class thunk_table {
  public:
   /// Distinct (Handler, Args...) instantiations a process may register.
@@ -49,13 +59,19 @@ class thunk_table {
     return t;
   }
 
-  std::uint32_t register_thunk(thunk_fn fn) {
+  std::uint32_t register_thunk(thunk_fn fn, const char* name) {
     const std::lock_guard lock(mutex_);
     const std::uint32_t id = count_.load(std::memory_order_relaxed);
     if (id >= kMaxThunks) {
       throw std::runtime_error("thunk_table: too many distinct RPC handler types");
     }
     table_[id] = fn;
+    // Fold (id, mangled name) into the running fingerprint: identical
+    // registration order and types <=> identical fingerprint.
+    std::uint64_t fp = fingerprint_.load(std::memory_order_relaxed);
+    fp = fnv1a(fp, reinterpret_cast<const char*>(&id), sizeof(id));
+    for (const char* p = name; *p != '\0'; ++p) fp = fnv1a(fp, p, 1);
+    fingerprint_.store(fp, std::memory_order_relaxed);
     count_.store(id + 1, std::memory_order_release);
     return id;
   }
@@ -77,9 +93,26 @@ class thunk_table {
     return count_.load(std::memory_order_acquire);
   }
 
+  /// Order-and-type digest of the registry, exchanged by the socket
+  /// backend's handshake.  Stable by the time any transport exists because
+  /// all registration happens during static init.
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept {
+    return fingerprint_.load(std::memory_order_acquire);
+  }
+
  private:
+  [[nodiscard]] static std::uint64_t fnv1a(std::uint64_t h, const char* data,
+                                           std::size_t n) noexcept {
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(data[i]));
+      h *= 0x100000001b3ull;
+    }
+    return h;
+  }
+
   std::array<thunk_fn, kMaxThunks> table_{};
   std::atomic<std::uint32_t> count_{0};
+  std::atomic<std::uint64_t> fingerprint_{0xcbf29ce484222325ull};
   std::mutex mutex_;
 };
 
@@ -103,13 +136,27 @@ struct invoker<Handler, std::tuple<Args...>> {
   }
 };
 
-/// The id for a (Handler, Args...) pair.  The magic static guarantees a
-/// single registration per instantiation, process-wide.
+/// The registration of one (Handler, Args...) pair.  The dynamic
+/// initializer of `id` runs during static init of every process that could
+/// ever send or receive this RPC (same binary => same instantiations), in a
+/// fixed order, so ids agree across processes without communication.
 template <typename Handler, typename... Args>
-std::uint32_t handler_id() {
-  static const std::uint32_t id = thunk_table::instance().register_thunk(
-      &invoker<Handler, std::tuple<Args...>>::invoke);
-  return id;
+struct thunk_registration {
+  static const std::uint32_t id;
+};
+
+template <typename Handler, typename... Args>
+const std::uint32_t thunk_registration<Handler, Args...>::id =
+    thunk_table::instance().register_thunk(
+        &invoker<Handler, std::tuple<Args...>>::invoke,
+        typeid(invoker<Handler, std::tuple<Args...>>).name());
+
+/// The id for a (Handler, Args...) pair.  Compiles to a load of an
+/// initialized constant; the registration side effect lives in the static
+/// initializer above.
+template <typename Handler, typename... Args>
+inline std::uint32_t handler_id() {
+  return thunk_registration<Handler, Args...>::id;
 }
 
 }  // namespace detail

@@ -1,19 +1,14 @@
-#include "comm/transport.hpp"
-
-#include <chrono>
+#include "comm/inproc_transport.hpp"
 
 namespace tripoll::comm {
 
-transport::transport(int nranks, config cfg)
-    : nranks_(nranks),
-      cfg_(cfg),
+inproc_transport::inproc_transport(int nranks, config cfg)
+    : transport(nranks, cfg),
       mailboxes_(static_cast<std::size_t>(nranks)),
-      counters_(static_cast<std::size_t>(nranks)) {
-  if (nranks <= 0) throw std::invalid_argument("transport: nranks must be positive");
-}
+      counters_(static_cast<std::size_t>(nranks)) {}
 
-void transport::deliver(int src, int dst, serial::byte_buffer payload,
-                        std::uint64_t n_messages) {
+void inproc_transport::deliver(int src, int dst, serial::byte_buffer payload,
+                               std::uint64_t n_messages) {
   auto& c = counters(src);
   if (src == dst) {
     c.local_bytes.fetch_add(payload.size(), std::memory_order_relaxed);
@@ -30,7 +25,30 @@ void transport::deliver(int src, int dst, serial::byte_buffer payload,
       mailbox::envelope{std::move(payload), src});
 }
 
-void transport::publish_done(std::uint64_t gen) noexcept {
+void inproc_transport::acknowledge_processed(int /*rank*/) {
+  in_flight_.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+void inproc_transport::announce_idle(int /*rank*/, std::uint64_t /*generation*/) {
+  idle_ranks_.fetch_add(1, std::memory_order_seq_cst);
+}
+
+void inproc_transport::retract_idle(int /*rank*/) {
+  idle_ranks_.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+bool inproc_transport::poll_barrier(int /*rank*/, std::uint64_t generation) {
+  if (done_generation_.load(std::memory_order_seq_cst) >= generation) return true;
+  if (quiescent()) {
+    // Quiescence is stable once reached: every rank is idle with empty
+    // buffers and nothing is in flight, so nobody can create new work.
+    publish_done(generation);
+    return true;
+  }
+  return false;
+}
+
+void inproc_transport::publish_done(std::uint64_t gen) noexcept {
   std::uint64_t cur = done_generation_.load(std::memory_order_seq_cst);
   while (cur < gen &&
          !done_generation_.compare_exchange_weak(cur, gen, std::memory_order_seq_cst)) {
@@ -38,7 +56,7 @@ void transport::publish_done(std::uint64_t gen) noexcept {
   }
 }
 
-void transport::exit_rendezvous() {
+void inproc_transport::exit_rendezvous(int /*rank*/) {
   std::unique_lock lock(exit_mutex_);
   const std::uint64_t my_generation = exit_generation_;
   if (++exit_count_ == nranks_) {
@@ -55,16 +73,12 @@ void transport::exit_rendezvous() {
   if (exit_generation_ == my_generation) throw aborted_error{};
 }
 
-void transport::abort_run(std::exception_ptr error) noexcept {
-  {
-    const std::lock_guard lock(error_mutex_);
-    if (!first_error_) first_error_ = error;
-  }
-  aborted_.store(true, std::memory_order_release);
+void inproc_transport::abort_run(std::exception_ptr error) noexcept {
+  record_abort(error);
   exit_cv_.notify_all();
 }
 
-stats_snapshot transport::snapshot() const {
+stats_snapshot inproc_transport::snapshot() const {
   stats_snapshot s;
   for (const auto& c : counters_) {
     s.remote_bytes += c.remote_bytes.load(std::memory_order_relaxed);
@@ -76,7 +90,7 @@ stats_snapshot transport::snapshot() const {
   return s;
 }
 
-stats_snapshot transport::snapshot(int rank) const {
+stats_snapshot inproc_transport::snapshot(int rank) const {
   const auto& c = counters_[static_cast<std::size_t>(rank)];
   stats_snapshot s;
   s.remote_bytes = c.remote_bytes.load(std::memory_order_relaxed);

@@ -1,0 +1,86 @@
+// inproc_transport.hpp -- the threads-as-ranks backend.
+//
+// Every rank is a thread of one process; delivery is a mailbox move and the
+// termination detector is a pair of shared atomic counters (ranks idle,
+// buffers in flight).  This is the fastest backend for single-node runs and
+// the reference implementation the socket backend's conformance tests
+// compare against.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "comm/transport.hpp"
+
+namespace tripoll::comm {
+
+class inproc_transport final : public transport {
+ public:
+  inproc_transport(int nranks, config cfg);
+
+  void deliver(int src, int dst, serial::byte_buffer payload,
+               std::uint64_t n_messages) override;
+
+  bool try_receive(int rank, mailbox::envelope& out) override {
+    return mailboxes_[static_cast<std::size_t>(rank)].try_pop(out);
+  }
+
+  [[nodiscard]] bool inbox_empty(int rank) const override {
+    return mailboxes_[static_cast<std::size_t>(rank)].empty();
+  }
+
+  void wait_for_inbox(int rank, std::chrono::microseconds timeout) override {
+    mailboxes_[static_cast<std::size_t>(rank)].wait_nonempty(timeout);
+  }
+
+  void acknowledge_processed(int rank) override;
+
+  // --- termination detection: shared-memory counters ------------------------
+  // A barrier generation is quiescent when every rank has announced idle and
+  // no delivered buffer is unacknowledged.  Quiescence is stable once
+  // reached (idle ranks with empty buffers cannot create work), so the first
+  // rank to observe it publishes the generation for everyone.
+
+  void announce_idle(int rank, std::uint64_t generation) override;
+  void retract_idle(int rank) override;
+  [[nodiscard]] bool poll_barrier(int rank, std::uint64_t generation) override;
+
+  /// Exit rendezvous: every rank arrives exactly once per barrier; the last
+  /// arrival resets the idle count for the next barrier before releasing.
+  void exit_rendezvous(int rank) override;
+
+  void abort_run(std::exception_ptr error) noexcept override;
+
+  [[nodiscard]] rank_counters& counters(int rank) override {
+    return counters_[static_cast<std::size_t>(rank)];
+  }
+
+  [[nodiscard]] stats_snapshot snapshot() const override;
+  [[nodiscard]] stats_snapshot snapshot(int rank) const override;
+
+ private:
+  [[nodiscard]] bool quiescent() const noexcept {
+    return idle_ranks_.load(std::memory_order_seq_cst) == nranks_ &&
+           in_flight_.load(std::memory_order_seq_cst) == 0;
+  }
+
+  /// Publish that generation `gen` reached quiescence (idempotent; monotone).
+  void publish_done(std::uint64_t gen) noexcept;
+
+  std::vector<mailbox> mailboxes_;
+  std::vector<rank_counters> counters_;
+
+  std::atomic<std::int64_t> in_flight_{0};
+  std::atomic<std::int64_t> idle_ranks_{0};
+  std::atomic<std::uint64_t> done_generation_{0};
+
+  // Exit rendezvous state (a reusable generation barrier with abort support).
+  std::mutex exit_mutex_;
+  std::condition_variable exit_cv_;
+  int exit_count_ = 0;
+  std::uint64_t exit_generation_ = 0;
+};
+
+}  // namespace tripoll::comm

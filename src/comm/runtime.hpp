@@ -1,32 +1,141 @@
-// runtime.hpp -- SPMD launcher for the threads-as-ranks runtime.
+// runtime.hpp -- SPMD launchers for the distributed runtime.
 //
-// `runtime::run(n, rank_main)` plays the role of mpirun: it spawns `n`
-// rank threads, hands each a communicator, executes `rank_main(comm)` on
-// every rank, performs a final implicit barrier (so fire-and-forget messages
-// in flight at return are still delivered), and joins.  The first exception
-// thrown on any rank aborts the whole run and is rethrown to the caller.
+// Thread-spawn mode (`runtime::run`) plays the role of mpirun for the
+// inproc backend: it spawns `n` rank threads over one inproc_transport,
+// hands each a communicator, executes `rank_main(comm)` on every rank,
+// performs a final implicit barrier (so fire-and-forget messages in flight
+// at return are still delivered), and joins.  The first exception thrown on
+// any rank aborts the whole run and is rethrown to the caller.
+//
+// Process-spawn mode runs ranks as real OS processes over the socket
+// backend:
+//   * `run_socket_rank` executes THIS process as one rank of an existing
+//     rendezvous (options usually from TRIPOLL_* env vars) -- this is what
+//     `tripoll_cli --backend socket` uses when an external launcher starts
+//     N copies.
+//   * `run_socket_local` is the self-contained local launcher: it forks
+//     `n` child processes connected over Unix-domain sockets in a fresh
+//     rendezvous directory, waits for all of them, and throws if any rank
+//     failed.  Because the children are forked after `rank_main` exists,
+//     no argv/env plumbing is needed -- but each child is a genuinely
+//     separate process: no memory is shared and every RPC crosses a real
+//     socket.
 #pragma once
 
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <dirent.h>
 #include <exception>
 #include <functional>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "comm/communicator.hpp"
 #include "comm/config.hpp"
+#include "comm/inproc_transport.hpp"
+#include "comm/socket_transport.hpp"
 #include "comm/stats.hpp"
 #include "comm/transport.hpp"
 
 namespace tripoll::comm {
 
+/// Which byte-moving substrate a run uses.
+enum class backend_kind { inproc, socket };
+
+[[nodiscard]] inline const char* backend_name(backend_kind b) noexcept {
+  return b == backend_kind::inproc ? "inproc" : "socket";
+}
+
+namespace detail {
+
+/// Fresh Unix-socket rendezvous directory for a forked local run.
+[[nodiscard]] inline std::string make_rendezvous_dir() {
+  const char* base = std::getenv("TMPDIR");
+  std::string tmpl = std::string(base && *base ? base : "/tmp") + "/tripoll-sock-XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  if (::mkdtemp(buf.data()) == nullptr) {
+    throw std::runtime_error("runtime: mkdtemp failed: " + std::string(std::strerror(errno)));
+  }
+  return std::string(buf.data());
+}
+
+inline void remove_rendezvous_dir(const std::string& dir) noexcept {
+  if (DIR* d = ::opendir(dir.c_str())) {
+    while (dirent* e = ::readdir(d)) {
+      const std::string name = e->d_name;
+      if (name == "." || name == "..") continue;
+      ::unlink((dir + "/" + name).c_str());
+    }
+    ::closedir(d);
+  }
+  ::rmdir(dir.c_str());
+}
+
+/// Wait for every child; throw a summary if any rank failed.  Exit code 3
+/// marks a rank that aborted because ANOTHER rank failed (its stderr stays
+/// quiet), so the summary points at the root cause.
+inline void wait_for_children(const std::vector<pid_t>& pids) {
+  std::string primary;    // ranks that failed in their own right
+  int secondary_aborts = 0;  // ranks that unwound because a peer failed
+  for (std::size_t r = 0; r < pids.size(); ++r) {
+    int status = 0;
+    pid_t waited;
+    while ((waited = ::waitpid(pids[r], &status, 0)) < 0 && errno == EINTR) {
+    }
+    if (waited < 0) {
+      // waitpid itself failed (e.g. ECHILD under SIG_IGN'd SIGCHLD): the
+      // rank's outcome is unknown -- report it, never assume success.
+      if (!primary.empty()) primary += ", ";
+      primary += "rank " + std::to_string(r) +
+                 " unwaitable: " + std::string(std::strerror(errno));
+      continue;
+    }
+    int code = -1;
+    if (WIFEXITED(status)) code = WEXITSTATUS(status);
+    if (code == 0) continue;
+    if (code == 3) {
+      ++secondary_aborts;
+      continue;
+    }
+    if (!primary.empty()) primary += ", ";
+    if (WIFSIGNALED(status)) {
+      primary += "rank " + std::to_string(r) + " killed by signal " +
+                 std::to_string(WTERMSIG(status));
+    } else {
+      primary +=
+          "rank " + std::to_string(r) + " exited with status " + std::to_string(code);
+    }
+  }
+  if (!primary.empty()) {
+    throw std::runtime_error("socket run failed (" + primary +
+                             "; see rank stderr for the error)");
+  }
+  if (secondary_aborts > 0) {
+    throw std::runtime_error("socket run failed (" + std::to_string(secondary_aborts) +
+                             " rank(s) aborted by a peer)");
+  }
+}
+
+}  // namespace detail
+
 class runtime {
  public:
-  /// Run `rank_main(communicator&)` on `nranks` simulated ranks.  Returns
-  /// the aggregate communication statistics of the whole run.
+  /// Run `rank_main(communicator&)` on `nranks` threads-as-ranks over the
+  /// inproc backend.  Returns the aggregate communication statistics of the
+  /// whole run.
   template <typename F>
   static stats_snapshot run(int nranks, F&& rank_main, config cfg = {}) {
-    transport t(nranks, cfg);
+    inproc_transport t(nranks, cfg);
     {
       std::vector<std::jthread> threads;
       threads.reserve(static_cast<std::size_t>(nranks));
@@ -44,6 +153,105 @@ class runtime {
     }  // join
     if (t.first_error()) std::rethrow_exception(t.first_error());
     return t.snapshot();
+  }
+
+  /// Run THIS process as one rank of a socket-backend job (rendezvous from
+  /// `opts`, typically socket_options::from_env()).  Returns the global
+  /// all-reduced communication statistics, identical on every rank.
+  template <typename F>
+  static stats_snapshot run_socket_rank(F&& rank_main, socket_options opts,
+                                        config cfg = {}) {
+    socket_transport t(opts, cfg);
+    communicator c(t, t.rank());
+    stats_snapshot global{};
+    try {
+      rank_main(c);
+      c.barrier();  // final drain: deliver outstanding RPCs
+      global = c.global_stats();
+    } catch (...) {
+      t.abort_run(std::current_exception());
+    }
+    if (t.first_error()) std::rethrow_exception(t.first_error());
+    return global;
+  }
+
+  /// Fork `nranks` local processes connected over Unix-domain sockets and
+  /// run `rank_main` as one real process per rank.  Throws when any rank
+  /// fails (the failing rank prints its error to stderr).  Must be called
+  /// from a single-threaded process state (launchers/tests), as fork with
+  /// live rank threads is undefined behavior territory.
+  template <typename F>
+  static void run_socket_local(int nranks, F&& rank_main, config cfg = {}) {
+    if (nranks <= 0) throw std::invalid_argument("runtime: nranks must be positive");
+    const std::string dir = detail::make_rendezvous_dir();
+    std::vector<pid_t> pids;
+    pids.reserve(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) {
+      const pid_t pid = ::fork();
+      if (pid < 0) {
+        for (const pid_t running : pids) ::kill(running, SIGKILL);
+        for (const pid_t running : pids) (void)::waitpid(running, nullptr, 0);
+        detail::remove_rendezvous_dir(dir);
+        throw std::runtime_error("runtime: fork failed: " +
+                                 std::string(std::strerror(errno)));
+      }
+      if (pid == 0) {
+        int status = 0;
+        try {
+          socket_options opts;
+          opts.rank = r;
+          opts.nranks = nranks;
+          opts.socket_dir = dir;
+          (void)run_socket_rank(rank_main, opts, cfg);
+        } catch (const aborted_error&) {
+          status = 3;  // secondary failure: another rank aborted the run
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "tripoll socket rank %d: %s\n", r, e.what());
+          status = 1;
+        } catch (...) {
+          std::fprintf(stderr, "tripoll socket rank %d: unknown error\n", r);
+          status = 1;
+        }
+        std::fflush(nullptr);
+        std::_Exit(status);  // skip the parent's atexit/static-destructor state
+      }
+      pids.push_back(pid);
+    }
+    try {
+      detail::wait_for_children(pids);
+    } catch (...) {
+      detail::remove_rendezvous_dir(dir);
+      throw;
+    }
+    detail::remove_rendezvous_dir(dir);
+  }
+
+  /// Backend-dispatching convenience used by the CLI and benches: inproc
+  /// runs threads in-process; socket forks `nranks` local processes (or, if
+  /// `TRIPOLL_RANK` is set, joins an externally launched rendezvous as that
+  /// single rank).
+  template <typename F>
+  static void run_backend(backend_kind backend, int nranks, F&& rank_main,
+                          config cfg = {}) {
+    if (backend == backend_kind::inproc) {
+      (void)run(nranks, std::forward<F>(rank_main), cfg);
+      return;
+    }
+    if (std::getenv("TRIPOLL_RANK") != nullptr) {
+      auto opts = socket_options::from_env();
+      if (opts.nranks == 0) {
+        opts.nranks = nranks;
+      } else if (opts.nranks != nranks) {
+        // A silently-winning env var would make the caller-reported rank
+        // count (e.g. the CLI's printed header) lie about the actual job.
+        throw std::invalid_argument(
+            "runtime: TRIPOLL_NRANKS=" + std::to_string(opts.nranks) +
+            " conflicts with the requested rank count " + std::to_string(nranks));
+      }
+      (void)run_socket_rank(std::forward<F>(rank_main), opts, cfg);
+      return;
+    }
+    run_socket_local(nranks, std::forward<F>(rank_main), cfg);
   }
 };
 

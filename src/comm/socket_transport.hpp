@@ -1,0 +1,259 @@
+// socket_transport.hpp -- one OS process per rank, connected over sockets.
+//
+// The real-multi-process backend the ROADMAP calls for: each rank is a
+// separate process, so every RPC genuinely crosses a serialization boundary
+// and no state is shared.  Mechanics:
+//
+//   * Rendezvous: rank r listens on its own endpoint -- a Unix-domain
+//     socket `<socket_dir>/rank-<r>.sock` or `hosts[r]` ("host:port") for
+//     TCP -- then connects to every lower rank and accepts from every
+//     higher one, forming a full mesh.  Discovery comes from
+//     `socket_options::from_env()` (TRIPOLL_RANK, TRIPOLL_NRANKS,
+//     TRIPOLL_SOCKET_DIR, TRIPOLL_HOSTS) or explicit options (the
+//     fork-based local launcher in runtime.hpp).
+//   * Handshake: a HELLO frame carries the sender's rank plus the handler
+//     registry's count and fingerprint; a mismatch (different binaries)
+//     fails fast instead of dispatching the wrong handler.
+//   * Framing: length-prefixed frames (serial::frame_header).  DATA frames
+//     carry flushed communicator buffers; control frames drive termination
+//     detection and failure propagation.
+//   * Receive path: one receiver thread polls all peer connections and
+//     feeds DATA payloads into this rank's mailbox; control frames are
+//     handled on the receiver thread itself.
+//   * Termination detection: the shared in_flight_/idle_ranks_ counters of
+//     the inproc backend become messages.  Each rank announces IDLE to rank
+//     0 with its cumulative (sent, received) DATA-frame counts.  When rank
+//     0 has an idle report from everyone for the current generation it runs
+//     a probe wave (Mattern-style double counting): every rank replies with
+//     its current state, and the barrier completes only if nobody moved
+//     since its report and global sent == received -- i.e. nothing is in
+//     flight anywhere.  DONE is then broadcast.  Announce-then-probe forms
+//     the two sequential waves that make the count comparison sound.
+//   * Failure propagation: abort_run broadcasts an ABORT frame with the
+//     error text; an unexpected connection teardown (EOF without a prior
+//     FIN frame) aborts the run on whoever observes it, so a crashed rank
+//     takes the job down instead of deadlocking it.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comm/transport.hpp"
+
+namespace tripoll::comm {
+
+/// Bootstrap parameters of one rank of a socket-backend job.
+struct socket_options {
+  int rank = -1;
+  int nranks = 0;
+
+  /// Unix-domain mode: directory holding one `rank-<r>.sock` per rank.
+  std::string socket_dir;
+
+  /// TCP mode: one "host:port" endpoint per rank (overrides socket_dir).
+  std::vector<std::string> hosts;
+
+  /// Give-up deadline for the initial mesh rendezvous (peers may still be
+  /// launching) and for blocking handshake reads.
+  double connect_timeout_seconds = 30.0;
+
+  /// Read TRIPOLL_RANK, TRIPOLL_NRANKS, TRIPOLL_SOCKET_DIR and
+  /// TRIPOLL_HOSTS (comma-separated host:port list).
+  [[nodiscard]] static socket_options from_env();
+};
+
+class socket_transport final : public transport {
+ public:
+  socket_transport(const socket_options& opts, config cfg = {});
+  ~socket_transport() override;
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+
+  // --- transport interface --------------------------------------------------
+
+  void deliver(int src, int dst, serial::byte_buffer payload,
+               std::uint64_t n_messages) override;
+
+  bool try_receive(int rank, mailbox::envelope& out) override {
+    (void)rank;
+    return inbox_.try_pop(out);
+  }
+
+  [[nodiscard]] bool inbox_empty(int rank) const override {
+    (void)rank;
+    return inbox_.empty();
+  }
+
+  void wait_for_inbox(int rank, std::chrono::microseconds timeout) override {
+    (void)rank;
+    inbox_.wait_nonempty(timeout);
+  }
+
+  void acknowledge_processed(int rank) override {
+    (void)rank;
+    recv_total_.fetch_add(1, std::memory_order_seq_cst);
+  }
+
+  void announce_idle(int rank, std::uint64_t generation) override;
+  void retract_idle(int rank) override;
+  [[nodiscard]] bool poll_barrier(int rank, std::uint64_t generation) override;
+
+  /// Post-quiescence exit alignment, preserving the inproc guarantee that
+  /// no rank proceeds past a barrier (and possibly delivers next-phase
+  /// messages) while a peer is still inside its poll loop: every rank sends
+  /// EXIT to rank 0, which broadcasts RELEASE once all have arrived.
+  void exit_rendezvous(int rank) override;
+
+  void abort_run(std::exception_ptr error) noexcept override;
+
+  [[nodiscard]] rank_counters& counters(int rank) override {
+    (void)rank;
+    return counters_;
+  }
+
+  [[nodiscard]] stats_snapshot snapshot() const override;
+  [[nodiscard]] stats_snapshot snapshot(int rank) const override {
+    (void)rank;
+    return snapshot();
+  }
+
+ private:
+  enum class frame_type : std::uint8_t {
+    hello = 1,
+    data = 2,
+    idle = 3,
+    probe = 4,
+    probe_reply = 5,
+    done = 6,
+    abort_run_ = 7,
+    fin = 8,
+    exit_barrier = 9,
+    release = 10,
+  };
+
+  // Per-peer send discipline: the rank's main thread may write BLOCKING
+  // (its progress is guaranteed by the remote receiver, which always keeps
+  // reading), but the receiver thread must NEVER block on a send -- a
+  // receiver parked on a full socket stops draining, and two ranks doing
+  // that to each other deadlock.  Receiver-originated control frames are
+  // therefore enqueued into `pending_out` and flushed opportunistically
+  // (non-blocking try here, POLLOUT in the poll loop, or the main thread's
+  // next blocking write, which always drains the queue first to keep frame
+  // order).
+  struct peer {
+    int fd = -1;
+    std::mutex write_mutex;          ///< serializes actual fd writes
+    std::mutex queue_mutex;          ///< guards pending_out
+    std::vector<std::byte> pending_out;
+    std::atomic<bool> has_pending{false};
+    std::atomic<bool> fin_received{false};
+    /// Set by the receiver on EOF/error; the fd stays allocated until the
+    /// destructor (single closer) so no thread ever writes to a reused fd.
+    std::atomic<bool> dead{false};
+  };
+
+  /// One rank's consistent idle sample: barrier generation, announce
+  /// sequence number, cumulative DATA frames sent / processed.
+  struct report {
+    std::uint64_t gen = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t sent = 0;
+    std::uint64_t recv = 0;
+    bool idle = false;
+
+    friend bool operator==(const report&, const report&) = default;
+  };
+
+  // --- rendezvous -----------------------------------------------------------
+  void bind_and_listen(const socket_options& opts);
+  void connect_mesh(const socket_options& opts);
+  void send_hello(int fd) const;
+  [[nodiscard]] int read_hello(int fd, double deadline_seconds) const;
+
+  // --- framing --------------------------------------------------------------
+  /// Blocking send (main thread only): flushes queued control bytes first,
+  /// then writes the frame.
+  void send_frame(int dest, frame_type type, const std::byte* body, std::size_t n);
+  /// Never-blocking sends (safe on the receiver thread): write what the
+  /// socket accepts immediately, queue the rest for POLLOUT.  Convert hard
+  /// send errors into abort_run instead of throwing.
+  void post_frame(int dest, frame_type type, const std::byte* body,
+                  std::size_t n) noexcept;
+  void post_control_u64(int dest, frame_type type, const std::uint64_t* words,
+                        std::size_t n_words) noexcept;
+  void flush_pending_blocking_locked(peer& p);      // write_mutex held
+  void try_flush_pending(peer& p) noexcept;         // never blocks
+  void wake_receiver() noexcept;
+
+  // --- receiver thread ------------------------------------------------------
+  void receive_loop();
+  /// Read and dispatch one frame from peer `src`; false on EOF.
+  bool read_frame(int src);
+  void handle_probe(std::uint64_t epoch);
+  void connection_lost(int src);
+
+  // --- local idle state (seq/consistency via idle_mutex_) ------------------
+  [[nodiscard]] report snapshot_idle_state();
+
+  // --- coordinator (rank 0) -------------------------------------------------
+  void coordinator_note_idle(int from, const report& rep);
+  void coordinator_probe_reply(int from, std::uint64_t epoch, const report& rep);
+  void coordinator_probe_reply_locked(int from, std::uint64_t epoch, const report& rep);
+  void coordinator_maybe_start_wave_locked();
+  void publish_done(std::uint64_t gen);
+  void coordinator_note_exit(std::uint64_t gen);
+
+  int rank_ = -1;
+  mailbox inbox_;
+  rank_counters counters_;
+
+  // Cumulative DATA-frame counts: the distributed replacement for the
+  // inproc backend's shared in_flight_ counter.
+  std::atomic<std::uint64_t> sent_total_{0};
+  std::atomic<std::uint64_t> recv_total_{0};
+
+  // Announced idle state, sampled consistently under idle_mutex_ (announce
+  // and probe replies are barrier-frequency events; a mutex is simpler and
+  // plenty fast).
+  std::mutex idle_mutex_;
+  bool idle_ = false;
+  std::uint64_t idle_seq_ = 0;
+  std::uint64_t announced_gen_ = 0;
+  std::uint64_t announced_sent_ = 0;
+  std::uint64_t announced_recv_ = 0;
+
+  std::atomic<std::uint64_t> done_generation_{0};
+  std::atomic<std::uint64_t> release_generation_{0};
+  std::uint64_t exit_generation_ = 0;  ///< this rank's exit_rendezvous count
+
+  // Wakes exit_rendezvous waiters when RELEASE lands (or the run aborts)
+  // instead of sleep-polling.
+  std::mutex gen_mutex_;
+  std::condition_variable gen_cv_;
+
+  struct coordinator_state {
+    std::mutex mutex;
+    std::vector<report> reports;        ///< latest idle report per rank
+    std::uint64_t epoch_counter = 0;
+    std::uint64_t wave_epoch = 0;       ///< 0 = no wave outstanding
+    std::vector<report> wave_snapshot;  ///< reports frozen at wave start
+    int wave_pending = 0;
+    bool wave_failed = false;
+    int exit_count = 0;                 ///< EXIT arrivals for the current generation
+  } coord_;
+
+  std::vector<std::unique_ptr<peer>> peers_;  ///< indexed by rank; self unused
+  int listen_fd_ = -1;
+  std::string listen_path_;  ///< unix-domain socket file to unlink
+  int wake_pipe_[2] = {-1, -1};
+  std::thread receiver_;
+  std::atomic<bool> shutting_down_{false};
+};
+
+}  // namespace tripoll::comm

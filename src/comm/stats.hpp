@@ -38,6 +38,17 @@ struct stats_snapshot {
     return a;
   }
 
+  /// Element-wise sum, so per-rank snapshots can be all-reduced into global
+  /// totals that agree on every rank regardless of backend.
+  friend stats_snapshot operator+(stats_snapshot a, const stats_snapshot& b) {
+    a.remote_bytes += b.remote_bytes;
+    a.local_bytes += b.local_bytes;
+    a.buffers_sent += b.buffers_sent;
+    a.messages_sent += b.messages_sent;
+    a.handlers_run += b.handlers_run;
+    return a;
+  }
+
   /// Total bytes that would traverse a network, the paper's
   /// "communication volume".
   [[nodiscard]] std::uint64_t volume() const noexcept { return remote_bytes; }

@@ -1,19 +1,29 @@
-// transport.hpp -- shared state of the threads-as-ranks runtime.
+// transport.hpp -- the pluggable rank-to-rank byte-moving substrate.
 //
 // The transport plays the role MPI plays for YGM: it moves opaque byte
 // buffers between ranks and provides the collective rendezvous needed for
 // barriers.  All cross-rank communication in this repository flows through
 // here, so its counters are the ground truth for the communication-volume
 // results (Table 4 reproduction).
+//
+// This header defines only the abstract backend interface; concrete
+// backends live next to it:
+//   * inproc_transport.hpp  -- the original threads-as-ranks backend: every
+//     rank is a thread of one process and delivery is a mailbox move.
+//   * socket_transport.hpp  -- one OS process per rank, connected over
+//     TCP/Unix-domain sockets with length-prefixed frames and a
+//     coordinator-based distributed termination detector.
+//
+// The communicator is written against this interface alone, so backends are
+// interchangeable under every survey, baseline and bench.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
+#include <chrono>
 #include <cstdint>
 #include <exception>
 #include <mutex>
 #include <stdexcept>
-#include <vector>
 
 #include "comm/config.hpp"
 #include "comm/mailbox.hpp"
@@ -22,15 +32,22 @@
 namespace tripoll::comm {
 
 /// Thrown on ranks that observe another rank's failure so the whole run
-/// unwinds instead of deadlocking in a barrier.
+/// unwinds instead of deadlocking in a barrier.  Carries the originating
+/// rank's error text when the backend transported one (socket ABORT frame).
 class aborted_error : public std::runtime_error {
  public:
   aborted_error() : std::runtime_error("tripoll::comm run aborted by another rank") {}
+  explicit aborted_error(const std::string& remote_what)
+      : std::runtime_error("aborted by peer rank: " + remote_what) {}
 };
 
+/// Abstract byte-moving backend.  An instance represents this process's view
+/// of the whole job: the inproc backend hosts every rank, the socket backend
+/// hosts exactly one.  Methods taking a `rank` argument may only be called
+/// for ranks hosted in this process, and only from that rank's thread.
 class transport {
  public:
-  transport(int nranks, config cfg);
+  virtual ~transport() = default;
 
   transport(const transport&) = delete;
   transport& operator=(const transport&) = delete;
@@ -38,57 +55,51 @@ class transport {
   [[nodiscard]] int nranks() const noexcept { return nranks_; }
   [[nodiscard]] const config& cfg() const noexcept { return cfg_; }
 
-  /// Deliver a flushed buffer from `src` to `dst`.  `n_messages` is the
-  /// number of logical RPCs inside (for stats only).
-  void deliver(int src, int dst, serial::byte_buffer payload,
-               std::uint64_t n_messages);
+  // --- data plane ---------------------------------------------------------
+
+  /// Deliver a flushed buffer from `src` (a rank hosted here) to `dst` (any
+  /// rank).  `n_messages` is the number of logical RPCs inside (stats only).
+  virtual void deliver(int src, int dst, serial::byte_buffer payload,
+                       std::uint64_t n_messages) = 0;
 
   /// Non-blocking receive for rank `rank`.
-  bool try_receive(int rank, mailbox::envelope& out) {
-    return mailboxes_[static_cast<std::size_t>(rank)].try_pop(out);
-  }
+  virtual bool try_receive(int rank, mailbox::envelope& out) = 0;
 
-  [[nodiscard]] bool inbox_empty(int rank) const {
-    return mailboxes_[static_cast<std::size_t>(rank)].empty();
-  }
+  [[nodiscard]] virtual bool inbox_empty(int rank) const = 0;
+
+  /// Block until rank `rank`'s inbox is non-empty or `timeout` elapses; used
+  /// by the barrier's deep-backoff stage instead of a blind sleep.
+  virtual void wait_for_inbox(int rank, std::chrono::microseconds timeout) = 0;
 
   /// Called by a rank after it fully processed one delivered buffer
-  /// (including running all handlers inside it).
-  void acknowledge_processed() noexcept { in_flight_.fetch_sub(1, std::memory_order_seq_cst); }
+  /// (including running all handlers inside it).  The termination detector
+  /// balances these acknowledgements against deliveries.
+  virtual void acknowledge_processed(int rank) = 0;
 
-  [[nodiscard]] std::int64_t in_flight() const noexcept {
-    return in_flight_.load(std::memory_order_seq_cst);
-  }
+  // --- termination-detection barrier --------------------------------------
+  // Ranks entering barrier `generation` alternate between announcing
+  // themselves idle and retracting to process late arrivals; the barrier
+  // completes when every rank is idle and no buffer is in flight anywhere.
+  // How quiescence is established is backend-specific: shared-memory
+  // counters in-process, a coordinator-run counting protocol over sockets.
 
-  // --- termination-detection barrier ------------------------------------
-  // Ranks entering the barrier alternate between announcing themselves idle
-  // and retracting to process late arrivals; the barrier completes when all
-  // ranks are idle and no buffer is in flight.  See communicator::barrier.
+  virtual void announce_idle(int rank, std::uint64_t generation) = 0;
+  virtual void retract_idle(int rank) = 0;
 
-  void announce_idle() noexcept { idle_ranks_.fetch_add(1, std::memory_order_seq_cst); }
-  void retract_idle() noexcept { idle_ranks_.fetch_sub(1, std::memory_order_seq_cst); }
+  /// Poll step of the barrier loop: advance the backend's detection protocol
+  /// and return true once `generation` is known globally quiescent.
+  [[nodiscard]] virtual bool poll_barrier(int rank, std::uint64_t generation) = 0;
 
-  [[nodiscard]] bool quiescent() const noexcept {
-    return idle_ranks_.load(std::memory_order_seq_cst) == nranks_ &&
-           in_flight_.load(std::memory_order_seq_cst) == 0;
-  }
+  /// Post-quiescence rendezvous hook: backends that reuse shared barrier
+  /// state (inproc) hold every rank here until the state is reset for the
+  /// next generation.  Throws aborted_error if the run aborted meanwhile.
+  virtual void exit_rendezvous(int rank) = 0;
 
-  /// Publish that generation `gen` reached quiescence (idempotent; monotone).
-  void publish_done(std::uint64_t gen) noexcept;
+  // --- failure propagation -------------------------------------------------
 
-  [[nodiscard]] std::uint64_t done_generation() const noexcept {
-    return done_generation_.load(std::memory_order_seq_cst);
-  }
-
-  /// Exit rendezvous: every rank arrives exactly once per barrier; the last
-  /// arrival resets the idle count for the next barrier before releasing.
-  /// Throws aborted_error if the run was aborted while waiting.
-  void exit_rendezvous();
-
-  // --- failure propagation ----------------------------------------------
-
-  /// Record the first exception and wake all waiters.
-  void abort_run(std::exception_ptr error) noexcept;
+  /// Record the first exception, mark the run aborted, and wake/notify every
+  /// rank (remote ranks hear about it via backend messages or teardown).
+  virtual void abort_run(std::exception_ptr error) noexcept = 0;
 
   [[nodiscard]] bool aborted() const noexcept {
     return aborted_.load(std::memory_order_acquire);
@@ -100,41 +111,46 @@ class transport {
 
   [[nodiscard]] std::exception_ptr first_error() const noexcept { return first_error_; }
 
-  // --- stats --------------------------------------------------------------
+  // --- stats ----------------------------------------------------------------
 
-  [[nodiscard]] rank_counters& counters(int rank) noexcept {
-    return counters_[static_cast<std::size_t>(rank)];
-  }
+  /// Monotone send/execute counters of a rank hosted in this process.
+  [[nodiscard]] virtual rank_counters& counters(int rank) = 0;
 
-  /// Aggregate counters across all ranks (monotone; subtract snapshots for
-  /// per-phase numbers).  Note this is a racy point-in-time view: other
-  /// ranks' counters keep moving, so two ranks bracketing the same phase can
-  /// observe different aggregates.  For metrics that must agree on every
-  /// rank, use the per-rank snapshot below and all_reduce the deltas.
-  [[nodiscard]] stats_snapshot snapshot() const;
+  /// Aggregate counters over the ranks hosted in THIS process: the whole job
+  /// for the inproc backend, one rank for the socket backend.  Racy
+  /// point-in-time view; for metrics that must agree everywhere, all-reduce
+  /// per-rank snapshot deltas instead (communicator::global_stats()).
+  [[nodiscard]] virtual stats_snapshot snapshot() const = 0;
 
   /// Counters of `rank`'s own sends only.  A rank's counters are written
   /// exclusively from that rank's thread, so between two barriers this view
   /// is exact and deterministic for the bracketing rank.
-  [[nodiscard]] stats_snapshot snapshot(int rank) const;
+  [[nodiscard]] virtual stats_snapshot snapshot(int rank) const = 0;
 
- private:
+ protected:
+  transport(int nranks, config cfg) : nranks_(nranks), cfg_(cfg) {
+    if (nranks <= 0) throw std::invalid_argument("transport: nranks must be positive");
+  }
+
+  /// Latch the first error and set the aborted flag (backend-agnostic part
+  /// of abort_run).  Returns true when this call was the first abort.
+  bool record_abort(std::exception_ptr error) noexcept {
+    bool first = false;
+    {
+      const std::lock_guard lock(error_mutex_);
+      if (!first_error_) {
+        first_error_ = error;
+        first = true;
+      }
+    }
+    aborted_.store(true, std::memory_order_release);
+    return first;
+  }
+
   int nranks_;
   config cfg_;
 
-  std::vector<mailbox> mailboxes_;
-  std::vector<rank_counters> counters_;
-
-  std::atomic<std::int64_t> in_flight_{0};
-  std::atomic<std::int64_t> idle_ranks_{0};
-  std::atomic<std::uint64_t> done_generation_{0};
-
-  // Exit rendezvous state (a reusable generation barrier with abort support).
-  std::mutex exit_mutex_;
-  std::condition_variable exit_cv_;
-  int exit_count_ = 0;
-  std::uint64_t exit_generation_ = 0;
-
+ private:
   std::atomic<bool> aborted_{false};
   std::exception_ptr first_error_;
   std::mutex error_mutex_;

@@ -128,6 +128,26 @@ struct pulled_entry {
   }
 };
 
+/// Receive-side type of a shipped element batch.  For bitwise metadata (the
+/// common case: plain counting, timestamps) the batch arrives as a
+/// serial::wire_span viewing the drained transport payload directly -- the
+/// receive path performs zero copies and zero allocations per batch.  Rich
+/// metadata (strings, containers) keeps the owning vector.  Both encode
+/// identically on the wire, so this is purely a receive-path optimization.
+template <typename T>
+using batch_arg =
+    std::conditional_t<serial::detail::bitwise<T>, serial::wire_span<T>, std::vector<T>>;
+
+/// Sender-side adapter matching batch_arg<T>'s deserialization type.
+template <typename T>
+[[nodiscard]] decltype(auto) as_batch_arg(const std::vector<T>& v) noexcept {
+  if constexpr (serial::detail::bitwise<T>) {
+    return serial::as_wire_span(v);
+  } else {
+    return (v);
+  }
+}
+
 }  // namespace core::detail
 
 /// Survey engine: one instance per rank, constructed collectively.  Usually
@@ -237,7 +257,8 @@ class survey_engine {
     local_candidates_ += candidates.size();
     ++local_push_batches_;
     comm_->async(graph_->owner(q_entry.target), wedge_batch_handler{}, handle_,
-                 q_entry.target, p, rec.meta, q_entry.edge_meta, candidates);
+                 q_entry.target, p, rec.meta, q_entry.edge_meta,
+                 core::detail::as_batch_arg(candidates));
   }
 
   void fire_callback(const view_type& view) {
@@ -265,7 +286,7 @@ class survey_engine {
   struct wedge_batch_handler {
     void operator()(comm::communicator& c, comm::dist_handle<self> h, graph::vertex_id q,
                     graph::vertex_id p, const VertexMeta& meta_p, const EdgeMeta& meta_pq,
-                    const std::vector<candidate_type>& candidates) {
+                    const core::detail::batch_arg<candidate_type>& candidates) {
       self& eng = c.resolve(h);
       const record_type* rec_q = eng.graph_->local_find(q);
       assert(rec_q != nullptr);
@@ -371,14 +392,16 @@ class survey_engine {
         entries.push_back(pulled_type{e.target, e.target_rank, e.edge_meta});
       }
       for (const int dest : ranks) {
-        comm_->async(dest, pulled_adj_handler{}, handle_, q, rec_q->meta, entries);
+        comm_->async(dest, pulled_adj_handler{}, handle_, q, rec_q->meta,
+                     core::detail::as_batch_arg(entries));
       }
     }
   }
 
   struct pulled_adj_handler {
     void operator()(comm::communicator& c, comm::dist_handle<self> h, graph::vertex_id q,
-                    const VertexMeta& meta_q, const std::vector<pulled_type>& entries) {
+                    const VertexMeta& meta_q,
+                    const core::detail::batch_arg<pulled_type>& entries) {
       self& eng = c.resolve(h);
       auto it = eng.targets_.find(q);
       assert(it != eng.targets_.end());

@@ -243,6 +243,53 @@ class buffer_pool {
   std::uint64_t recycled_ = 0;
 };
 
+// ---------------------------------------------------------------------------
+// Wire framing (socket transport).
+// ---------------------------------------------------------------------------
+
+/// Length-prefixed frame header used by stream transports: 4-byte
+/// little-endian body length, 1-byte frame type, 3 reserved bytes.  The
+/// fixed 8-byte size keeps the header a single read/write and leaves the
+/// body 8-byte aligned when the header lands on an aligned boundary.
+struct frame_header {
+  static constexpr std::size_t kWireSize = 8;
+
+  std::uint32_t body_len = 0;
+  std::uint8_t type = 0;
+
+  void encode(std::byte out[kWireSize]) const noexcept {
+    out[0] = static_cast<std::byte>(body_len & 0xFF);
+    out[1] = static_cast<std::byte>((body_len >> 8) & 0xFF);
+    out[2] = static_cast<std::byte>((body_len >> 16) & 0xFF);
+    out[3] = static_cast<std::byte>((body_len >> 24) & 0xFF);
+    out[4] = static_cast<std::byte>(type);
+    out[5] = out[6] = out[7] = std::byte{0};
+  }
+
+  [[nodiscard]] static frame_header decode(const std::byte in[kWireSize]) noexcept {
+    frame_header h;
+    h.body_len = static_cast<std::uint32_t>(in[0]) |
+                 (static_cast<std::uint32_t>(in[1]) << 8) |
+                 (static_cast<std::uint32_t>(in[2]) << 16) |
+                 (static_cast<std::uint32_t>(in[3]) << 24);
+    h.type = static_cast<std::uint8_t>(in[4]);
+    return h;
+  }
+};
+
+/// Little-endian fixed-width u64 helpers for control-frame bodies (control
+/// frames use fixed offsets, not varints, so they can be parsed without a
+/// reader).
+inline void store_u64_le(std::byte* out, std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<std::byte>((v >> (8 * i)) & 0xFF);
+}
+
+[[nodiscard]] inline std::uint64_t load_u64_le(const std::byte* in) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  return v;
+}
+
 /// Bounds-checked sequential reader over a span of bytes.  The reader does
 /// not own the storage; callers must keep the underlying buffer alive.
 class buffer_reader {

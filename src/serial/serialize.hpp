@@ -263,12 +263,100 @@ struct serialize_traits<std::string> {
   }
 };
 
-/// string_view is write-only: there is no storage to deserialize into.
+/// string_view round-trips against the same wire format as std::string.  On
+/// the read side the view points INTO the source buffer (zero copy): it is
+/// valid only while the buffer lives -- for RPC handlers, until the handler
+/// returns.  Handlers that keep the text must copy it into owning storage.
 template <>
 struct serialize_traits<std::string_view> {
   static void write(writer& ar, std::string_view s) {
     ar.write_varint(s.size());
     ar.write_raw(s.data(), s.size());
+  }
+  static void read(reader& ar, std::string_view& s) {
+    const auto n = ar.read_varint();
+    if (n == 0) {
+      s = {};
+      return;
+    }
+    const auto bytes = ar.source().take(n);
+    s = std::string_view(reinterpret_cast<const char*>(bytes.data()), n);
+  }
+};
+
+/// Borrowed view over the wire encoding of a vector<T> for bitwise T: same
+/// format (varint count + packed elements), but deserialization takes no
+/// copy -- the view points into the drained transport payload and its
+/// iterators materialize elements via unaligned loads (elements sit behind
+/// varints, so the bytes are not suitably aligned for a real std::span).
+/// Lifetime matches the source buffer: for RPC handlers, the view dies with
+/// the handler.  Senders can pass `as_wire_span(vec)` so both sides of an
+/// RPC agree on the argument type while the wire bytes stay identical to
+/// sending the vector itself.
+template <typename T>
+class wire_span {
+  static_assert(detail::bitwise<T>,
+                "wire_span elements must be bitwise-serializable; use "
+                "std::vector for types with serialize()");
+
+ public:
+  using value_type = T;
+  using const_iterator = detail::raw_read_iterator<T>;
+
+  wire_span() = default;
+  wire_span(const std::byte* data, std::size_t count) noexcept
+      : data_(data), count_(count) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+
+  [[nodiscard]] const_iterator begin() const noexcept { return const_iterator(data_); }
+  [[nodiscard]] const_iterator end() const noexcept {
+    return const_iterator(data_ + count_ * sizeof(T));
+  }
+
+  [[nodiscard]] T operator[](std::size_t i) const noexcept {
+    return begin()[static_cast<std::ptrdiff_t>(i)];
+  }
+  [[nodiscard]] T front() const noexcept { return *begin(); }
+  [[nodiscard]] T back() const noexcept { return (*this)[count_ - 1]; }
+
+  /// Owning copy for callers that must outlive the source buffer.
+  [[nodiscard]] std::vector<T> to_vector() const {
+    return std::vector<T>(begin(), end());
+  }
+
+  /// Raw byte view of the element stream (wire encoding minus the count).
+  [[nodiscard]] const std::byte* data() const noexcept { return data_; }
+
+ private:
+  const std::byte* data_ = nullptr;
+  std::size_t count_ = 0;
+};
+
+/// View a vector's elements as a wire_span for sending (the vector's
+/// contiguous storage is trivially also a valid element stream).
+template <typename T, typename Alloc>
+[[nodiscard]] wire_span<T> as_wire_span(const std::vector<T, Alloc>& v) noexcept {
+  return wire_span<T>(reinterpret_cast<const std::byte*>(v.data()), v.size());
+}
+
+template <typename T>
+struct serialize_traits<wire_span<T>> {
+  static void write(writer& ar, const wire_span<T>& s) {
+    ar.write_varint(s.size());
+    // A sender-side wire_span always views contiguous element storage (a
+    // vector or a received payload), so the raw bytes are the encoding.
+    ar.write_raw(s.data(), s.size() * sizeof(T));
+  }
+  static void read(reader& ar, wire_span<T>& s) {
+    const auto n = ar.read_varint();
+    // Guard n*sizeof(T) against wrap before trusting the length prefix.
+    if (n > ar.source().remaining() / sizeof(T)) {
+      throw deserialize_error("wire_span length prefix exceeds buffer");
+    }
+    const auto bytes = ar.source().take(n * sizeof(T));
+    s = wire_span<T>(bytes.data(), n);
   }
 };
 

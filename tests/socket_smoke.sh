@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Cross-backend multi-process smoke test (ctest: socket_smoke).
+#
+# Launches tripoll_cli N times as genuinely separate OS processes joined
+# through TRIPOLL_RANK/TRIPOLL_NRANKS/TRIPOLL_SOCKET_DIR (the external-
+# launcher path of the socket backend) and asserts that triangle counts and
+# per-phase survey metrics are bit-identical to the inproc threads-as-ranks
+# run on the rmat/temporal/web ablation presets, plus a file-based count
+# through the fork launcher (`--backend socket` without TRIPOLL_RANK).
+#
+# Usage: socket_smoke.sh <path-to-tripoll_cli>
+set -u
+CLI="${1:?usage: socket_smoke.sh <tripoll_cli>}"
+RANKS=4
+DELTA="${TRIPOLL_SMOKE_DELTA:--2}"
+
+work="$(mktemp -d "${TMPDIR:-/tmp}/tripoll-smoke-XXXXXX")"
+trap 'rm -rf "$work"' EXIT
+fail=0
+
+# Run one CLI invocation as $RANKS separate processes; prints rank 0's stdout.
+run_socket_external() {
+  local sockdir="$work/sock.$$.$RANDOM"
+  mkdir -p "$sockdir"
+  local pids=() r
+  for r in $(seq 0 $((RANKS - 1))); do
+    TRIPOLL_RANK=$r TRIPOLL_NRANKS=$RANKS TRIPOLL_SOCKET_DIR="$sockdir" \
+      "$CLI" "$@" --backend socket >"$work/out.$r" 2>"$work/err.$r" &
+    pids+=($!)
+  done
+  local status=0 p
+  for p in "${pids[@]}"; do
+    wait "$p" || status=1
+  done
+  if [ "$status" -ne 0 ]; then
+    echo "socket_smoke: rank process failed for: $*" >&2
+    cat "$work"/err.* >&2
+    return 1
+  fi
+  cat "$work/out.0"
+}
+
+echo "== preset surveys: inproc vs $RANKS socket processes (delta $DELTA) =="
+for preset in rmat temporal web; do
+  "$CLI" preset "$preset" "$RANKS" "$DELTA" >"$work/inproc.$preset" || fail=1
+  run_socket_external preset "$preset" "$RANKS" "$DELTA" >"$work/socket.$preset" || fail=1
+  if diff -u "$work/inproc.$preset" "$work/socket.$preset"; then
+    echo "preset $preset: IDENTICAL"
+  else
+    echo "preset $preset: MISMATCH between inproc and socket backends" >&2
+    fail=1
+  fi
+done
+
+echo "== file-based count through the fork launcher =="
+"$CLI" gen rmat 10 "$work/g.txt" >/dev/null || fail=1
+inproc_count="$("$CLI" count "$work/g.txt" "$RANKS" | grep -o 'triangles [0-9]*')"
+socket_count="$("$CLI" count "$work/g.txt" "$RANKS" --backend socket | grep -o 'triangles [0-9]*')"
+echo "inproc: $inproc_count   socket: $socket_count"
+if [ -z "$inproc_count" ] || [ "$inproc_count" != "$socket_count" ]; then
+  echo "socket_smoke: triangle count mismatch" >&2
+  fail=1
+fi
+
+# Both orderings must agree across backends as well.
+ordering_inproc="$("$CLI" count "$work/g.txt" "$RANKS" --ordering degeneracy | grep -o 'triangles [0-9]*')"
+ordering_socket="$("$CLI" count "$work/g.txt" "$RANKS" --ordering degeneracy --backend socket | grep -o 'triangles [0-9]*')"
+echo "degeneracy inproc: $ordering_inproc   socket: $ordering_socket"
+if [ -z "$ordering_inproc" ] || [ "$ordering_inproc" != "$ordering_socket" ]; then
+  echo "socket_smoke: degeneracy-ordering count mismatch" >&2
+  fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "socket_smoke: FAILED" >&2
+  exit 1
+fi
+echo "socket_smoke: OK"

@@ -1,19 +1,32 @@
 // tripoll_cli -- command-line driver for the TriPoll library.
 //
-// Subcommands (all run on the simulated distributed runtime):
+// Subcommands (all run on the distributed runtime):
 //   gen <kind> <scale> <out.txt>        generate an edge list (rmat|er|web|temporal)
 //   census <edges.txt> [ranks]          |V|, |E|, degrees, |W+| of a file
 //   count <edges.txt> [ranks] [mode]    exact triangle count (push_pull|push_only)
 //   approx <edges.txt> [samples]        wedge-sampling estimate
 //   clustering <edges.txt> [ranks]      transitivity + average local cc
 //   closure <edges.txt> [ranks]         closure-time survey (3rd column = timestamp)
+//   preset <rmat|temporal|web> [ranks] [delta]
+//                                       build an ablation preset and print the
+//                                       deterministic survey metrics (used by the
+//                                       cross-backend smoke test)
 //
-// The graph-building subcommands accept --ordering {degree,degeneracy} to
-// pick the <+ vertex order of the DODGr (graph/ordering.hpp).
+// Options:
+//   --ordering {degree,degeneracy}   DODGr <+ vertex order (graph-building cmds)
+//   --backend {inproc,socket}        transport backend (default inproc)
 //
-// Example:
-//   tripoll_cli gen rmat 14 /tmp/g.txt && tripoll_cli count /tmp/g.txt 8
-//   tripoll_cli census /tmp/g.txt 8 --ordering degeneracy
+// Backend selection: `--backend socket` runs every rank as a separate OS
+// process.  Without TRIPOLL_RANK set, the CLI forks <ranks> local processes
+// connected over Unix-domain sockets.  With TRIPOLL_RANK / TRIPOLL_NRANKS /
+// TRIPOLL_SOCKET_DIR (or TRIPOLL_HOSTS) set by an external launcher, this
+// process joins the rendezvous as that single rank -- launch the CLI once
+// per rank:
+//
+//   for r in 0 1 2 3; do
+//     TRIPOLL_RANK=$r TRIPOLL_NRANKS=4 TRIPOLL_SOCKET_DIR=/tmp/tp  (one line)
+//       tripoll_cli count /tmp/g.txt 4 --backend socket &
+//   done; wait
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,7 +38,9 @@
 #include "core/analytics.hpp"
 #include "core/callbacks.hpp"
 #include "core/survey.hpp"
+#include "gen/distribute.hpp"
 #include "gen/erdos_renyi.hpp"
+#include "gen/presets.hpp"
 #include "gen/rmat.hpp"
 #include "gen/temporal.hpp"
 #include "gen/web.hpp"
@@ -50,39 +65,71 @@ int usage() {
                "  tripoll_cli approx <edges.txt> [samples]\n"
                "  tripoll_cli clustering <edges.txt> [ranks]\n"
                "  tripoll_cli closure <edges.txt> [ranks]\n"
-               "options (graph-building subcommands):\n"
-               "  --ordering <degree|degeneracy>   DODGr <+ vertex order (default degree)\n");
+               "  tripoll_cli preset <rmat|temporal|web> [ranks] [delta]\n"
+               "options:\n"
+               "  --ordering <degree|degeneracy>  DODGr <+ vertex order (default degree)\n"
+               "  --backend <inproc|socket>       transport backend (default inproc;\n"
+               "                                  socket forks one process per rank, or\n"
+               "                                  joins a TRIPOLL_RANK rendezvous)\n");
   return 2;
 }
 
-/// The --ordering flag, stripped from argv before positional parsing.
+/// Flags stripped from argv before positional parsing.
 graph::ordering_policy g_ordering = graph::ordering_policy::degree;
+comm::backend_kind g_backend = comm::backend_kind::inproc;
 
-/// Strip `--ordering <x>` / `--ordering=<x>` from argv; returns false (and
-/// prints usage) on an unknown ordering name or missing value.
-bool strip_ordering_flag(int& argc, char** argv) {
+/// Strip `--flag <x>` / `--flag=<x>` style options from argv; returns false
+/// (and prints usage) on an unknown value or missing argument.
+bool strip_flags(int& argc, char** argv) {
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
+    std::string name;
     std::string value;
-    if (arg == "--ordering") {
-      if (i + 1 >= argc) return false;
-      value = argv[++i];
-    } else if (arg.rfind("--ordering=", 0) == 0) {
-      value = arg.substr(std::strlen("--ordering="));
-    } else {
+    for (const char* flag : {"--ordering", "--backend"}) {
+      const std::string prefix = std::string(flag) + "=";
+      if (arg == flag) {
+        if (i + 1 >= argc) return false;
+        name = flag;
+        value = argv[++i];
+        break;
+      }
+      if (arg.rfind(prefix, 0) == 0) {
+        name = flag;
+        value = arg.substr(prefix.size());
+        break;
+      }
+    }
+    if (name.empty()) {
       argv[out++] = argv[i];
       continue;
     }
-    const auto parsed = graph::parse_ordering(value);
-    if (!parsed) {
-      std::fprintf(stderr, "unknown ordering '%s'\n", value.c_str());
-      return false;
+    if (name == "--ordering") {
+      const auto parsed = graph::parse_ordering(value);
+      if (!parsed) {
+        std::fprintf(stderr, "unknown ordering '%s'\n", value.c_str());
+        return false;
+      }
+      g_ordering = *parsed;
+    } else if (name == "--backend") {
+      if (value == "inproc") {
+        g_backend = comm::backend_kind::inproc;
+      } else if (value == "socket") {
+        g_backend = comm::backend_kind::socket;
+      } else {
+        std::fprintf(stderr, "unknown backend '%s' (inproc|socket)\n", value.c_str());
+        return false;
+      }
     }
-    g_ordering = *parsed;
   }
   argc = out;
   return true;
+}
+
+/// Run `fn` on `ranks` ranks over the selected backend.
+template <typename F>
+void run_spmd(int ranks, F&& fn) {
+  comm::runtime::run_backend(g_backend, ranks, std::forward<F>(fn));
 }
 
 int cmd_gen(int argc, char** argv) {
@@ -134,7 +181,7 @@ int cmd_gen(int argc, char** argv) {
 
 template <typename Fn>
 int with_plain_graph_from_file(const std::string& path, int ranks, Fn&& fn) {
-  comm::runtime::run(ranks, [&](comm::communicator& c) {
+  run_spmd(ranks, [&](comm::communicator& c) {
     graph::graph_builder<graph::none, graph::none> builder(c, g_ordering);
     graph::read_edge_list(c, path, [&](const graph::parsed_edge& e) {
       builder.add_edge(e.u, e.v);
@@ -146,14 +193,90 @@ int with_plain_graph_from_file(const std::string& path, int ranks, Fn&& fn) {
   return 0;
 }
 
+/// Deterministic survey report of one ablation preset: everything printed
+/// is a global count or an all-reduced sum, so the output is bit-identical
+/// across backends and ranks (wall times deliberately omitted).  The
+/// socket-smoke ctest diffs this against the inproc run.
+int cmd_preset(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string which = argv[2];
+  const int ranks = argc > 3 ? std::atoi(argv[3]) : 4;
+  const int delta = argc > 4 ? std::atoi(argv[4]) : -2;
+  if (which != "rmat" && which != "temporal" && which != "web") return usage();
+
+  run_spmd(ranks, [&](comm::communicator& c) {
+    gen::plain_graph g(c);
+    graph::graph_builder<graph::none, graph::none> builder(c, g_ordering);
+    if (which == "rmat") {
+      const auto spec = gen::livejournal_like(delta);
+      const gen::rmat_generator rmat(spec.rmat);
+      gen::for_rank_slice(c, rmat.num_edges(), [&](std::uint64_t k) {
+        const auto e = rmat.edge_at(k);
+        builder.add_edge(e.u, e.v);
+      });
+    } else if (which == "temporal") {
+      gen::temporal_params params;
+      params.scale = static_cast<std::uint32_t>(std::max(8, 13 + delta));
+      const gen::temporal_generator tgen(params);
+      gen::for_rank_slice(c, tgen.num_edges(), [&](std::uint64_t k) {
+        const auto e = tgen.edge_at(k);
+        builder.add_edge(e.u, e.v);
+      });
+    } else {
+      const auto spec = gen::standard_suite(delta)[3];  // webcc12-host-like
+      const gen::web_generator wgen(spec.web);
+      gen::for_rank_slice(c, wgen.num_edges(), [&](std::uint64_t k) {
+        const auto e = wgen.edge_at(k);
+        builder.add_edge(e.u, e.v);
+      });
+    }
+    builder.build_into(g);
+
+    cb::count_context ctx;
+    const auto r = tripoll::triangle_survey(g, cb::count_callback{}, ctx, {});
+    const auto triangles = ctx.global_count(c);
+    const auto census = g.census();
+    if (c.rank0()) {
+      std::printf("preset %s ranks %d delta %d ordering %s mode push_pull\n",
+                  which.c_str(), ranks, delta, graph::ordering_name(g.ordering()));
+      std::printf("census |V| %llu |E|+ %llu dmax %llu dmax+ %llu |W+| %llu\n",
+                  (unsigned long long)census.num_vertices,
+                  (unsigned long long)census.num_directed_edges,
+                  (unsigned long long)census.max_degree,
+                  (unsigned long long)census.max_out_degree,
+                  (unsigned long long)census.wedge_checks);
+      std::printf("triangles %llu\n", (unsigned long long)triangles);
+      std::printf("phase dry_run volume %llu messages %llu\n",
+                  (unsigned long long)r.dry_run.volume_bytes,
+                  (unsigned long long)r.dry_run.messages);
+      std::printf("phase push volume %llu messages %llu\n",
+                  (unsigned long long)r.push.volume_bytes,
+                  (unsigned long long)r.push.messages);
+      std::printf("phase pull volume %llu messages %llu\n",
+                  (unsigned long long)r.pull.volume_bytes,
+                  (unsigned long long)r.pull.messages);
+      std::printf("totals volume %llu messages %llu pulls %llu push_batches %llu "
+                  "candidates %llu filtered %llu\n",
+                  (unsigned long long)r.total.volume_bytes,
+                  (unsigned long long)r.total.messages,
+                  (unsigned long long)r.pulls_granted,
+                  (unsigned long long)r.push_batches,
+                  (unsigned long long)r.wedge_candidates,
+                  (unsigned long long)r.proposals_filtered);
+    }
+  });
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (!strip_ordering_flag(argc, argv)) return usage();
+  if (!strip_flags(argc, argv)) return usage();
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {
     if (cmd == "gen") return cmd_gen(argc, argv);
+    if (cmd == "preset") return cmd_preset(argc, argv);
     if (argc < 3) return usage();
     const std::string path = argv[2];
     const int ranks = argc > 3 ? std::atoi(argv[3]) : 4;
@@ -216,7 +339,7 @@ int main(int argc, char** argv) {
       });
     }
     if (cmd == "closure") {
-      comm::runtime::run(ranks, [&](comm::communicator& c) {
+      run_spmd(ranks, [&](comm::communicator& c) {
         graph::graph_builder<graph::none, std::uint64_t, graph::merge::keep_least>
             builder(c, g_ordering);
         graph::read_edge_list(c, path, [&](const graph::parsed_edge& e) {
