@@ -42,8 +42,9 @@ int main() {
     gen::build_temporal_graph(c, g, params);
     comm::counting_set<cb::closure_bin> counters(c);
     cb::closure_time_context ctx{&counters};
-    result = tripoll::triangle_survey(g, cb::closure_time_callback{}, ctx,
-                                      {tripoll::survey_mode::push_pull});
+    result = cb::plan_for(g, cb::closure_time_callback{}, ctx)
+                 .run({tripoll::survey_mode::push_pull})
+                 .slice(0);
     counters.finalize();
     auto gathered = counters.gather_all();  // collective: all ranks participate
     if (c.rank0()) joint = std::move(gathered);

@@ -43,8 +43,9 @@ int main() {
       gen::build_temporal_graph(c, g, params);
       comm::counting_set<cb::closure_bin> counters(c);
       cb::closure_time_context ctx{&counters};
-      result = tripoll::triangle_survey(g, cb::closure_time_callback{}, ctx,
-                                        {tripoll::survey_mode::push_pull});
+      result = cb::plan_for(g, cb::closure_time_callback{}, ctx)
+                   .run({tripoll::survey_mode::push_pull})
+                   .slice(0);
       counters.finalize();
     });
     if (base_time == 0.0) base_time = result.total.seconds;

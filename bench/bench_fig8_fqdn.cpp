@@ -56,8 +56,9 @@ int main() {
       gen::plain_graph g(c);
       gen::build_dataset(c, g, spec);
       cb::count_context ctx;
-      const auto r = tripoll::triangle_survey(g, cb::count_callback{}, ctx,
-                                              {tripoll::survey_mode::push_pull});
+      const auto r = cb::plan_for(g, cb::count_callback{}, ctx)
+                         .run({tripoll::survey_mode::push_pull})
+                         .slice(0);
       const auto total = ctx.global_count(c);
       if (c.rank0()) {
         plain_seconds = r.total.seconds;
@@ -78,8 +79,9 @@ int main() {
     // increment becomes an RPC; emulate that regime here.
     comm::counting_set<cb::fqdn_tuple> counters(c, /*cache_capacity=*/64);
     cb::fqdn_tuple_context ctx{&counters};
-    const auto r = tripoll::triangle_survey(g, cb::fqdn_tuple_callback{}, ctx,
-                                            {tripoll::survey_mode::push_pull});
+    const auto r = cb::plan_for(g, cb::fqdn_tuple_callback{}, ctx)
+                       .run({tripoll::survey_mode::push_pull})
+                       .slice(0);
     counters.finalize();
     const auto distinct = c.all_reduce_sum(ctx.distinct_fqdn_triangles);
     const auto uniq = counters.global_size();

@@ -37,10 +37,15 @@ int main(int argc, char** argv) {
     gen::temporal_graph g(c);
     gen::build_temporal_graph(c, g, params);
 
+    // Plan with the callback's declared minimal projections: vertex metadata
+    // is dropped and edge metadata ships as its 8-byte timestamp -- here the
+    // edges already ARE uint64 timestamps, but the same plan runs unchanged
+    // (and saves the wire) when edges carry rich structs.
     comm::counting_set<cb::closure_bin> counters(c);
     cb::closure_time_context ctx{&counters};
-    const auto result = tripoll::triangle_survey(g, cb::closure_time_callback{}, ctx,
-                                                 {tripoll::survey_mode::push_pull});
+    const auto result = cb::plan_for(g, cb::closure_time_callback{}, ctx)
+                            .run({tripoll::survey_mode::push_pull})
+                            .slice(0);
     counters.finalize();
     const auto joint = counters.gather_all();
 

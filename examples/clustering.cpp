@@ -38,8 +38,12 @@ int main(int argc, char** argv) {
     graph::dodgr<graph::none, graph::none> g(c);
     builder.build_into(g);
 
-    // Clustering coefficients (per-vertex participation survey under the hood).
-    const auto s = ta::clustering_coefficients(g);
+    // Both analytics from ONE fused survey plan: the per-vertex
+    // participation callback (clustering) and the per-edge support callback
+    // (truss primitive) share a single dry-run/push/pull traversal, so the
+    // wedge traffic is paid once instead of twice.
+    comm::counting_set<ta::edge_key> support(c);
+    const auto s = ta::clustering_and_support(g, support);
     if (c.rank0()) {
       std::printf("triangles            : %llu\n", (unsigned long long)s.triangles);
       std::printf("global transitivity  : %.4f  (3|T| / %llu wedges)\n",
@@ -49,8 +53,6 @@ int main(int argc, char** argv) {
     }
 
     // Edge support distribution (how trussy is the graph?).
-    comm::counting_set<ta::edge_key> support(c);
-    ta::edge_support(g, support);
     std::vector<std::uint64_t> local_supports;
     support.for_all_local([&](const ta::edge_key&, std::uint64_t n) {
       local_supports.push_back(n);

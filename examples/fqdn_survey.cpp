@@ -39,10 +39,16 @@ int main(int argc, char** argv) {
     gen::web_graph g(c);
     gen::build_web_graph(c, g, params);
 
+    // Plan with the callback's declared projections: the FQDN strings ship
+    // (vertex identity projection) but edge metadata is dropped.  Received
+    // FQDNs reach the callback as string_views into the transport payload;
+    // nothing is copied until a tuple actually survives the distinctness
+    // filter.
     comm::counting_set<cb::fqdn_tuple> counters(c);
     cb::fqdn_tuple_context ctx{&counters};
-    const auto result = tripoll::triangle_survey(g, cb::fqdn_tuple_callback{}, ctx,
-                                                 {tripoll::survey_mode::push_pull});
+    const auto result = cb::plan_for(g, cb::fqdn_tuple_callback{}, ctx)
+                            .run({tripoll::survey_mode::push_pull})
+                            .slice(0);
     counters.finalize();
 
     const auto distinct_triangles = c.all_reduce_sum(ctx.distinct_fqdn_triangles);

@@ -60,11 +60,14 @@ int main(int argc, char** argv) {
     builder.build_into(g);
     const auto census = g.census();
 
-    // 3. Survey: the callback increments a rank-local counter per triangle;
-    //    a final all-reduce produces the global count (Alg. 2).
+    // 3. Survey plan: register the counting callback (Alg. 2) and run one
+    //    traversal.  count_callback declares drop projections, so the
+    //    traversal would ship zero metadata bytes even on a rich graph;
+    //    more .add(callback, context) pairs would fuse into the same pass.
     cb::count_context ctx;
-    const auto result = tripoll::triangle_survey(g, cb::count_callback{}, ctx,
-                                                 {tripoll::survey_mode::push_pull});
+    const auto result = cb::plan_for(g, cb::count_callback{}, ctx)
+                            .run({tripoll::survey_mode::push_pull})
+                            .slice(0);
     const auto triangles = ctx.global_count(c);
 
     if (c.rank0()) {

@@ -1,4 +1,5 @@
-// callbacks.hpp -- prebuilt survey callbacks and their contexts.
+// callbacks.hpp -- prebuilt survey callbacks, their contexts, and their
+// declared minimal wire projections.
 //
 // Each of the paper's example analyses is a (callback, context) pair for the
 // survey engine:
@@ -9,6 +10,16 @@
 //   * Sec. 5.9 -- degree-triple survey (the "nontrivial metadata" workload)
 //   * local counting -- per-vertex/per-edge participation counts, the truss /
 //     clustering-coefficient building block the paper cites
+//
+// Every callback additionally DECLARES the minimal sender-side projections
+// it needs (`vertex_projection` / `edge_projection` nested aliases): what
+// must cross the wire for the analysis to run.  `plan_for(g, cb, ctx)`
+// builds a survey plan preconfigured with those projections, so e.g. a
+// closure-time survey over rich edge structs ships 8-byte timestamps and a
+// plain count ships no metadata at all.  Passing a callback through the
+// legacy `triangle_survey` wrapper instead runs it with identity
+// projections (full metadata on the wire) -- results are identical either
+// way, only the traffic differs.
 #pragma once
 
 #include <algorithm>
@@ -16,6 +27,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <string_view>
 #include <tuple>
 #include <utility>
 
@@ -23,6 +35,38 @@
 #include "core/survey.hpp"
 
 namespace tripoll::callbacks {
+
+// --- reusable projections ---------------------------------------------------------
+
+/// Edge metadata reduced to its uint64 timestamp (anything explicitly
+/// convertible).  Rich edge structs that expose `timestamp()` or a
+/// conversion ship 8 bytes instead of the struct.
+struct timestamp_projection {
+  template <typename T>
+  [[nodiscard]] std::uint64_t operator()(const T& meta) const noexcept {
+    return static_cast<std::uint64_t>(meta);
+  }
+};
+
+/// Vertex metadata reduced to a uint64 degree-like scalar.
+struct degree_projection {
+  template <typename T>
+  [[nodiscard]] std::uint64_t operator()(const T& meta) const noexcept {
+    return static_cast<std::uint64_t>(meta);
+  }
+};
+
+/// Survey plan preconfigured with `Cb`'s declared minimal projections: the
+/// traversal ships exactly what the analysis reads.  Chain further `.add`s
+/// onto the result to fuse more callbacks into the same traversal (they
+/// must be satisfied by the same projections).
+template <typename Cb, typename VertexMeta, typename EdgeMeta, typename Context>
+[[nodiscard]] auto plan_for(graph::dodgr<VertexMeta, EdgeMeta>& g, Cb cb, Context& ctx) {
+  return tripoll::survey(g)
+      .project_vertex(typename Cb::vertex_projection{})
+      .project_edge(typename Cb::edge_projection{})
+      .add(std::move(cb), ctx);
+}
 
 // --- Alg. 2: triangle counting ---------------------------------------------------
 
@@ -36,6 +80,9 @@ struct count_context {
 };
 
 struct count_callback {
+  using vertex_projection = drop_projection;  ///< counting reads no metadata
+  using edge_projection = drop_projection;
+
   template <typename View>
   void operator()(const View& /*view*/, count_context& ctx) const {
     ++ctx.triangles;
@@ -52,6 +99,9 @@ struct max_edge_label_context {
 };
 
 struct max_edge_label_callback {
+  using vertex_projection = identity_projection;  ///< label distinctness test
+  using edge_projection = identity_projection;    ///< the surveyed labels
+
   template <typename View, typename EdgeLabel>
   void operator()(const View& view, max_edge_label_context<EdgeLabel>& ctx) const {
     // Only triangles whose three vertex labels are pairwise distinct.
@@ -78,21 +128,37 @@ struct max_edge_label_callback {
 /// Joint (open, close) histogram key.
 using closure_bin = std::pair<std::uint32_t, std::uint32_t>;
 
+/// Sort-free (open, close) bin of three edge timestamps: min/max scans plus
+/// an overflow-proof xor recover the middle element, with no per-triangle
+/// array materialization and std::sort.
+[[nodiscard]] inline closure_bin closure_bin_of(std::uint64_t a, std::uint64_t b,
+                                                std::uint64_t c) noexcept {
+  const std::uint64_t lo = std::min({a, b, c});
+  const std::uint64_t hi = std::max({a, b, c});
+  const std::uint64_t mid = a ^ b ^ c ^ lo ^ hi;  // the remaining element
+  const std::uint64_t open_dt = mid - lo;   // wedge opening time
+  const std::uint64_t close_dt = hi - lo;   // triangle closing time
+  return closure_bin{log2_bin(open_dt), log2_bin(close_dt)};
+}
+
 struct closure_time_context {
   comm::counting_set<closure_bin>* counters = nullptr;
 };
 
-/// Edge metadata must be (convertible to) a uint64 timestamp.
+/// Edge metadata must be (convertible to) a uint64 timestamp; pair with the
+/// declared `timestamp_projection` (plan_for) so rich edge structs ship 8
+/// wire bytes each.  The per-edge projection extracted the timestamp once
+/// on the sender; `closure_bin_of` orders the three sort-free.
 struct closure_time_callback {
+  using vertex_projection = drop_projection;  ///< only edge times are read
+  using edge_projection = timestamp_projection;
+
   template <typename View>
   void operator()(const View& view, closure_time_context& ctx) const {
-    std::array<std::uint64_t, 3> ts{static_cast<std::uint64_t>(view.meta_pq),
-                                    static_cast<std::uint64_t>(view.meta_pr),
-                                    static_cast<std::uint64_t>(view.meta_qr)};
-    std::sort(ts.begin(), ts.end());
-    const std::uint64_t open_dt = ts[1] - ts[0];   // wedge opening time
-    const std::uint64_t close_dt = ts[2] - ts[0];  // triangle closing time
-    ctx.counters->async_increment(closure_bin{log2_bin(open_dt), log2_bin(close_dt)});
+    ctx.counters->async_increment(
+        closure_bin_of(static_cast<std::uint64_t>(view.meta_pq),
+                       static_cast<std::uint64_t>(view.meta_pr),
+                       static_cast<std::uint64_t>(view.meta_qr)));
   }
 };
 
@@ -106,6 +172,9 @@ struct degree_triple_context {
 
 /// Vertex metadata must be (convertible to) the vertex degree.
 struct degree_triple_callback {
+  using vertex_projection = degree_projection;  ///< 8 bytes per vertex meta
+  using edge_projection = drop_projection;
+
   template <typename View>
   void operator()(const View& view, degree_triple_context& ctx) const {
     ctx.counters->async_increment(
@@ -126,19 +195,25 @@ struct fqdn_tuple_context {
 };
 
 /// Vertex metadata must be a string (the FQDN).  Counts only triangles whose
-/// three FQDNs are pairwise distinct, like the paper's analysis.
+/// three FQDNs are pairwise distinct, like the paper's analysis.  String
+/// metadata reaches the callback as std::string_view into the drained
+/// payload (the engine never copies received FQDNs); only the surviving
+/// canonical tuples are materialized as owning strings.
 struct fqdn_tuple_callback {
+  using vertex_projection = identity_projection;  ///< the FQDNs themselves
+  using edge_projection = drop_projection;
+
   template <typename View>
   void operator()(const View& view, fqdn_tuple_context& ctx) const {
-    const std::string& a = view.meta_p;
-    const std::string& b = view.meta_q;
-    const std::string& c = view.meta_r;
+    const std::string_view a = view.meta_p;
+    const std::string_view b = view.meta_q;
+    const std::string_view c = view.meta_r;
     if (a == b || b == c || a == c) return;
     ++ctx.distinct_fqdn_triangles;
-    std::array<const std::string*, 3> sorted{&a, &b, &c};
-    std::sort(sorted.begin(), sorted.end(),
-              [](const std::string* x, const std::string* y) { return *x < *y; });
-    ctx.counters->async_increment(fqdn_tuple{*sorted[0], *sorted[1], *sorted[2]});
+    std::array<std::string_view, 3> sorted{a, b, c};
+    std::sort(sorted.begin(), sorted.end());
+    ctx.counters->async_increment(
+        fqdn_tuple{std::string(sorted[0]), std::string(sorted[1]), std::string(sorted[2])});
   }
 };
 
@@ -154,6 +229,9 @@ struct enumerate_context {
 };
 
 struct enumerate_callback {
+  using vertex_projection = drop_projection;  ///< ids only
+  using edge_projection = drop_projection;
+
   template <typename View>
   void operator()(const View& view, enumerate_context& ctx) const {
     std::fprintf(ctx.out, "%llu %llu %llu\n",
@@ -173,6 +251,9 @@ struct local_count_context {
 };
 
 struct local_count_callback {
+  using vertex_projection = drop_projection;  ///< ids only
+  using edge_projection = drop_projection;
+
   template <typename View>
   void operator()(const View& view, local_count_context& ctx) const {
     ctx.per_vertex->async_increment(view.p);

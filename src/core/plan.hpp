@@ -1,0 +1,310 @@
+// plan.hpp -- the declarative survey-plan API (what a traversal ships, and
+// who consumes it).
+//
+// A plan is built fluently and describes a survey BEFORE the engine runs:
+//
+//   auto res = tripoll::survey(g)
+//                  .project_vertex([](const profile& p) { return p.degree; })
+//                  .project_edge([](const interaction& e) { return e.when; })
+//                  .add(closure_time_callback{}, closure_ctx)
+//                  .add(count_callback{}, count_ctx)
+//                  .run({survey_mode::push_pull});
+//
+// Two properties fall out of the plan shape:
+//
+//   * Projections run SENDER-side.  The wedge-batch and pulled-adjacency
+//     wire types are the *projected* metadata types, so a callback that
+//     reads one 8-byte field of a rich struct ships 8 bytes per element,
+//     not the struct (paper Sec. 5.9: metadata on the wire is the headline
+//     cost of nontrivial surveys).  Projecting to `graph::none` ships zero
+//     metadata bytes.
+//   * All callbacks registered on one plan are FUSED into a single
+//     dry-run/push/pull traversal: one pass over |W+|, one fan-out per
+//     discovered triangle.  N analyses over the same graph pay the wedge
+//     traffic once instead of N times.
+//
+// `run()` returns the shared traffic totals plus a per-callback
+// `survey_result` slice.  Callbacks are carried in the plan BY VALUE, so
+// small stateful functors (e.g. a threshold filter) are allowed; a
+// bool-returning callback reports whether it fired, which its slice's
+// `triangles_found` reflects.
+//
+// Thread-safety contract: a plan, its callbacks and its contexts are
+// rank-local.  The engine invokes callbacks only from the owning rank's
+// thread (handlers run on the destination rank), so callback/context state
+// needs no synchronization; sharing one context object across ranks of the
+// inproc backend is the caller's race to lose.  Contexts are held by
+// pointer and must outlive `run()`.
+//
+// This header defines the plan, result and view types; the engine that
+// executes a plan lives in core/survey.hpp (include that to call `.run()`).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+
+#include "comm/communicator.hpp"
+#include "graph/dodgr.hpp"
+#include "graph/types.hpp"
+
+namespace tripoll {
+
+/// Execution strategy for a survey.
+enum class survey_mode {
+  push_only,  ///< Alg. 1: always push adjacency suffixes
+  push_pull,  ///< Sec. 4.4: dry-run + per-(rank,vertex) push-vs-pull choice
+};
+
+struct survey_options {
+  survey_mode mode = survey_mode::push_pull;
+};
+
+/// Wall time and measured traffic of one survey phase.
+struct phase_metrics {
+  double seconds = 0.0;            ///< max over ranks
+  std::uint64_t volume_bytes = 0;  ///< remote bytes, summed over ranks
+  std::uint64_t messages = 0;      ///< logical RPCs, summed over ranks
+};
+
+/// Collective result of a survey traversal (identical on every rank).
+struct survey_result {
+  phase_metrics dry_run;  ///< push_pull only: proposal/decision pass
+  phase_metrics push;     ///< wedge pushing (the only phase of push_only)
+  phase_metrics pull;     ///< push_pull only: coalesced adjacency pulls
+  phase_metrics total;
+
+  std::uint64_t pulls_granted = 0;      ///< (rank, q) pull grants, global
+  std::uint64_t push_batches = 0;       ///< wedge-batch messages, global
+  std::uint64_t wedge_candidates = 0;   ///< candidate r vertices examined
+  std::uint64_t triangles_found = 0;    ///< engine-side cross-check counter
+  std::uint64_t proposals_filtered = 0; ///< hopeless pull proposals never sent
+
+  [[nodiscard]] double pulls_per_rank(int nranks) const noexcept {
+    return nranks > 0 ? static_cast<double>(pulls_granted) / nranks : 0.0;
+  }
+};
+
+/// Result of running a plan with N callbacks: the shared traversal metrics
+/// plus how often each callback fired (globally).  `slice(i)` renders
+/// callback i's view of the run as a classic survey_result -- the traffic
+/// columns are the shared totals, `triangles_found` is that callback's fire
+/// count (== the engine's triangle count for unconditional callbacks, fewer
+/// for bool-returning filters).
+template <std::size_t N>
+struct plan_result {
+  survey_result total;                         ///< shared traversal metrics
+  std::array<std::uint64_t, N> invocations{};  ///< per-callback fires, global
+
+  [[nodiscard]] survey_result slice(std::size_t i) const {
+    survey_result s = total;
+    s.triangles_found = invocations[i];
+    return s;
+  }
+};
+
+/// How a triangle_view member refers to metadata of wire type T: string
+/// views are held by value (they already are references into the drained
+/// payload), everything else by const reference into rank-local storage or
+/// the received message.
+template <typename T>
+using meta_ref =
+    std::conditional_t<std::is_same_v<T, std::string_view>, std::string_view, const T&>;
+
+/// The six pieces of (projected) metadata of a discovered triangle Δpqr,
+/// plus the vertex ids.  Members are valid only for the duration of the
+/// callback.  For graphs with std::string metadata the members arrive as
+/// std::string_view pointing into the drained payload -- copy out to keep.
+template <typename VertexMeta, typename EdgeMeta>
+struct triangle_view {
+  graph::vertex_id p, q, r;
+  meta_ref<VertexMeta> meta_p;
+  meta_ref<VertexMeta> meta_q;
+  meta_ref<VertexMeta> meta_r;
+  meta_ref<EdgeMeta> meta_pq;
+  meta_ref<EdgeMeta> meta_pr;
+  meta_ref<EdgeMeta> meta_qr;
+};
+
+/// Default projection: ship the stored metadata unchanged.
+struct identity_projection {
+  template <typename T>
+  [[nodiscard]] const T& operator()(const T& v) const noexcept {
+    return v;
+  }
+};
+
+/// Projection that strips metadata entirely.  graph::none is empty, so the
+/// projected field occupies zero wire bytes -- a plain counting survey over
+/// a rich-metadata graph ships exactly what a metadata-free graph would.
+struct drop_projection {
+  template <typename T>
+  [[nodiscard]] graph::none operator()(const T&) const noexcept {
+    return {};
+  }
+};
+
+namespace core::detail {
+
+/// Receive-side wire type of a projected value: owning strings travel as
+/// length+bytes but DESERIALIZE as std::string_view into the drained
+/// payload (no copy); everything else round-trips as itself.
+template <typename P>
+struct wire_type {
+  using type = P;
+};
+template <>
+struct wire_type<std::string> {
+  using type = std::string_view;
+};
+template <typename P>
+using wire_type_t = typename wire_type<P>::type;
+
+/// One (callback, context) registration of a plan.
+template <typename Callback, typename Context>
+struct callback_entry {
+  Callback callback;
+  Context* context;
+
+  /// Invoke on one triangle; returns whether the callback "fired" (a
+  /// bool-returning callback can decline, e.g. a threshold filter).
+  template <typename View>
+  bool invoke(comm::communicator& c, const View& view) {
+    if constexpr (std::is_invocable_v<Callback&, comm::communicator&, const View&,
+                                      Context&>) {
+      if constexpr (std::is_same_v<std::invoke_result_t<Callback&, comm::communicator&,
+                                                        const View&, Context&>,
+                                   bool>) {
+        return callback(c, view, *context);
+      } else {
+        callback(c, view, *context);
+        return true;
+      }
+    } else {
+      static_assert(std::is_invocable_v<Callback&, const View&, Context&>,
+                    "survey callback must be callable as cb(view, ctx) or "
+                    "cb(comm, view, ctx)");
+      if constexpr (std::is_same_v<std::invoke_result_t<Callback&, const View&, Context&>,
+                                   bool>) {
+        return callback(view, *context);
+      } else {
+        callback(view, *context);
+        return true;
+      }
+    }
+  }
+};
+
+// Defined in core/survey.hpp (constructs the engine and runs it); declared
+// here so survey_plan::run() can be written against it.
+template <typename Graph, typename Plan>
+[[nodiscard]] plan_result<Plan::num_callbacks> run_plan(Graph& g, Plan& plan,
+                                                        survey_options opts);
+
+}  // namespace core::detail
+
+/// A composable, typed survey description: the graph, a sender-side
+/// projection per metadata kind, and any number of (callback, context)
+/// pairs fused into one traversal.  Built through `tripoll::survey(g)`.
+template <typename VertexMeta, typename EdgeMeta, typename VProj = identity_projection,
+          typename EProj = identity_projection, typename... Entries>
+class survey_plan {
+ public:
+  using graph_type = graph::dodgr<VertexMeta, EdgeMeta>;
+  using vertex_projection_type = VProj;
+  using edge_projection_type = EProj;
+
+  static_assert(std::is_invocable_v<const VProj&, const VertexMeta&>,
+                "vertex projection must be callable on const VertexMeta&");
+  static_assert(std::is_invocable_v<const EProj&, const EdgeMeta&>,
+                "edge projection must be callable on const EdgeMeta&");
+
+  /// What the projections produce (and, modulo the string -> string_view
+  /// receive mapping, what travels on the wire).
+  using projected_vertex_type =
+      std::remove_cvref_t<std::invoke_result_t<const VProj&, const VertexMeta&>>;
+  using projected_edge_type =
+      std::remove_cvref_t<std::invoke_result_t<const EProj&, const EdgeMeta&>>;
+
+  static constexpr std::size_t num_callbacks = sizeof...(Entries);
+
+  survey_plan(graph_type& g, VProj vproj, EProj eproj, std::tuple<Entries...> entries)
+      : graph_(&g),
+        vproj_(std::move(vproj)),
+        eproj_(std::move(eproj)),
+        entries_(std::move(entries)) {}
+
+  /// Replace the vertex-metadata projection.  Applied sender-side; the
+  /// wedge/pull wire types carry the projected type.
+  template <typename F>
+  [[nodiscard]] auto project_vertex(F fn) const {
+    return survey_plan<VertexMeta, EdgeMeta, F, EProj, Entries...>(
+        *graph_, std::move(fn), eproj_, entries_);
+  }
+
+  /// Replace the edge-metadata projection (see project_vertex).
+  template <typename F>
+  [[nodiscard]] auto project_edge(F fn) const {
+    return survey_plan<VertexMeta, EdgeMeta, VProj, F, Entries...>(
+        *graph_, vproj_, std::move(fn), entries_);
+  }
+
+  /// Register one (callback, context) pair.  The callback is stored by
+  /// value (small stateful functors welcome); `context` is held by pointer
+  /// and must outlive run().
+  template <typename Callback, typename Context>
+  [[nodiscard]] auto add(Callback callback, Context& context) const {
+    using entry = core::detail::callback_entry<Callback, Context>;
+    return survey_plan<VertexMeta, EdgeMeta, VProj, EProj, Entries..., entry>(
+        *graph_, vproj_, eproj_,
+        std::tuple_cat(entries_,
+                       std::make_tuple(entry{std::move(callback), &context})));
+  }
+
+  /// Collective: execute the plan as one fused traversal.  Requires
+  /// core/survey.hpp (the engine) to be included.
+  [[nodiscard]] plan_result<num_callbacks> run(survey_options opts = {}) {
+    static_assert(num_callbacks >= 1,
+                  "a survey plan needs at least one .add(callback, context)");
+    return core::detail::run_plan(*graph_, *this, opts);
+  }
+
+  // --- engine interface ------------------------------------------------------
+
+  [[nodiscard]] graph_type& graph() const noexcept { return *graph_; }
+  [[nodiscard]] const VProj& vertex_proj() const noexcept { return vproj_; }
+  [[nodiscard]] const EProj& edge_proj() const noexcept { return eproj_; }
+
+  /// Fan one discovered triangle out to every registered callback;
+  /// `fired[i]` accumulates the callbacks that actually ran.
+  template <typename View>
+  void fire(comm::communicator& c, const View& view,
+            std::array<std::uint64_t, num_callbacks>& fired) {
+    std::apply(
+        [&](auto&... entry) {
+          std::size_t i = 0;
+          ((fired[i] += entry.invoke(c, view) ? 1u : 0u, ++i), ...);
+        },
+        entries_);
+  }
+
+ private:
+  graph_type* graph_;
+  VProj vproj_;
+  EProj eproj_;
+  std::tuple<Entries...> entries_;
+};
+
+/// Entry point of the plan API: start a survey description over `g` with
+/// identity projections and no callbacks yet.
+template <typename VertexMeta, typename EdgeMeta>
+[[nodiscard]] auto survey(graph::dodgr<VertexMeta, EdgeMeta>& g) {
+  return survey_plan<VertexMeta, EdgeMeta>(g, identity_projection{},
+                                           identity_projection{}, std::tuple<>{});
+}
+
+}  // namespace tripoll

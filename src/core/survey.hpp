@@ -1,13 +1,13 @@
-// survey.hpp -- the TriPoll triangle-survey engine (Secs. 4.3-4.4).
+// survey.hpp -- the TriPoll triangle-survey engine (Secs. 4.3-4.4),
+// executing declarative survey plans (core/plan.hpp).
 //
-// `triangle_survey(graph, callback, context)` identifies every triangle
-// Δpqr (p <+ q <+ r) of a DODGr and executes a user callback on the six
-// pieces of metadata of each.  There is no return value in the traditional
-// sense (paper Sec. 4.5): the callback's side effects on the per-rank
-// `context` -- counters, distributed counting sets, file writers -- are the
-// output.  The engine itself returns execution metrics (per-phase wall time,
-// measured communication volume, pull statistics) used by the benchmark
-// harnesses.
+// The engine identifies every triangle Δpqr (p <+ q <+ r) of a DODGr and
+// fans each discovery out to the plan's callbacks with the six pieces of
+// (projected) metadata.  There is no return value in the traditional sense
+// (paper Sec. 4.5): the callbacks' side effects on their per-rank contexts
+// -- counters, distributed counting sets, file writers -- are the output.
+// The engine returns execution metrics (per-phase wall time, measured
+// communication volume, pull statistics) plus per-callback fire counts.
 //
 // Two execution strategies:
 //   * push_only (Alg. 1): every wedge batch (p's adjacency suffix at q) is
@@ -16,11 +16,22 @@
 //     (source rank, target vertex q), the suffix edges that would be pushed;
 //     Rank(q) grants a "pull" when shipping Adjm+(q) once to that rank is
 //     cheaper, and the work then splits into Push and Pull phases.
+//
+// What travels is governed by the plan's projections: every metadata field
+// of a wedge batch or pulled adjacency is projected sender-side, so the
+// wire (and handler) types below are templated on the PROJECTED metadata
+// types, not the graph's.  Owning std::string projections additionally
+// deserialize as std::string_view into the drained payload (zero copies).
+//
+// The legacy single-callback entry point `triangle_survey(graph, callback,
+// context)` is a thin identity-projection wrapper over a one-callback plan.
 #pragma once
 
+#include <array>
 #include <cassert>
 #include <chrono>
 #include <cstdint>
+#include <string>
 #include <type_traits>
 #include <unordered_map>
 #include <utility>
@@ -28,59 +39,11 @@
 
 #include "comm/communicator.hpp"
 #include "core/intersect.hpp"
+#include "core/plan.hpp"
 #include "graph/dodgr.hpp"
 #include "graph/types.hpp"
 
 namespace tripoll {
-
-/// Execution strategy for a survey.
-enum class survey_mode {
-  push_only,  ///< Alg. 1: always push adjacency suffixes
-  push_pull,  ///< Sec. 4.4: dry-run + per-(rank,vertex) push-vs-pull choice
-};
-
-struct survey_options {
-  survey_mode mode = survey_mode::push_pull;
-};
-
-/// Wall time and measured traffic of one survey phase.
-struct phase_metrics {
-  double seconds = 0.0;            ///< max over ranks
-  std::uint64_t volume_bytes = 0;  ///< remote bytes, summed over ranks
-  std::uint64_t messages = 0;      ///< logical RPCs, summed over ranks
-};
-
-/// Collective result of a survey run (identical on every rank).
-struct survey_result {
-  phase_metrics dry_run;  ///< push_pull only: proposal/decision pass
-  phase_metrics push;     ///< wedge pushing (the only phase of push_only)
-  phase_metrics pull;     ///< push_pull only: coalesced adjacency pulls
-  phase_metrics total;
-
-  std::uint64_t pulls_granted = 0;      ///< (rank, q) pull grants, global
-  std::uint64_t push_batches = 0;       ///< wedge-batch messages, global
-  std::uint64_t wedge_candidates = 0;   ///< candidate r vertices examined
-  std::uint64_t triangles_found = 0;    ///< engine-side cross-check counter
-  std::uint64_t proposals_filtered = 0; ///< hopeless pull proposals never sent
-
-  [[nodiscard]] double pulls_per_rank(int nranks) const noexcept {
-    return nranks > 0 ? static_cast<double>(pulls_granted) / nranks : 0.0;
-  }
-};
-
-/// The six pieces of metadata of a discovered triangle Δpqr, plus the vertex
-/// ids.  References point into rank-local storage or the received message
-/// and are valid only for the duration of the callback.
-template <typename VertexMeta, typename EdgeMeta>
-struct triangle_view {
-  graph::vertex_id p, q, r;
-  const VertexMeta& meta_p;
-  const VertexMeta& meta_q;
-  const VertexMeta& meta_r;
-  const EdgeMeta& meta_pq;
-  const EdgeMeta& meta_pr;
-  const EdgeMeta& meta_qr;
-};
 
 namespace core::detail {
 
@@ -91,12 +54,21 @@ using clock = std::chrono::steady_clock;
 }
 
 /// A candidate closing vertex r shipped with a wedge batch: enough to merge
-/// against Adjm+(q) under the <+ order, plus meta(p,r) for the callback.
+/// against Adjm+(q) under the <+ order, plus the PROJECTED meta(p,r) for
+/// the callbacks.  [[no_unique_address]] lets a dropped (graph::none)
+/// projection cost zero struct bytes, so the bitwise wire image shrinks
+/// from 24 to 16 bytes per candidate on metadata-free surveys.
 template <typename EdgeMeta>
 struct wedge_candidate {
+  /// string_view metadata makes the struct trivially copyable, but its
+  /// interior pointer is meaningless on the destination rank -- force the
+  /// archive path so views re-point into the received payload.
+  static constexpr bool tripoll_force_member_serialize =
+      !serial::detail::bitwise<EdgeMeta>;
+
   graph::vertex_id r = 0;
   std::uint64_t r_rank = 0;  ///< r's <+ ordering rank (degree or peel rank)
-  EdgeMeta meta_pr{};
+  [[no_unique_address]] EdgeMeta meta_pr{};
 
   [[nodiscard]] graph::order_key key() const noexcept {
     return graph::make_order_key(r, r_rank);
@@ -111,12 +83,15 @@ struct wedge_candidate {
 /// One entry of a pulled adjacency list Adjm+(q): target vertex metadata is
 /// deliberately omitted -- the puller already stores meta(r) in its own
 /// Adjm+(p) (paper Sec. 4.3: "this extra metadata is never actually
-/// transmitted").
+/// transmitted").  Edge metadata is the projected type, as above.
 template <typename EdgeMeta>
 struct pulled_entry {
+  static constexpr bool tripoll_force_member_serialize =
+      !serial::detail::bitwise<EdgeMeta>;
+
   graph::vertex_id r = 0;
   std::uint64_t r_rank = 0;  ///< r's <+ ordering rank (degree or peel rank)
-  EdgeMeta meta_qr{};
+  [[no_unique_address]] EdgeMeta meta_qr{};
 
   [[nodiscard]] graph::order_key key() const noexcept {
     return graph::make_order_key(r, r_rank);
@@ -132,8 +107,10 @@ struct pulled_entry {
 /// common case: plain counting, timestamps) the batch arrives as a
 /// serial::wire_span viewing the drained transport payload directly -- the
 /// receive path performs zero copies and zero allocations per batch.  Rich
-/// metadata (strings, containers) keeps the owning vector.  Both encode
-/// identically on the wire, so this is purely a receive-path optimization.
+/// metadata (strings, containers) keeps the owning vector of elements, but
+/// string fields inside the elements still deserialize as string_view into
+/// the payload.  Both encode identically on the wire, so this is purely a
+/// receive-path optimization.
 template <typename T>
 using batch_arg =
     std::conditional_t<serial::detail::bitwise<T>, serial::wire_span<T>, std::vector<T>>;
@@ -150,38 +127,50 @@ template <typename T>
 
 }  // namespace core::detail
 
-/// Survey engine: one instance per rank, constructed collectively.  Usually
-/// accessed through the `triangle_survey` free function below.
-template <typename VertexMeta, typename EdgeMeta, typename Callback, typename Context>
+/// Survey engine: one instance per rank, constructed collectively over a
+/// (graph, plan) pair.  Usually accessed through `survey_plan::run()` or
+/// the legacy `triangle_survey` free function below.
+template <typename Graph, typename Plan>
 class survey_engine {
  public:
-  using graph_type = graph::dodgr<VertexMeta, EdgeMeta>;
-  using record_type = typename graph_type::record_type;
-  using entry_type = typename graph_type::entry_type;
-  using candidate_type = core::detail::wedge_candidate<EdgeMeta>;
-  using pulled_type = core::detail::pulled_entry<EdgeMeta>;
-  using view_type = triangle_view<VertexMeta, EdgeMeta>;
-  using self = survey_engine<VertexMeta, EdgeMeta, Callback, Context>;
+  using graph_type = Graph;
+  using plan_type = Plan;
+  using vertex_meta_type = typename Graph::vertex_meta_type;
+  using edge_meta_type = typename Graph::edge_meta_type;
+  using record_type = typename Graph::record_type;
+  using entry_type = typename Graph::entry_type;
+  static constexpr std::size_t num_callbacks = Plan::num_callbacks;
 
-  survey_engine(graph_type& g, Context& ctx)
-      : comm_(&g.comm()), graph_(&g), context_(&ctx),
-        handle_(comm_->register_object(*this)) {
-    static_assert(std::is_empty_v<Callback>,
-                  "survey callbacks must be stateless; put state in Context");
-  }
+  /// Projected metadata types (what the projections return)...
+  using pv_type = typename Plan::projected_vertex_type;
+  using pe_type = typename Plan::projected_edge_type;
+  /// ...and their wire/receive forms (std::string deserializes as a view).
+  using wire_vm = core::detail::wire_type_t<pv_type>;
+  using wire_em = core::detail::wire_type_t<pe_type>;
+
+  using candidate_type = core::detail::wedge_candidate<wire_em>;
+  using pulled_type = core::detail::pulled_entry<wire_em>;
+  using view_type = triangle_view<wire_vm, wire_em>;
+  using self = survey_engine<Graph, Plan>;
+
+  survey_engine(graph_type& g, plan_type& plan)
+      : comm_(&g.comm()), graph_(&g), plan_(&plan),
+        handle_(comm_->register_object(*this)) {}
 
   ~survey_engine() { comm_->deregister_object(handle_); }
 
   survey_engine(const survey_engine&) = delete;
   survey_engine& operator=(const survey_engine&) = delete;
 
-  /// Collective: run the survey and return global metrics.
-  survey_result run(survey_options opts = {}) {
+  /// Collective: run the fused survey and return global metrics plus
+  /// per-callback fire counts.
+  plan_result<num_callbacks> run(survey_options opts = {}) {
     comm_->barrier();
     reset_counters();
     const auto t_start = core::detail::clock::now();
 
-    survey_result result;
+    plan_result<num_callbacks> out;
+    survey_result& result = out.total;
     if (opts.mode == survey_mode::push_only) {
       result.push = timed_phase([&] { push_all(); });
     } else {
@@ -204,13 +193,16 @@ class survey_engine {
     result.wedge_candidates = comm_->all_reduce_sum(local_candidates_);
     result.triangles_found = comm_->all_reduce_sum(local_triangles_);
     result.proposals_filtered = comm_->all_reduce_sum(local_proposals_filtered_);
+    for (std::size_t i = 0; i < num_callbacks; ++i) {
+      out.invocations[i] = comm_->all_reduce_sum(local_invocations_[i]);
+    }
 
     // Release dry-run scratch.
     targets_.clear();
     targets_ = {};
     pull_grants_.clear();
     pull_grants_ = {};
-    return result;
+    return out;
   }
 
  private:
@@ -219,6 +211,7 @@ class survey_engine {
   void reset_counters() {
     local_pulls_granted_ = local_push_batches_ = local_candidates_ = local_triangles_ = 0;
     local_proposals_filtered_ = 0;
+    local_invocations_.fill(0);
     targets_.clear();
     pull_grants_.clear();
   }
@@ -245,34 +238,81 @@ class survey_engine {
     return m;
   }
 
-  /// Ship the wedge batch (p; q at position i; suffix beyond i) to Rank(q).
+  // --- metadata projection helpers ------------------------------------------
+
+  [[nodiscard]] decltype(auto) pv(const vertex_meta_type& m) const {
+    return plan_->vertex_proj()(m);
+  }
+  [[nodiscard]] decltype(auto) pe(const edge_meta_type& m) const {
+    return plan_->edge_proj()(m);
+  }
+
+  /// View a projected value as the wire/view type: identity for everything
+  /// except owning strings, which become string_views over the argument.
+  [[nodiscard]] static decltype(auto) vm_view(const pv_type& v) noexcept {
+    if constexpr (std::is_same_v<wire_vm, pv_type>) {
+      return (v);
+    } else {
+      return wire_vm(v);
+    }
+  }
+  [[nodiscard]] static decltype(auto) em_view(const pe_type& v) noexcept {
+    if constexpr (std::is_same_v<wire_em, pe_type>) {
+      return (v);
+    } else {
+      return wire_em(v);
+    }
+  }
+
+  /// True when edge projections return owning strings BY VALUE: the wire
+  /// views then need scratch storage that outlives the async() call.
+  static constexpr bool edge_scratch_needed =
+      !std::is_same_v<wire_em, pe_type> &&
+      !std::is_reference_v<
+          std::invoke_result_t<const typename Plan::edge_projection_type&,
+                               const edge_meta_type&>>;
+
+  /// Projected edge metadata as its wire type, parking by-value string
+  /// results in `owned` (reserved by the caller) so the view stays valid
+  /// until the batch is serialized.
+  [[nodiscard]] wire_em em_wire(const edge_meta_type& m,
+                                [[maybe_unused]] std::vector<pe_type>& owned) const {
+    if constexpr (std::is_same_v<wire_em, pe_type>) {
+      return pe(m);
+    } else if constexpr (edge_scratch_needed) {
+      owned.push_back(pe(m));
+      return wire_em(owned.back());
+    } else {
+      return wire_em(pe(m));  // projection returned a reference into the graph
+    }
+  }
+
+  /// Ship the wedge batch (p; q at position i; suffix beyond i) to Rank(q),
+  /// all metadata projected sender-side.
   void send_wedge_batch(graph::vertex_id p, const record_type& rec, std::size_t i) {
     const entry_type& q_entry = rec.adj[i];
+    const std::size_t n = rec.adj.size() - i - 1;
     std::vector<candidate_type> candidates;
-    candidates.reserve(rec.adj.size() - i - 1);
+    candidates.reserve(n);
+    std::vector<pe_type> owned;
+    if constexpr (edge_scratch_needed) owned.reserve(n);
     for (std::size_t j = i + 1; j < rec.adj.size(); ++j) {
       const entry_type& e = rec.adj[j];
-      candidates.push_back(candidate_type{e.target, e.target_rank, e.edge_meta});
+      candidates.push_back(
+          candidate_type{e.target, e.target_rank, em_wire(e.edge_meta, owned)});
     }
     local_candidates_ += candidates.size();
     ++local_push_batches_;
+    decltype(auto) meta_p = pv(rec.meta);
+    decltype(auto) meta_pq = pe(q_entry.edge_meta);
     comm_->async(graph_->owner(q_entry.target), wedge_batch_handler{}, handle_,
-                 q_entry.target, p, rec.meta, q_entry.edge_meta,
+                 q_entry.target, p, vm_view(meta_p), em_view(meta_pq),
                  core::detail::as_batch_arg(candidates));
   }
 
   void fire_callback(const view_type& view) {
     ++local_triangles_;
-    Callback cb{};
-    if constexpr (std::is_invocable_v<Callback&, comm::communicator&, const view_type&,
-                                      Context&>) {
-      cb(*comm_, view, *context_);
-    } else {
-      static_assert(std::is_invocable_v<Callback&, const view_type&, Context&>,
-                    "callback must be callable as cb(view, ctx) or "
-                    "cb(comm, view, ctx)");
-      cb(view, *context_);
-    }
+    plan_->fire(*comm_, view, local_invocations_);
   }
 
   // --- push-only (Alg. 1) ------------------------------------------------------
@@ -285,11 +325,12 @@ class survey_engine {
 
   struct wedge_batch_handler {
     void operator()(comm::communicator& c, comm::dist_handle<self> h, graph::vertex_id q,
-                    graph::vertex_id p, const VertexMeta& meta_p, const EdgeMeta& meta_pq,
+                    graph::vertex_id p, const wire_vm& meta_p, const wire_em& meta_pq,
                     const core::detail::batch_arg<candidate_type>& candidates) {
       self& eng = c.resolve(h);
       const record_type* rec_q = eng.graph_->local_find(q);
       assert(rec_q != nullptr);
+      decltype(auto) meta_q = eng.pv(rec_q->meta);  // projected once per batch
       // Adaptive kernel: a short pushed suffix meeting a hub's long list
       // gallops instead of scanning (degeneracy-ordering insight from
       // Pashanasangi & Seshadhri; see core/intersect.hpp).
@@ -298,9 +339,11 @@ class survey_engine {
           [](const candidate_type& cand) { return cand.key(); },
           [](const entry_type& e) { return e.key(); },
           [&](const candidate_type& cand, const entry_type& e) {
-            eng.fire_callback(view_type{p, q, e.target, meta_p, rec_q->meta,
-                                        e.target_meta, meta_pq, cand.meta_pr,
-                                        e.edge_meta});
+            decltype(auto) meta_r = eng.pv(e.target_meta);
+            decltype(auto) meta_qr = eng.pe(e.edge_meta);
+            eng.fire_callback(view_type{p, q, e.target, meta_p, vm_view(meta_q),
+                                        vm_view(meta_r), meta_pq, cand.meta_pr,
+                                        em_view(meta_qr)});
           });
     }
   };
@@ -388,11 +431,15 @@ class survey_engine {
       assert(rec_q != nullptr);
       std::vector<pulled_type> entries;
       entries.reserve(rec_q->adj.size());
+      std::vector<pe_type> owned;
+      if constexpr (edge_scratch_needed) owned.reserve(rec_q->adj.size());
       for (const entry_type& e : rec_q->adj) {
-        entries.push_back(pulled_type{e.target, e.target_rank, e.edge_meta});
+        entries.push_back(
+            pulled_type{e.target, e.target_rank, em_wire(e.edge_meta, owned)});
       }
+      decltype(auto) meta_q = pv(rec_q->meta);
       for (const int dest : ranks) {
-        comm_->async(dest, pulled_adj_handler{}, handle_, q, rec_q->meta,
+        comm_->async(dest, pulled_adj_handler{}, handle_, q, vm_view(meta_q),
                      core::detail::as_batch_arg(entries));
       }
     }
@@ -400,7 +447,7 @@ class survey_engine {
 
   struct pulled_adj_handler {
     void operator()(comm::communicator& c, comm::dist_handle<self> h, graph::vertex_id q,
-                    const VertexMeta& meta_q,
+                    const wire_vm& meta_q,
                     const core::detail::batch_arg<pulled_type>& entries) {
       self& eng = c.resolve(h);
       auto it = eng.targets_.find(q);
@@ -410,16 +457,20 @@ class survey_engine {
         assert(rec_p != nullptr);
         const entry_type& q_entry = rec_p->adj[i];
         eng.local_candidates_ += rec_p->adj.size() - i - 1;
+        decltype(auto) meta_p = eng.pv(rec_p->meta);
+        decltype(auto) meta_pq = eng.pe(q_entry.edge_meta);
         core::adaptive_intersect(
             rec_p->adj.begin() + static_cast<std::ptrdiff_t>(i) + 1, rec_p->adj.end(),
             entries.begin(), entries.end(),
             [](const entry_type& e) { return e.key(); },
-            [](const pulled_type& pe) { return pe.key(); },
+            [](const pulled_type& pe_) { return pe_.key(); },
             [&](const entry_type& e_pr, const pulled_type& e_qr) {
               // Callback on Rank(p): meta(r) comes from p's own Adjm+ entry.
-              eng.fire_callback(view_type{p, q, e_pr.target, rec_p->meta, meta_q,
-                                          e_pr.target_meta, q_entry.edge_meta,
-                                          e_pr.edge_meta, e_qr.meta_qr});
+              decltype(auto) meta_r = eng.pv(e_pr.target_meta);
+              decltype(auto) meta_pr = eng.pe(e_pr.edge_meta);
+              eng.fire_callback(view_type{p, q, e_pr.target, vm_view(meta_p), meta_q,
+                                          vm_view(meta_r), em_view(meta_pq),
+                                          em_view(meta_pr), e_qr.meta_qr});
             });
       }
     }
@@ -427,7 +478,7 @@ class survey_engine {
 
   comm::communicator* comm_;
   graph_type* graph_;
-  Context* context_;
+  plan_type* plan_;
   comm::dist_handle<self> handle_;
 
   std::unordered_map<graph::vertex_id, per_target> targets_;
@@ -438,18 +489,30 @@ class survey_engine {
   std::uint64_t local_candidates_ = 0;
   std::uint64_t local_triangles_ = 0;
   std::uint64_t local_proposals_filtered_ = 0;
+  std::array<std::uint64_t, num_callbacks> local_invocations_{};
 };
 
-/// Collective convenience wrapper: construct the engine, run one survey.
-///
-/// `callback` is a stateless functor invoked as `cb(view, ctx)` or
-/// `cb(comm, view, ctx)` for every triangle; `context` is this rank's local
-/// survey state (counters, counting sets, output sinks).
-template <typename VertexMeta, typename EdgeMeta, typename Callback, typename Context>
-survey_result triangle_survey(graph::dodgr<VertexMeta, EdgeMeta>& g, Callback /*callback*/,
-                              Context& context, survey_options opts = {}) {
-  survey_engine<VertexMeta, EdgeMeta, Callback, Context> engine(g, context);
+namespace core::detail {
+
+/// Collective: construct the engine for (graph, plan) and run one survey.
+/// Out-of-line from survey_plan::run() so plan.hpp does not need the engine.
+template <typename Graph, typename Plan>
+plan_result<Plan::num_callbacks> run_plan(Graph& g, Plan& plan, survey_options opts) {
+  survey_engine<Graph, Plan> engine(g, plan);
   return engine.run(opts);
+}
+
+}  // namespace core::detail
+
+/// Collective convenience wrapper (the original TriPoll entry point): an
+/// identity-projection, single-callback plan.  `callback` is invoked as
+/// `cb(view, ctx)` or `cb(comm, view, ctx)` for every triangle; `context`
+/// is this rank's local survey state (counters, counting sets, sinks).
+template <typename VertexMeta, typename EdgeMeta, typename Callback, typename Context>
+survey_result triangle_survey(graph::dodgr<VertexMeta, EdgeMeta>& g, Callback callback,
+                              Context& context, survey_options opts = {}) {
+  auto plan = survey(g).add(std::move(callback), context);
+  return core::detail::run_plan(g, plan, opts).slice(0);
 }
 
 }  // namespace tripoll

@@ -44,11 +44,27 @@ class reader;
 
 namespace detail {
 
+/// Opt-out marker: a trivially copyable type whose wire format must go
+/// through its serialize() member declares
+/// `static constexpr bool tripoll_force_member_serialize = true;`.
+/// The canonical case is a struct holding a std::string_view: the struct is
+/// memcpy-able, but the view's interior pointer is meaningless on the
+/// destination rank -- the archive path re-points it into the received
+/// payload instead.
+template <typename T>
+concept forced_member_serialize = requires {
+  { T::tripoll_force_member_serialize } -> std::convertible_to<bool>;
+} && T::tripoll_force_member_serialize;
+
 /// A type is bitwise-serializable when memcpy round-trips it.  Pointers are
 /// excluded: addresses are meaningless on another rank even in a simulated
 /// runtime, and catching them at compile time avoids an entire bug class.
+/// std::string_view is excluded for the same reason (it is trivially
+/// copyable but carries a pointer); it serializes through its dedicated
+/// traits specialization as length + bytes.
 template <typename T>
-concept bitwise = std::is_trivially_copyable_v<T> && !std::is_pointer_v<T>;
+concept bitwise = std::is_trivially_copyable_v<T> && !std::is_pointer_v<T> &&
+                  !std::is_same_v<T, std::string_view> && !forced_member_serialize<T>;
 
 /// Random-access iterator that materializes T values out of a raw
 /// (possibly unaligned -- payload fields sit behind varints) byte stream

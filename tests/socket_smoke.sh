@@ -52,6 +52,16 @@ for preset in rmat temporal web; do
   fi
 done
 
+echo "== projected fused survey plan: inproc vs $RANKS socket processes =="
+"$CLI" plan rmat "$RANKS" "$DELTA" >"$work/inproc.plan" || fail=1
+run_socket_external plan rmat "$RANKS" "$DELTA" >"$work/socket.plan" || fail=1
+if diff -u "$work/inproc.plan" "$work/socket.plan"; then
+  echo "plan rmat: IDENTICAL"
+else
+  echo "plan rmat: MISMATCH between inproc and socket backends" >&2
+  fail=1
+fi
+
 echo "== file-based count through the fork launcher =="
 "$CLI" gen rmat 10 "$work/g.txt" >/dev/null || fail=1
 inproc_count="$("$CLI" count "$work/g.txt" "$RANKS" | grep -o 'triangles [0-9]*')"

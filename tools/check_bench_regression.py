@@ -18,9 +18,22 @@ shapes are dropped), so baselines without a matching current case are simply
 not gated; the gate prints only what it compared.  CI machines are noisy,
 hence the generous default threshold.
 
+Survey-plan gates (PR 4): --plan-gates points at the JSON emitted by
+`bench_fig9_metadata_impact --json` and asserts the plan-API acceptance
+ratios from that run's `pr4_plan_cases`:
+  * identical triangle counts (and closure digests) across the identity,
+    projected and fused cases,
+  * projected-plan survey volume at least --plan-reduction-min (2.0) times
+    smaller than the identity plan,
+  * fused 3-callback traffic within --plan-fusion-max (1.1) of the worst
+    single-callback run.
+These are ratio gates against the same run, so they need no committed
+baseline; BENCH_pr4.json records the trajectory for humans.
+
 Usage:
   tools/check_bench_regression.py --current bench-results [--baseline-dir .]
-                                  [--threshold 3.0]
+                                  [--threshold 3.0] [--plan-gates fig9.json]
+At least one of --current / --plan-gates is required.
 Exit status: 0 ok, 1 regression found, 2 usage/IO error.
 """
 
@@ -91,15 +104,94 @@ def load_current(current_dir):
     return results
 
 
+def check_plan_gates(path, reduction_min, fusion_max):
+    """Verify the survey-plan acceptance ratios in a fig9 --json artifact.
+    Returns a list of failure strings (empty = all gates pass)."""
+    with open(path) as f:
+        doc = json.load(f)
+    cases = doc.get("pr4_plan_cases")
+    if not isinstance(cases, dict):
+        return [f"{path}: no pr4_plan_cases object"]
+    needed = ["identity_closure", "projected_closure", "fused3",
+              "single_count", "single_closure", "single_hot_filter"]
+    missing = [n for n in needed if n not in cases]
+    if missing:
+        return [f"{path}: missing plan cases: {', '.join(missing)}"]
+
+    failures = []
+    ident, proj, fused = (cases[n] for n in
+                          ("identity_closure", "projected_closure", "fused3"))
+
+    tri = {n: cases[n]["triangles"] for n in
+           ("identity_closure", "projected_closure", "fused3")}
+    if len(set(tri.values())) != 1:
+        failures.append(f"triangle counts differ across plan cases: {tri}")
+    digests = {n: cases[n].get("checksum", 0) for n in
+               ("identity_closure", "projected_closure", "fused3")}
+    if len(set(digests.values())) != 1:
+        failures.append(f"closure digests differ across plan cases: {digests}")
+
+    reduction = (ident["volume_bytes"] / proj["volume_bytes"]
+                 if proj["volume_bytes"] else float("inf"))
+    print(f"plan gate: projection volume reduction {reduction:.2f}x "
+          f"(needs >= {reduction_min:.2f}x)")
+    if reduction < reduction_min:
+        failures.append(f"projection reduced volume only {reduction:.2f}x "
+                        f"(< {reduction_min:.2f}x)")
+
+    single_max = max(cases[n]["volume_bytes"] for n in
+                     ("single_count", "single_closure", "single_hot_filter"))
+    fusion = (fused["volume_bytes"] / single_max if single_max else float("inf"))
+    sequential = sum(cases[n]["volume_bytes"] for n in
+                     ("single_count", "single_closure", "single_hot_filter"))
+    seq_ratio = sequential / fused["volume_bytes"] if fused["volume_bytes"] else 0.0
+    print(f"plan gate: fused 3-callback traffic {fusion:.3f}x of worst single "
+          f"run (needs <= {fusion_max:.2f}x); 3 sequential runs = "
+          f"{seq_ratio:.2f}x fused")
+    if fusion > fusion_max:
+        failures.append(f"fused traffic {fusion:.3f}x of a single run "
+                        f"(> {fusion_max:.2f}x)")
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--current", required=True,
+    parser.add_argument("--current",
                         help="directory of Google Benchmark JSON files from this run")
     parser.add_argument("--baseline-dir", default=".",
                         help="directory holding the committed BENCH_*.json files")
     parser.add_argument("--threshold", type=float, default=3.0,
                         help="fail when current/baseline exceeds this ratio")
+    parser.add_argument("--plan-gates",
+                        help="fig9 --json artifact to check the survey-plan "
+                             "acceptance ratios against")
+    parser.add_argument("--plan-reduction-min", type=float, default=2.0,
+                        help="minimum identity/projected volume ratio")
+    parser.add_argument("--plan-fusion-max", type=float, default=1.1,
+                        help="maximum fused/single volume ratio")
     args = parser.parse_args()
+
+    if not args.current and not args.plan_gates:
+        parser.error("need --current and/or --plan-gates")
+
+    # Both checks always run so one CI pass reports every failure class;
+    # the combined exit status is the worst of the two.
+    plan_failures = []
+    if args.plan_gates:
+        try:
+            plan_failures = check_plan_gates(args.plan_gates, args.plan_reduction_min,
+                                             args.plan_fusion_max)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"error: {e}")
+            return 2
+        if plan_failures:
+            print("\nFAIL: survey-plan gate(s) violated:")
+            for f in plan_failures:
+                print(f"  {f}")
+        if not args.current:
+            if not plan_failures:
+                print("OK: survey-plan gates pass")
+            return 1 if plan_failures else 0
 
     try:
         baselines = load_baselines(args.baseline_dir)
@@ -137,7 +229,7 @@ def main():
         return 1
     print(f"\nOK: {compared} case(s) within {args.threshold:.2f}x of the "
           f"committed trajectory")
-    return 0
+    return 1 if plan_failures else 0
 
 
 if __name__ == "__main__":

@@ -11,6 +11,14 @@
 //                                       build an ablation preset and print the
 //                                       deterministic survey metrics (used by the
 //                                       cross-backend smoke test)
+//   plan <rmat|temporal|web> [ranks] [delta]
+//                                       attach deterministic rich metadata to a
+//                                       preset and run a fused 3-callback
+//                                       PROJECTED survey plan (count + closure
+//                                       times + stateful hot-triangle filter)
+//                                       next to an identity-projection run;
+//                                       prints deterministic metrics (also used
+//                                       by the cross-backend smoke test)
 //
 // Options:
 //   --ordering {degree,degeneracy}   DODGr <+ vertex order (graph-building cmds)
@@ -47,6 +55,7 @@
 #include "graph/builder.hpp"
 #include "graph/io.hpp"
 #include "graph/ordering.hpp"
+#include "serial/hash.hpp"
 
 namespace cb = tripoll::callbacks;
 namespace comm = tripoll::comm;
@@ -66,6 +75,7 @@ int usage() {
                "  tripoll_cli clustering <edges.txt> [ranks]\n"
                "  tripoll_cli closure <edges.txt> [ranks]\n"
                "  tripoll_cli preset <rmat|temporal|web> [ranks] [delta]\n"
+               "  tripoll_cli plan <rmat|temporal|web> [ranks] [delta]\n"
                "options:\n"
                "  --ordering <degree|degeneracy>  DODGr <+ vertex order (default degree)\n"
                "  --backend <inproc|socket>       transport backend (default inproc;\n"
@@ -193,6 +203,36 @@ int with_plain_graph_from_file(const std::string& path, int ranks, Fn&& fn) {
   return 0;
 }
 
+/// Stream the deterministic edge list of one ablation preset to `fn(u, v)`
+/// (this rank's slice).
+template <typename Fn>
+void for_preset_edges(comm::communicator& c, const std::string& which, int delta,
+                      Fn&& fn) {
+  if (which == "rmat") {
+    const auto spec = gen::livejournal_like(delta);
+    const gen::rmat_generator rmat(spec.rmat);
+    gen::for_rank_slice(c, rmat.num_edges(), [&](std::uint64_t k) {
+      const auto e = rmat.edge_at(k);
+      fn(e.u, e.v);
+    });
+  } else if (which == "temporal") {
+    gen::temporal_params params;
+    params.scale = static_cast<std::uint32_t>(std::max(8, 13 + delta));
+    const gen::temporal_generator tgen(params);
+    gen::for_rank_slice(c, tgen.num_edges(), [&](std::uint64_t k) {
+      const auto e = tgen.edge_at(k);
+      fn(e.u, e.v);
+    });
+  } else {
+    const auto spec = gen::standard_suite(delta)[3];  // webcc12-host-like
+    const gen::web_generator wgen(spec.web);
+    gen::for_rank_slice(c, wgen.num_edges(), [&](std::uint64_t k) {
+      const auto e = wgen.edge_at(k);
+      fn(e.u, e.v);
+    });
+  }
+}
+
 /// Deterministic survey report of one ablation preset: everything printed
 /// is a global count or an all-reduced sum, so the output is bit-identical
 /// across backends and ranks (wall times deliberately omitted).  The
@@ -207,33 +247,12 @@ int cmd_preset(int argc, char** argv) {
   run_spmd(ranks, [&](comm::communicator& c) {
     gen::plain_graph g(c);
     graph::graph_builder<graph::none, graph::none> builder(c, g_ordering);
-    if (which == "rmat") {
-      const auto spec = gen::livejournal_like(delta);
-      const gen::rmat_generator rmat(spec.rmat);
-      gen::for_rank_slice(c, rmat.num_edges(), [&](std::uint64_t k) {
-        const auto e = rmat.edge_at(k);
-        builder.add_edge(e.u, e.v);
-      });
-    } else if (which == "temporal") {
-      gen::temporal_params params;
-      params.scale = static_cast<std::uint32_t>(std::max(8, 13 + delta));
-      const gen::temporal_generator tgen(params);
-      gen::for_rank_slice(c, tgen.num_edges(), [&](std::uint64_t k) {
-        const auto e = tgen.edge_at(k);
-        builder.add_edge(e.u, e.v);
-      });
-    } else {
-      const auto spec = gen::standard_suite(delta)[3];  // webcc12-host-like
-      const gen::web_generator wgen(spec.web);
-      gen::for_rank_slice(c, wgen.num_edges(), [&](std::uint64_t k) {
-        const auto e = wgen.edge_at(k);
-        builder.add_edge(e.u, e.v);
-      });
-    }
+    for_preset_edges(c, which, delta,
+                     [&](graph::vertex_id u, graph::vertex_id v) { builder.add_edge(u, v); });
     builder.build_into(g);
 
     cb::count_context ctx;
-    const auto r = tripoll::triangle_survey(g, cb::count_callback{}, ctx, {});
+    const auto r = cb::plan_for(g, cb::count_callback{}, ctx).run({}).slice(0);
     const auto triangles = ctx.global_count(c);
     const auto census = g.census();
     if (c.rank0()) {
@@ -268,6 +287,122 @@ int cmd_preset(int argc, char** argv) {
   return 0;
 }
 
+/// Deterministic rich metadata for `plan`: an interaction timestamp per
+/// edge and a degree-like label per vertex, both pure functions of the
+/// vertex ids so every backend and rank assignment computes the same graph.
+std::uint64_t plan_edge_ts(graph::vertex_id u, graph::vertex_id v) {
+  const auto lo = std::min(u, v);
+  const auto hi = std::max(u, v);
+  return tripoll::serial::hash_combine(tripoll::serial::splitmix64(lo), hi) % 1000000;
+}
+
+std::uint64_t plan_vertex_label(graph::vertex_id v) {
+  return tripoll::serial::splitmix64(v ^ 0x5EED) % 64;
+}
+
+/// Stateful plan callback (carried by value in the plan): counts triangles
+/// whose three projected timestamps all clear the threshold; bool return =
+/// "did I fire", so its result slice reports the filtered count.
+struct hot_triangle_filter {
+  std::uint64_t threshold = 0;
+
+  template <typename View>
+  bool operator()(const View& v, std::uint64_t& hot) const {
+    const auto a = static_cast<std::uint64_t>(v.meta_pq);
+    const auto b = static_cast<std::uint64_t>(v.meta_pr);
+    const auto t = static_cast<std::uint64_t>(v.meta_qr);
+    if (a < threshold || b < threshold || t < threshold) return false;
+    ++hot;
+    return true;
+  }
+};
+
+/// Fused projected survey plan over a preset graph with deterministic rich
+/// metadata: one traversal drives (1) triangle counting, (2) the closure
+/// time histogram and (3) a stateful hot-triangle filter, with vertex
+/// metadata projected to its label and edge metadata to its timestamp.  An
+/// identity-projection single-callback run prints next to it.  All printed
+/// values are global reductions -- bit-identical across backends; the
+/// socket-smoke ctest diffs this output against the inproc run.
+int cmd_plan(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string which = argv[2];
+  const int ranks = argc > 3 ? std::atoi(argv[3]) : 4;
+  const int delta = argc > 4 ? std::atoi(argv[4]) : -2;
+  if (which != "rmat" && which != "temporal" && which != "web") return usage();
+
+  run_spmd(ranks, [&](comm::communicator& c) {
+    graph::dodgr<std::uint64_t, std::uint64_t> g(c);
+    graph::graph_builder<std::uint64_t, std::uint64_t> builder(c, g_ordering);
+    for_preset_edges(c, which, delta, [&](graph::vertex_id u, graph::vertex_id v) {
+      builder.add_edge(u, v, plan_edge_ts(u, v));
+    });
+    builder.build_into(g);
+    // Vertex labels are attached rank-locally after the build (pure
+    // function of the id, so no exchange is needed).
+    g.for_all_local([](const graph::vertex_id& v, auto& rec) {
+      rec.meta = plan_vertex_label(v);
+      for (auto& e : rec.adj) e.target_meta = plan_vertex_label(e.target);
+    });
+
+    // Identity-projection single-callback run: full metadata on the wire.
+    comm::counting_set<cb::closure_bin> id_bins(c);
+    cb::closure_time_context id_ctx{&id_bins};
+    const auto identity =
+        tripoll::survey(g).add(cb::closure_time_callback{}, id_ctx).run({}).slice(0);
+    id_bins.finalize();
+
+    // Fused 3-callback projected plan: one traversal, minimal wire types.
+    comm::counting_set<cb::closure_bin> bins(c);
+    cb::count_context count_ctx;
+    cb::closure_time_context closure_ctx{&bins};
+    std::uint64_t hot_local = 0;
+    auto fused = tripoll::survey(g)
+                     .project_vertex(cb::degree_projection{})
+                     .project_edge(cb::timestamp_projection{})
+                     .add(cb::count_callback{}, count_ctx)
+                     .add(cb::closure_time_callback{}, closure_ctx)
+                     .add(hot_triangle_filter{500000}, hot_local)
+                     .run({});
+    bins.finalize();
+
+    // Deterministic digest of the closure histogram (identical on the
+    // identity and projected runs if and only if the surveys agree).
+    const auto digest = [](const std::map<cb::closure_bin, std::uint64_t>& h) {
+      std::uint64_t d = 0;
+      for (const auto& [bin, n] : h) {
+        d = tripoll::serial::hash_combine(d, (std::uint64_t{bin.first} << 32) | bin.second);
+        d = tripoll::serial::hash_combine(d, n);
+      }
+      return d;
+    };
+    const auto id_hist = id_bins.gather_all();
+    const auto fused_hist = bins.gather_all();
+    const auto hot_global = c.all_reduce_sum(hot_local);
+
+    if (c.rank0()) {
+      std::printf("plan %s ranks %d delta %d ordering %s mode push_pull\n",
+                  which.c_str(), ranks, delta, graph::ordering_name(g.ordering()));
+      std::printf("identity  triangles %llu volume %llu messages %llu digest %016llx\n",
+                  (unsigned long long)identity.triangles_found,
+                  (unsigned long long)identity.total.volume_bytes,
+                  (unsigned long long)identity.total.messages,
+                  (unsigned long long)digest(id_hist));
+      std::printf("projected triangles %llu volume %llu messages %llu digest %016llx\n",
+                  (unsigned long long)fused.total.triangles_found,
+                  (unsigned long long)fused.total.total.volume_bytes,
+                  (unsigned long long)fused.total.total.messages,
+                  (unsigned long long)digest(fused_hist));
+      std::printf("fused invocations count %llu closure %llu hot %llu (hot global %llu)\n",
+                  (unsigned long long)fused.invocations[0],
+                  (unsigned long long)fused.invocations[1],
+                  (unsigned long long)fused.invocations[2],
+                  (unsigned long long)hot_global);
+    }
+  });
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -277,6 +412,7 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "gen") return cmd_gen(argc, argv);
     if (cmd == "preset") return cmd_preset(argc, argv);
+    if (cmd == "plan") return cmd_plan(argc, argv);
     if (argc < 3) return usage();
     const std::string path = argv[2];
     const int ranks = argc > 3 ? std::atoi(argv[3]) : 4;
@@ -303,7 +439,7 @@ int main(int argc, char** argv) {
       return with_plain_graph_from_file(path, ranks,
                                         [mode](comm::communicator& c, auto& g) {
         cb::count_context ctx;
-        const auto r = tripoll::triangle_survey(g, cb::count_callback{}, ctx, {mode});
+        const auto r = cb::plan_for(g, cb::count_callback{}, ctx).run({mode}).slice(0);
         const auto n = ctx.global_count(c);
         if (c.rank0()) {
           std::printf("triangles %llu  time %.3fs  volume %.2f MB  pulls %llu\n",
@@ -349,7 +485,7 @@ int main(int argc, char** argv) {
         builder.build_into(g);
         comm::counting_set<cb::closure_bin> counters(c);
         cb::closure_time_context ctx{&counters};
-        tripoll::triangle_survey(g, cb::closure_time_callback{}, ctx);
+        (void)cb::plan_for(g, cb::closure_time_callback{}, ctx).run();
         counters.finalize();
         auto joint = counters.gather_all();
         if (c.rank0()) {
