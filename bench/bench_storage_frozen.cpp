@@ -1,0 +1,245 @@
+// bench_storage_frozen -- frozen CSR storage vs the mutable distributed_map
+// form (PR 5 acceptance numbers).
+//
+// For each ablation preset (rmat / temporal / web) this bench builds the
+// graph once, then measures:
+//   * survey wall time over the mutable map storage vs the frozen arenas
+//     (median of N runs; push_pull mode, counting survey, identical counts
+//     asserted),
+//   * resident bytes per directed edge for both forms (map: measured
+//     per-record heap footprint incl. hash-node and vector overhead;
+//     frozen: exact arena + index bytes),
+//   * freeze time, snapshot save time, and snapshot load time (mmap) --
+//     the cost of entering the frozen world and of skipping rebuild+peel
+//     on the next session.
+//
+// `--json <path>` writes a `pr5_storage_cases` object consumed by
+// tools/check_bench_regression.py --storage-gates, which asserts
+//   * identical triangle counts between the storage forms,
+//   * frozen/map traversal time ratio <= --storage-traversal-max,
+//   * frozen bytes-per-edge <= --storage-bpe-max and <= the map's.
+// `--quick` shrinks the graphs and repetitions for CI.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bench_util.hpp"
+#include "comm/runtime.hpp"
+#include "core/callbacks.hpp"
+#include "core/survey.hpp"
+#include "gen/distribute.hpp"
+#include "gen/presets.hpp"
+#include "gen/rmat.hpp"
+#include "gen/temporal.hpp"
+#include "gen/web.hpp"
+#include "graph/builder.hpp"
+#include "graph/frozen.hpp"
+#include "graph/snapshot.hpp"
+
+namespace cb = tripoll::callbacks;
+namespace comm = tripoll::comm;
+namespace gen = tripoll::gen;
+namespace graph = tripoll::graph;
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+double seconds_since(clock_type::time_point t0) {
+  return std::chrono::duration<double>(clock_type::now() - t0).count();
+}
+
+/// Measured heap footprint of the mutable map storage on this rank:
+/// unordered_map bucket array + one allocated node per vertex + each
+/// record's adjacency vector capacity.
+template <typename Graph>
+std::uint64_t map_local_bytes(Graph& g) {
+  std::uint64_t bytes = g.storage().local_storage().bucket_count() * sizeof(void*);
+  g.for_all_local([&](const graph::vertex_id&, const auto& rec) {
+    using record_type = std::remove_cvref_t<decltype(rec)>;
+    using entry_type = typename std::remove_cvref_t<decltype(rec.adj)>::value_type;
+    bytes += sizeof(std::pair<const graph::vertex_id, record_type>) + sizeof(void*);
+    bytes += rec.adj.capacity() * sizeof(entry_type);
+  });
+  return bytes;
+}
+
+struct storage_case {
+  std::uint64_t edges = 0;           ///< global directed edges
+  std::uint64_t triangles_map = 0;
+  std::uint64_t triangles_frozen = 0;
+  std::uint64_t triangles_loaded = 0;
+  double map_seconds = 0.0;          ///< median survey time, map storage
+  double frozen_seconds = 0.0;       ///< median survey time, frozen storage
+  double freeze_seconds = 0.0;
+  double save_seconds = 0.0;
+  double load_seconds = 0.0;         ///< mmap + index rebuild
+  double map_bytes_per_edge = 0.0;
+  double frozen_bytes_per_edge = 0.0;
+};
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+storage_case run_case(const std::string& which, int ranks, int delta, int reps) {
+  storage_case out;
+  const std::string prefix =
+      (std::filesystem::temp_directory_path() /
+       ("tripoll_bench_snap_" + which + "_" + std::to_string(::getpid())))
+          .string();
+  comm::runtime::run(ranks, [&](comm::communicator& c) {
+    gen::plain_graph g(c);
+    graph::graph_builder<graph::none, graph::none> builder(
+        c, graph::ordering_policy::degeneracy);
+    gen::for_preset_edges(c, which, delta,
+                 [&](graph::vertex_id u, graph::vertex_id v) { builder.add_edge(u, v); });
+    builder.build_into(g);
+
+    // Freeze (timed; max over ranks via barrier bracketing).
+    c.barrier();
+    auto t0 = clock_type::now();
+    auto fz = graph::freeze(g);
+    c.barrier();
+    const double freeze_s = c.all_reduce_max(seconds_since(t0));
+
+    // Alternate map/frozen surveys so thermal/noise drift hits both forms.
+    std::vector<double> map_times, frozen_times;
+    std::uint64_t tri_map = 0, tri_frozen = 0;
+    for (int r = 0; r < reps; ++r) {
+      cb::count_context ctx_m;
+      const auto rm = cb::plan_for(g, cb::count_callback{}, ctx_m).run({}).slice(0);
+      map_times.push_back(rm.total.seconds);
+      tri_map = ctx_m.global_count(c);
+      cb::count_context ctx_f;
+      const auto rf = cb::plan_for(fz, cb::count_callback{}, ctx_f).run({}).slice(0);
+      frozen_times.push_back(rf.total.seconds);
+      tri_frozen = ctx_f.global_count(c);
+    }
+
+    // Storage footprints (global sums).
+    const auto frozen_stats = fz.global_storage_stats();
+    const auto map_bytes = c.all_reduce_sum(map_local_bytes(g));
+
+    // Snapshot save + mmap load (timed).
+    c.barrier();
+    t0 = clock_type::now();
+    (void)graph::save_snapshot(fz, prefix);
+    const double save_s = c.all_reduce_max(seconds_since(t0));
+    c.barrier();
+    t0 = clock_type::now();
+    auto loaded = graph::load_snapshot<graph::none, graph::none>(c, prefix);
+    c.barrier();
+    const double load_s = c.all_reduce_max(seconds_since(t0));
+    cb::count_context ctx_l;
+    (void)cb::plan_for(loaded, cb::count_callback{}, ctx_l).run({}).slice(0);
+    const auto tri_loaded = ctx_l.global_count(c);
+
+    if (c.rank0()) {
+      out.edges = frozen_stats.edges;
+      out.triangles_map = tri_map;
+      out.triangles_frozen = tri_frozen;
+      out.triangles_loaded = tri_loaded;
+      out.map_seconds = median(map_times);
+      out.frozen_seconds = median(frozen_times);
+      out.freeze_seconds = freeze_s;
+      out.save_seconds = save_s;
+      out.load_seconds = load_s;
+      out.map_bytes_per_edge =
+          static_cast<double>(map_bytes) / static_cast<double>(frozen_stats.edges);
+      out.frozen_bytes_per_edge = frozen_stats.bytes_per_edge();
+      for (int r = 0; r < ranks; ++r) {
+        std::filesystem::remove(graph::snapshot_rank_path(prefix, r));
+      }
+    }
+  });
+  return out;
+}
+
+void print_case(const std::string& name, const storage_case& sc) {
+  std::printf("%-10s edges %9llu  map %7.4fs  frozen %7.4fs  ratio %5.3fx  "
+              "B/edge %6.1f -> %5.1f  freeze %6.4fs save %6.4fs load %6.4fs\n",
+              name.c_str(), (unsigned long long)sc.edges, sc.map_seconds,
+              sc.frozen_seconds,
+              sc.map_seconds > 0 ? sc.frozen_seconds / sc.map_seconds : 0.0,
+              sc.map_bytes_per_edge, sc.frozen_bytes_per_edge, sc.freeze_seconds,
+              sc.save_seconds, sc.load_seconds);
+}
+
+void write_json(const char* path, const std::map<std::string, storage_case>& cases,
+                int ranks, int delta) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    std::exit(2);
+  }
+  std::fprintf(f, "{\n  \"pr5_storage_cases\": {\n");
+  std::size_t i = 0;
+  for (const auto& [name, sc] : cases) {
+    std::fprintf(
+        f,
+        "    \"%s\": {\"edges\": %llu, \"triangles_map\": %llu, "
+        "\"triangles_frozen\": %llu, \"triangles_loaded\": %llu, "
+        "\"map_seconds\": %.6f, \"frozen_seconds\": %.6f, "
+        "\"freeze_seconds\": %.6f, \"save_seconds\": %.6f, \"load_seconds\": %.6f, "
+        "\"map_bytes_per_edge\": %.2f, \"frozen_bytes_per_edge\": %.2f}%s\n",
+        name.c_str(), (unsigned long long)sc.edges,
+        (unsigned long long)sc.triangles_map, (unsigned long long)sc.triangles_frozen,
+        (unsigned long long)sc.triangles_loaded, sc.map_seconds, sc.frozen_seconds,
+        sc.freeze_seconds, sc.save_seconds, sc.load_seconds, sc.map_bytes_per_edge,
+        sc.frozen_bytes_per_edge, ++i == cases.size() ? "" : ",");
+  }
+  std::fprintf(f, "  },\n  \"params\": {\"ranks\": %d, \"delta\": %d}\n}\n", ranks,
+               delta);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = tripoll::bench::quick_mode(argc, argv);
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc || argv[i + 1][0] == '-') {
+        std::fprintf(stderr, "--json needs an output path\n");
+        return 2;
+      }
+      json_path = argv[++i];
+    }
+  }
+
+  const int ranks = 4;
+  const int delta = quick ? -2 : tripoll::bench::scale_delta_from_env(0);
+  const int reps = quick ? 5 : 9;
+
+  tripoll::bench::print_header(
+      "Frozen CSR storage vs distributed_map (traversal time, bytes/edge, snapshots)",
+      "PR 5");
+  std::map<std::string, storage_case> cases;
+  for (const std::string which : {"rmat", "temporal", "web"}) {
+    cases[which] = run_case(which, ranks, delta, reps);
+    print_case(which, cases[which]);
+    const auto& sc = cases[which];
+    if (sc.triangles_map != sc.triangles_frozen ||
+        sc.triangles_map != sc.triangles_loaded) {
+      std::fprintf(stderr, "FATAL: triangle counts diverge on %s (map %llu, frozen "
+                           "%llu, loaded %llu)\n",
+                   which.c_str(), (unsigned long long)sc.triangles_map,
+                   (unsigned long long)sc.triangles_frozen,
+                   (unsigned long long)sc.triangles_loaded);
+      return 1;
+    }
+  }
+  if (json_path != nullptr) write_json(json_path, cases, ranks, delta);
+  return 0;
+}

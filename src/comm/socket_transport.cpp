@@ -7,6 +7,7 @@
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
+#include <sys/uio.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -30,19 +31,40 @@ using clock_type = std::chrono::steady_clock;
   return std::string(what) + ": " + std::strerror(errno);
 }
 
-/// Send exactly `n` bytes, blocking as needed (MSG_NOSIGNAL: a dead peer
-/// surfaces as EPIPE, not a process-killing signal).
-void send_all(int fd, const void* data, std::size_t n) {
-  const char* p = static_cast<const char*>(data);
-  while (n > 0) {
-    const ssize_t sent = ::send(fd, p, n, MSG_NOSIGNAL);
+/// Gathered send: one sendmsg(MSG_NOSIGNAL) syscall for the whole iovec
+/// array (writev semantics, minus writev's SIGPIPE), retrying on partial
+/// writes.  Zero-length entries are allowed.  The array is consumed.
+void send_all_iov(int fd, iovec* iov, std::size_t iovcnt) {
+  while (iovcnt > 0 && iov[0].iov_len == 0) {
+    ++iov;
+    --iovcnt;
+  }
+  while (iovcnt > 0) {
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = iovcnt;
+    const ssize_t sent = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
     if (sent < 0) {
       if (errno == EINTR) continue;
-      throw std::runtime_error(errno_text("socket_transport: send failed"));
+      throw std::runtime_error(errno_text("socket_transport: sendmsg failed"));
     }
-    p += sent;
-    n -= static_cast<std::size_t>(sent);
+    std::size_t n = static_cast<std::size_t>(sent);
+    while (iovcnt > 0 && n >= iov[0].iov_len) {
+      n -= iov[0].iov_len;
+      ++iov;
+      --iovcnt;
+    }
+    if (iovcnt > 0) {
+      iov[0].iov_base = static_cast<char*>(iov[0].iov_base) + n;
+      iov[0].iov_len -= n;
+    }
   }
+}
+
+/// iovec over a const buffer (sendmsg never mutates the data; the iovec
+/// API's non-const base predates const-correctness).
+[[nodiscard]] iovec make_iov(const void* data, std::size_t n) noexcept {
+  return iovec{const_cast<void*>(data), n};
 }
 
 /// Send whatever the socket accepts without blocking; returns bytes written
@@ -267,8 +289,8 @@ void socket_transport::send_hello(int fd) const {
   std::byte hdr[serial::frame_header::kWireSize];
   serial::frame_header{sizeof(body), static_cast<std::uint8_t>(frame_type::hello)}
       .encode(hdr);
-  send_all(fd, hdr, sizeof(hdr));
-  send_all(fd, body, sizeof(body));
+  iovec iov[2] = {make_iov(hdr, sizeof(hdr)), make_iov(body, sizeof(body))};
+  send_all_iov(fd, iov, 2);
 }
 
 int socket_transport::read_hello(int fd, double deadline_seconds) const {
@@ -379,15 +401,13 @@ void socket_transport::connect_mesh(const socket_options& opts) {
 
 // --- framing ----------------------------------------------------------------
 
-void socket_transport::flush_pending_blocking_locked(peer& p) {
-  if (!p.has_pending.load(std::memory_order_acquire)) return;
+std::vector<std::byte> socket_transport::take_pending_locked(peer& p) {
   std::vector<std::byte> queued;
-  {
-    const std::lock_guard lock(p.queue_mutex);
-    queued.swap(p.pending_out);
-    p.has_pending.store(false, std::memory_order_release);
-  }
-  if (!queued.empty()) send_all(p.fd, queued.data(), queued.size());
+  if (!p.has_pending.load(std::memory_order_acquire)) return queued;
+  const std::lock_guard lock(p.queue_mutex);
+  queued.swap(p.pending_out);
+  p.has_pending.store(false, std::memory_order_release);
+  return queued;
 }
 
 void socket_transport::try_flush_pending(peer& p) noexcept {
@@ -437,9 +457,12 @@ void socket_transport::send_frame(int dest, frame_type type, const std::byte* bo
   serial::frame_header{static_cast<std::uint32_t>(n), static_cast<std::uint8_t>(type)}
       .encode(hdr);
   const std::lock_guard lock(p.write_mutex);
-  flush_pending_blocking_locked(p);
-  send_all(p.fd, hdr, sizeof(hdr));
-  if (n > 0) send_all(p.fd, body, n);
+  // One gathered syscall for (queued control bytes, header, body) -- the
+  // frame stream stays intact and the kernel sees one contiguous write.
+  const auto queued = take_pending_locked(p);
+  iovec iov[3] = {make_iov(queued.data(), queued.size()), make_iov(hdr, sizeof(hdr)),
+                  make_iov(body, n)};
+  send_all_iov(p.fd, iov, 3);
 }
 
 void socket_transport::post_frame(int dest, frame_type type, const std::byte* body,
@@ -519,10 +542,14 @@ void socket_transport::deliver(int src, int dst, serial::byte_buffer payload,
   std::byte prefix[8];
   serial::store_u64_le(prefix, n_messages);
   const std::lock_guard lock(p.write_mutex);
-  flush_pending_blocking_locked(p);
-  send_all(p.fd, hdr, sizeof(hdr));
-  send_all(p.fd, prefix, sizeof(prefix));
-  if (payload.size() > 0) send_all(p.fd, payload.data(), payload.size());
+  // Single gathered syscall for (queued control bytes, header, message
+  // count, payload) instead of 3 sequential send_all calls: one kernel
+  // crossing per frame and no small-segment dribble ahead of the payload.
+  const auto queued = take_pending_locked(p);
+  iovec iov[4] = {make_iov(queued.data(), queued.size()), make_iov(hdr, sizeof(hdr)),
+                  make_iov(prefix, sizeof(prefix)),
+                  make_iov(payload.data(), payload.size())};
+  send_all_iov(p.fd, iov, 4);
 }
 
 // --- termination detection ----------------------------------------------------
@@ -664,13 +691,33 @@ void socket_transport::exit_rendezvous(int /*rank*/) {
   // until every rank has left its poll loop.  Arriving data stays queued in
   // the mailbox for the next drain, exactly like the inproc rendezvous.
   // The receiver notifies gen_cv_ when RELEASE lands (or the run aborts);
-  // the timeout is belt-and-braces against a lost notification.
+  // the timeout is belt-and-braces against a lost notification.  The
+  // watchdog mirrors the barrier poll loop's: a RELEASE that never comes
+  // (coordinator died silently, or ranks disagree on the number of
+  // collectives) must abort loudly, not hang the job forever.
   std::unique_lock lock(gen_mutex_);
+  const auto wait_start = clock_type::now();
+  const double timeout = cfg().barrier_timeout_seconds;
   while (release_generation_.load(std::memory_order_acquire) < gen) {
     throw_if_aborted();
     gen_cv_.wait_for(lock, std::chrono::milliseconds(1), [&] {
       return release_generation_.load(std::memory_order_acquire) >= gen || aborted();
     });
+    if (timeout > 0.0 &&
+        release_generation_.load(std::memory_order_acquire) < gen && !aborted()) {
+      const double waited =
+          std::chrono::duration<double>(clock_type::now() - wait_start).count();
+      if (waited > timeout) {
+        lock.unlock();
+        abort_run(std::make_exception_ptr(std::runtime_error(
+            "socket_transport: exit-rendezvous watchdog: rank " +
+            std::to_string(rank_) + " got no RELEASE for barrier generation " +
+            std::to_string(gen) + " after " + std::to_string(waited) +
+            "s -- mismatched collectives, or the coordinator exited")));
+        throw_if_aborted();
+        return;  // unreachable: abort_run recorded an error to throw
+      }
+    }
   }
 }
 
@@ -682,15 +729,24 @@ void socket_transport::coordinator_note_exit(std::uint64_t gen) {
   if (++coord_.exit_count < nranks_) return;
   coord_.exit_count = 0;
   const std::uint64_t released = release_generation_.load(std::memory_order_acquire) + 1;
+  // Queue the peers' RELEASE frames BEFORE unblocking this rank's own
+  // exit_rendezvous.  The moment release_generation_ rises, the main
+  // thread may return from the final barrier, finish the run and enter
+  // the destructor: its FIN sends flush whatever is queued *at that
+  // point* and then shut the sockets down, so a RELEASE queued by this
+  // (receiver) thread after that instant would be silently discarded --
+  // stranding every other rank in its final rendezvous.  Queue-first
+  // closes the window: once the main thread can observe the release, the
+  // frames are already in the per-peer queues the FIN path drains.
+  for (int r = 1; r < nranks_; ++r) {
+    const std::uint64_t words[1] = {released};
+    post_control_u64(r, frame_type::release, words, 1);
+  }
   raise_to(release_generation_, released);
   {
     const std::lock_guard wake_lock(gen_mutex_);
   }
   gen_cv_.notify_all();
-  for (int r = 1; r < nranks_; ++r) {
-    const std::uint64_t words[1] = {released};
-    post_control_u64(r, frame_type::release, words, 1);
-  }
 }
 
 // --- failure propagation ------------------------------------------------------

@@ -187,7 +187,7 @@ class socket_transport final : public transport {
                   std::size_t n) noexcept;
   void post_control_u64(int dest, frame_type type, const std::uint64_t* words,
                         std::size_t n_words) noexcept;
-  void flush_pending_blocking_locked(peer& p);      // write_mutex held
+  [[nodiscard]] std::vector<std::byte> take_pending_locked(peer& p);  // write_mutex held
   void try_flush_pending(peer& p) noexcept;         // never blocks
   void wake_receiver() noexcept;
 

@@ -70,10 +70,10 @@ struct edge_support_cb {
 
 /// Reduce a finalized per-vertex participation set to the standard
 /// clustering statistics (collective).
-template <typename VertexMeta, typename EdgeMeta>
+template <typename Graph>
 [[nodiscard]] clustering_summary summarize_clustering(
-    graph::dodgr<VertexMeta, EdgeMeta>& g,
-    comm::counting_set<graph::vertex_id>& per_vertex, std::uint64_t triangles) {
+    Graph& g, comm::counting_set<graph::vertex_id>& per_vertex,
+    std::uint64_t triangles) {
   auto& c = g.comm();
   // Counting-set keys and graph vertices share the hash partition, so each
   // rank holds both T(v) and d(v) for its vertices; the division is local.
@@ -115,10 +115,9 @@ template <typename VertexMeta, typename EdgeMeta>
 
 /// Collective: run a per-vertex participation survey and reduce it to the
 /// standard clustering statistics.
-template <typename VertexMeta, typename EdgeMeta>
+template <typename Graph>
 [[nodiscard]] clustering_summary clustering_coefficients(
-    graph::dodgr<VertexMeta, EdgeMeta>& g,
-    survey_mode mode = survey_mode::push_pull) {
+    Graph& g, survey_mode mode = survey_mode::push_pull) {
   auto& c = g.comm();
   comm::counting_set<graph::vertex_id> per_vertex(c);
   const auto result = survey(g)
@@ -132,9 +131,8 @@ template <typename VertexMeta, typename EdgeMeta>
 
 /// Collective: count, for every edge, the number of triangles containing it
 /// (the k-truss "support").  Results land in `support` (finalized).
-template <typename VertexMeta, typename EdgeMeta>
-survey_result edge_support(graph::dodgr<VertexMeta, EdgeMeta>& g,
-                           comm::counting_set<edge_key>& support,
+template <typename Graph>
+survey_result edge_support(Graph& g, comm::counting_set<edge_key>& support,
                            survey_mode mode = survey_mode::push_pull) {
   const auto result = survey(g)
                           .project_vertex(drop_projection{})
@@ -149,9 +147,9 @@ survey_result edge_support(graph::dodgr<VertexMeta, EdgeMeta>& g,
 /// participation reduced to clustering statistics, per-edge support left in
 /// `support` (finalized).  Halves the wedge traffic versus running
 /// clustering_coefficients and edge_support back to back.
-template <typename VertexMeta, typename EdgeMeta>
+template <typename Graph>
 [[nodiscard]] clustering_summary clustering_and_support(
-    graph::dodgr<VertexMeta, EdgeMeta>& g, comm::counting_set<edge_key>& support,
+    Graph& g, comm::counting_set<edge_key>& support,
     survey_mode mode = survey_mode::push_pull) {
   auto& c = g.comm();
   comm::counting_set<graph::vertex_id> per_vertex(c);

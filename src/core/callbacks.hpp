@@ -59,9 +59,12 @@ struct degree_projection {
 /// Survey plan preconfigured with `Cb`'s declared minimal projections: the
 /// traversal ships exactly what the analysis reads.  Chain further `.add`s
 /// onto the result to fuse more callbacks into the same traversal (they
-/// must be satisfied by the same projections).
-template <typename Cb, typename VertexMeta, typename EdgeMeta, typename Context>
-[[nodiscard]] auto plan_for(graph::dodgr<VertexMeta, EdgeMeta>& g, Cb cb, Context& ctx) {
+/// must be satisfied by the same projections).  `g` may be the mutable map
+/// form or a frozen CSR graph (for a graph frozen through the same
+/// projections the projections below become cheap identities over the
+/// already-projected arenas).
+template <typename Cb, typename Graph, typename Context>
+[[nodiscard]] auto plan_for(Graph& g, Cb cb, Context& ctx) {
   return tripoll::survey(g)
       .project_vertex(typename Cb::vertex_projection{})
       .project_edge(typename Cb::edge_projection{})

@@ -210,11 +210,15 @@ template <typename Graph, typename Plan>
 /// A composable, typed survey description: the graph, a sender-side
 /// projection per metadata kind, and any number of (callback, context)
 /// pairs fused into one traversal.  Built through `tripoll::survey(g)`.
-template <typename VertexMeta, typename EdgeMeta, typename VProj = identity_projection,
+/// `Graph` is any storage form exposing the DODGr read API -- the mutable
+/// `graph::dodgr` or the frozen CSR `graph::frozen_dodgr`.
+template <typename Graph, typename VProj = identity_projection,
           typename EProj = identity_projection, typename... Entries>
 class survey_plan {
  public:
-  using graph_type = graph::dodgr<VertexMeta, EdgeMeta>;
+  using graph_type = Graph;
+  using VertexMeta = typename Graph::vertex_meta_type;
+  using EdgeMeta = typename Graph::edge_meta_type;
   using vertex_projection_type = VProj;
   using edge_projection_type = EProj;
 
@@ -242,15 +246,15 @@ class survey_plan {
   /// wedge/pull wire types carry the projected type.
   template <typename F>
   [[nodiscard]] auto project_vertex(F fn) const {
-    return survey_plan<VertexMeta, EdgeMeta, F, EProj, Entries...>(
-        *graph_, std::move(fn), eproj_, entries_);
+    return survey_plan<Graph, F, EProj, Entries...>(*graph_, std::move(fn), eproj_,
+                                                    entries_);
   }
 
   /// Replace the edge-metadata projection (see project_vertex).
   template <typename F>
   [[nodiscard]] auto project_edge(F fn) const {
-    return survey_plan<VertexMeta, EdgeMeta, VProj, F, Entries...>(
-        *graph_, vproj_, std::move(fn), entries_);
+    return survey_plan<Graph, VProj, F, Entries...>(*graph_, vproj_, std::move(fn),
+                                                    entries_);
   }
 
   /// Register one (callback, context) pair.  The callback is stored by
@@ -259,7 +263,7 @@ class survey_plan {
   template <typename Callback, typename Context>
   [[nodiscard]] auto add(Callback callback, Context& context) const {
     using entry = core::detail::callback_entry<Callback, Context>;
-    return survey_plan<VertexMeta, EdgeMeta, VProj, EProj, Entries..., entry>(
+    return survey_plan<Graph, VProj, EProj, Entries..., entry>(
         *graph_, vproj_, eproj_,
         std::tuple_cat(entries_,
                        std::make_tuple(entry{std::move(callback), &context})));
@@ -300,11 +304,18 @@ class survey_plan {
 };
 
 /// Entry point of the plan API: start a survey description over `g` with
-/// identity projections and no callbacks yet.
-template <typename VertexMeta, typename EdgeMeta>
-[[nodiscard]] auto survey(graph::dodgr<VertexMeta, EdgeMeta>& g) {
-  return survey_plan<VertexMeta, EdgeMeta>(g, identity_projection{},
-                                           identity_projection{}, std::tuple<>{});
+/// identity projections and no callbacks yet.  `g` may be a mutable
+/// `graph::dodgr` or a frozen `graph::frozen_dodgr` (whose arenas already
+/// hold freeze-time-projected metadata).
+template <typename Graph>
+  requires requires {
+    typename Graph::vertex_meta_type;
+    typename Graph::edge_meta_type;
+    typename Graph::record_type;
+  }
+[[nodiscard]] auto survey(Graph& g) {
+  return survey_plan<Graph>(g, identity_projection{}, identity_projection{},
+                            std::tuple<>{});
 }
 
 }  // namespace tripoll

@@ -328,8 +328,10 @@ class survey_engine {
                     graph::vertex_id p, const wire_vm& meta_p, const wire_em& meta_pq,
                     const core::detail::batch_arg<candidate_type>& candidates) {
       self& eng = c.resolve(h);
-      const record_type* rec_q = eng.graph_->local_find(q);
-      assert(rec_q != nullptr);
+      // local_find returns a nullable record handle: a record pointer for
+      // the mutable map, an optional record view for the frozen CSR form.
+      const auto rec_q = eng.graph_->local_find(q);
+      assert(rec_q);
       decltype(auto) meta_q = eng.pv(rec_q->meta);  // projected once per batch
       // Adaptive kernel: a short pushed suffix meeting a hub's long list
       // gallops instead of scanning (degeneracy-ordering insight from
@@ -350,6 +352,20 @@ class survey_engine {
 
   // --- push-pull (Sec. 4.4) ------------------------------------------------------
 
+  /// Compact graph-defined locator for a local record (map form: record
+  /// pointer; frozen form: 4-byte CSR slot).  Stable for the whole survey
+  /// (the graph is not mutated), so dry-run sources cache it.
+  using record_locator = typename Graph::record_locator;
+
+  /// One local wedge source (p, split index) with its cached locator: the
+  /// push and pull phases revisit every source, and re-finding p by hash
+  /// once per source pair would cost ~|E+| lookups per survey.
+  struct source_ref {
+    graph::vertex_id p = 0;
+    record_locator rec{};
+    std::uint32_t split = 0;
+  };
+
   /// Dry-run product: for each target vertex q this rank would push to, the
   /// total candidate count and the local (p, split-index) sources -- "the
   /// pass also stores pointers to efficiently iterate over source vertices
@@ -358,18 +374,20 @@ class survey_engine {
     std::uint64_t candidate_count = 0;
     std::uint64_t q_out_degree = 0;  ///< d+(q), known locally from Adjm+ (P6)
     bool pull_granted = false;
-    std::vector<std::pair<graph::vertex_id, std::uint32_t>> sources;
+    std::vector<source_ref> sources;
   };
 
   void dry_run() {
     // Communication-free counting pass.
-    graph_->for_all_local([&](const graph::vertex_id& p, const record_type& rec) {
+    graph_->for_all_local_located([&](const graph::vertex_id& p, const record_type& rec,
+                                      record_locator loc) {
+      if (rec.adj.size() < 2) return;
       for (std::size_t i = 0; i + 1 < rec.adj.size(); ++i) {
         const entry_type& q_entry = rec.adj[i];
         per_target& t = targets_[q_entry.target];
         t.candidate_count += rec.adj.size() - i - 1;
         t.q_out_degree = q_entry.target_out_degree;
-        t.sources.emplace_back(p, static_cast<std::uint32_t>(i));
+        t.sources.push_back(source_ref{p, loc, static_cast<std::uint32_t>(i)});
       }
     });
     // One aggregate proposal per (this rank, q) -- but only where pulling
@@ -391,8 +409,8 @@ class survey_engine {
     void operator()(comm::communicator& c, comm::dist_handle<self> h, graph::vertex_id q,
                     int source_rank, std::uint64_t candidate_count) {
       self& eng = c.resolve(h);
-      const record_type* rec_q = eng.graph_->local_find(q);
-      assert(rec_q != nullptr);
+      const auto rec_q = eng.graph_->local_find(q);
+      assert(rec_q);
       // Pull pays off when shipping Adjm+(q) once beats receiving the
       // candidates: |Adj+(q)| < sum of suffix lengths from that rank.
       const bool pull = rec_q->out_degree() < candidate_count;
@@ -417,18 +435,17 @@ class survey_engine {
   void push_undecided() {
     for (const auto& [q, t] : targets_) {
       if (t.pull_granted) continue;
-      for (const auto& [p, i] : t.sources) {
-        const record_type* rec = graph_->local_find(p);
-        assert(rec != nullptr);
-        send_wedge_batch(p, *rec, i);
+      for (const source_ref& s : t.sources) {
+        decltype(auto) rec = graph_->resolve_record(s.rec);
+        send_wedge_batch(s.p, rec, s.split);
       }
     }
   }
 
   void pull_phase() {
     for (const auto& [q, ranks] : pull_grants_) {
-      const record_type* rec_q = graph_->local_find(q);
-      assert(rec_q != nullptr);
+      const auto rec_q = graph_->local_find(q);
+      assert(rec_q);
       std::vector<pulled_type> entries;
       entries.reserve(rec_q->adj.size());
       std::vector<pe_type> owned;
@@ -452,15 +469,16 @@ class survey_engine {
       self& eng = c.resolve(h);
       auto it = eng.targets_.find(q);
       assert(it != eng.targets_.end());
-      for (const auto& [p, i] : it->second.sources) {
-        const record_type* rec_p = eng.graph_->local_find(p);
-        assert(rec_p != nullptr);
-        const entry_type& q_entry = rec_p->adj[i];
-        eng.local_candidates_ += rec_p->adj.size() - i - 1;
-        decltype(auto) meta_p = eng.pv(rec_p->meta);
+      for (const source_ref& s : it->second.sources) {
+        decltype(auto) rec_p = eng.graph_->resolve_record(s.rec);  // cached locator
+        const graph::vertex_id p = s.p;
+        const std::uint32_t i = s.split;
+        const entry_type& q_entry = rec_p.adj[i];
+        eng.local_candidates_ += rec_p.adj.size() - i - 1;
+        decltype(auto) meta_p = eng.pv(rec_p.meta);
         decltype(auto) meta_pq = eng.pe(q_entry.edge_meta);
         core::adaptive_intersect(
-            rec_p->adj.begin() + static_cast<std::ptrdiff_t>(i) + 1, rec_p->adj.end(),
+            rec_p.adj.begin() + static_cast<std::ptrdiff_t>(i) + 1, rec_p.adj.end(),
             entries.begin(), entries.end(),
             [](const entry_type& e) { return e.key(); },
             [](const pulled_type& pe_) { return pe_.key(); },
@@ -508,9 +526,10 @@ plan_result<Plan::num_callbacks> run_plan(Graph& g, Plan& plan, survey_options o
 /// identity-projection, single-callback plan.  `callback` is invoked as
 /// `cb(view, ctx)` or `cb(comm, view, ctx)` for every triangle; `context`
 /// is this rank's local survey state (counters, counting sets, sinks).
-template <typename VertexMeta, typename EdgeMeta, typename Callback, typename Context>
-survey_result triangle_survey(graph::dodgr<VertexMeta, EdgeMeta>& g, Callback callback,
-                              Context& context, survey_options opts = {}) {
+/// Works over either storage form (mutable map or frozen CSR).
+template <typename Graph, typename Callback, typename Context>
+survey_result triangle_survey(Graph& g, Callback callback, Context& context,
+                              survey_options opts = {}) {
   auto plan = survey(g).add(std::move(callback), context);
   return core::detail::run_plan(g, plan, opts).slice(0);
 }

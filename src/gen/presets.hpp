@@ -7,11 +7,14 @@
 // networks, the hub-heavy clustered web generator for the web graphs.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "comm/communicator.hpp"
+#include "gen/distribute.hpp"
 #include "gen/rmat.hpp"
 #include "gen/temporal.hpp"
 #include "gen/web.hpp"
@@ -64,5 +67,39 @@ void build_web_graph(comm::communicator& c, web_graph& g, const web_params& para
 /// all ranks -- test support for cross-checking against the serial counter.
 [[nodiscard]] std::vector<graph::edge> materialize_edges(comm::communicator& c,
                                                          const dataset_spec& spec);
+
+/// Stream the deterministic edge list of one named ablation preset
+/// ("rmat" | "temporal" | "web") to `fn(u, v)`, this rank's slice only.
+/// Shared by the CLI's deterministic subcommands and the storage bench so
+/// both always generate the same graphs the smoke tests diff.
+template <typename Fn>
+void for_preset_edges(comm::communicator& c, const std::string& which, int delta,
+                      Fn&& fn) {
+  if (which == "rmat") {
+    const auto spec = livejournal_like(delta);
+    const rmat_generator g(spec.rmat);
+    for_rank_slice(c, g.num_edges(), [&](std::uint64_t k) {
+      const auto e = g.edge_at(k);
+      fn(e.u, e.v);
+    });
+  } else if (which == "temporal") {
+    temporal_params params;
+    params.scale = static_cast<std::uint32_t>(std::max(8, 13 + delta));
+    const temporal_generator g(params);
+    for_rank_slice(c, g.num_edges(), [&](std::uint64_t k) {
+      const auto e = g.edge_at(k);
+      fn(e.u, e.v);
+    });
+  } else if (which == "web") {
+    const auto spec = standard_suite(delta)[3];  // webcc12-host-like
+    const web_generator g(spec.web);
+    for_rank_slice(c, g.num_edges(), [&](std::uint64_t k) {
+      const auto e = g.edge_at(k);
+      fn(e.u, e.v);
+    });
+  } else {
+    throw std::invalid_argument("for_preset_edges: unknown preset '" + which + "'");
+  }
+}
 
 }  // namespace tripoll::gen

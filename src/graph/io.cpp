@@ -1,13 +1,79 @@
 #include "graph/io.hpp"
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cerrno>
 #include <charconv>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 #include <vector>
 
 namespace tripoll::graph {
+
+std::shared_ptr<const mapped_file> mapped_file::map(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw std::runtime_error("mapped_file: cannot open '" + path +
+                             "': " + std::strerror(errno));
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("mapped_file: fstat '" + path + "': " + err);
+  }
+  auto out = std::shared_ptr<mapped_file>(new mapped_file());
+  out->size_ = static_cast<std::size_t>(st.st_size);
+  if (out->size_ == 0) {
+    ::close(fd);
+    return out;
+  }
+  void* base = ::mmap(nullptr, out->size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  if (base != MAP_FAILED) {
+    out->data_ = static_cast<const std::byte*>(base);
+    out->mapped_ = true;
+    ::close(fd);
+    return out;
+  }
+  // Fallback (exotic filesystems): read the file into owned storage.  The
+  // arena views are oblivious to which path provided the bytes.
+  void* buf = std::malloc(out->size_);
+  if (buf == nullptr) {
+    ::close(fd);
+    throw std::runtime_error("mapped_file: out of memory reading '" + path + "'");
+  }
+  std::size_t done = 0;
+  while (done < out->size_) {
+    const ssize_t got = ::read(fd, static_cast<char*>(buf) + done, out->size_ - done);
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) {
+      std::free(buf);
+      ::close(fd);
+      throw std::runtime_error("mapped_file: short read on '" + path + "'");
+    }
+    done += static_cast<std::size_t>(got);
+  }
+  ::close(fd);
+  out->owned_ = buf;
+  out->data_ = static_cast<const std::byte*>(buf);
+  return out;
+}
+
+mapped_file::~mapped_file() {
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<std::byte*>(data_), size_);
+  }
+  std::free(owned_);
+}
+
+std::string snapshot_rank_path(const std::string& prefix, int rank) {
+  return prefix + ".r" + std::to_string(rank) + ".tpsnap";
+}
 
 namespace {
 
@@ -105,7 +171,15 @@ ingest_stats read_edge_list(const comm::communicator& c, const std::string& path
     bool stop = false;
     while (!stop) {
       const std::size_t got = std::fread(buf.data(), 1, buf.size(), f);
-      if (got == 0) break;
+      if (got == 0) {
+        // A read error must not masquerade as EOF: silently truncating the
+        // slice would drop edges from exactly one rank's share.
+        if (std::ferror(f) != 0) {
+          std::fclose(f);
+          throw std::runtime_error("read_edge_list: read error on '" + path + "'");
+        }
+        break;
+      }
       for (std::size_t i = 0; i < got && !stop; ++i) {
         const char ch = buf[i];
         ++pos;

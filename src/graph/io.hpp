@@ -7,8 +7,10 @@
 // to the (collective) graph builder, which shuffles them to their owners.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -16,6 +18,37 @@
 #include "graph/types.hpp"
 
 namespace tripoll::graph {
+
+/// Read-only mapping of a whole file (snapshot loading).  The mapping stays
+/// valid while any shared_ptr copy lives, so frozen arenas can view it
+/// directly; falls back to an owned read when mmap is unavailable.
+class mapped_file {
+ public:
+  /// Map `path` read-only; throws std::runtime_error when it cannot be
+  /// opened or mapped/read.
+  [[nodiscard]] static std::shared_ptr<const mapped_file> map(const std::string& path);
+
+  ~mapped_file();
+  mapped_file(const mapped_file&) = delete;
+  mapped_file& operator=(const mapped_file&) = delete;
+
+  [[nodiscard]] const std::byte* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  /// Whether the content is a true mmap (vs the owned-read fallback).
+  [[nodiscard]] bool is_mapped() const noexcept { return mapped_; }
+
+ private:
+  mapped_file() = default;
+
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+  void* owned_ = nullptr;  // fallback buffer (malloc'd) when !mapped_
+};
+
+/// Per-rank file name of a frozen-graph snapshot (shared by the CLI, the
+/// snapshot layer and the tests so they always agree).
+[[nodiscard]] std::string snapshot_rank_path(const std::string& prefix, int rank);
 
 /// One parsed line of an edge-list file.
 struct parsed_edge {

@@ -81,6 +81,35 @@ if [ -z "$ordering_inproc" ] || [ "$ordering_inproc" != "$ordering_socket" ]; th
   fail=1
 fi
 
+echo "== frozen CSR storage: inproc vs $RANKS socket processes =="
+"$CLI" frozen rmat "$RANKS" "$DELTA" >"$work/inproc.frozen" || fail=1
+run_socket_external frozen rmat "$RANKS" "$DELTA" >"$work/socket.frozen" || fail=1
+if diff -u "$work/inproc.frozen" "$work/socket.frozen"; then
+  echo "frozen rmat: IDENTICAL"
+else
+  echo "frozen rmat: MISMATCH between inproc and socket backends" >&2
+  fail=1
+fi
+
+echo "== snapshot save (inproc) / load (both backends, mmap in forked ranks) =="
+"$CLI" snapshot save "$work/g.txt" "$work/snap" "$RANKS" --ordering degeneracy \
+  >"$work/snap.save" || fail=1
+"$CLI" snapshot load "$work/snap" "$RANKS" >"$work/inproc.snapload" || fail=1
+run_socket_external snapshot load "$work/snap" "$RANKS" >"$work/socket.snapload" || fail=1
+if diff -u "$work/inproc.snapload" "$work/socket.snapload"; then
+  echo "snapshot load: IDENTICAL"
+else
+  echo "snapshot load: MISMATCH between inproc and socket backends" >&2
+  fail=1
+fi
+# The loaded survey must agree with the straight degeneracy-ordered count.
+snap_count="$(grep -o 'triangles [0-9]*' "$work/inproc.snapload" | head -1)"
+echo "snapshot: $snap_count   direct: $ordering_inproc"
+if [ -z "$snap_count" ] || [ "$snap_count" != "$ordering_inproc" ]; then
+  echo "socket_smoke: snapshot-loaded triangle count mismatch" >&2
+  fail=1
+fi
+
 if [ "$fail" -ne 0 ]; then
   echo "socket_smoke: FAILED" >&2
   exit 1

@@ -1,0 +1,469 @@
+// Tests for the frozen CSR storage layer (graph/frozen.hpp) and its binary
+// snapshots (graph/snapshot.hpp): structural identity with the mutable map
+// form, projection push-down at freeze time, survey equivalence across the
+// backend x ordering x mode matrix, and snapshot round-trips (including
+// mmap loads inside forked socket ranks).
+//
+// Socket ranks are forked child processes, so assertions there run INSIDE
+// the ranks (thrown exceptions become child exit status), which the
+// parent-side EXPECT_NO_THROW turns into test failures.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <unistd.h>
+
+#include "comm/counting_set.hpp"
+#include "comm/runtime.hpp"
+#include "core/analytics.hpp"
+#include "core/callbacks.hpp"
+#include "core/survey.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "graph/builder.hpp"
+#include "graph/dodgr.hpp"
+#include "graph/frozen.hpp"
+#include "graph/io.hpp"
+#include "graph/ordering.hpp"
+#include "graph/snapshot.hpp"
+#include "serial/hash.hpp"
+
+namespace tc = tripoll::comm;
+namespace tg = tripoll::graph;
+namespace cb = tripoll::callbacks;
+
+using tripoll::survey_mode;
+
+namespace {
+
+/// In-rank check that works from forked socket ranks: throw, don't EXPECT.
+void require(bool cond, const std::string& what) {
+  if (!cond) throw std::runtime_error("frozen check failed: " + what);
+}
+
+std::uint64_t edge_ts(tg::vertex_id u, tg::vertex_id v) {
+  const auto lo = std::min(u, v);
+  const auto hi = std::max(u, v);
+  return tripoll::serial::hash_combine(tripoll::serial::splitmix64(lo), hi) % 100000;
+}
+
+std::uint64_t vertex_label(tg::vertex_id v) {
+  return tripoll::serial::splitmix64(v ^ 0xBEEF) % 512;
+}
+
+using meta_graph = tg::dodgr<std::uint64_t, std::uint64_t>;
+
+/// K8 plus a deterministic ER slab: triangles on every rank, pulls granted.
+void build_meta_graph(tc::communicator& c, meta_graph& g,
+                      tg::ordering_policy ordering) {
+  tg::graph_builder<std::uint64_t, std::uint64_t> builder(c, ordering);
+  const auto add = [&](tg::vertex_id u, tg::vertex_id v) {
+    builder.add_edge(u, v, edge_ts(u, v));
+  };
+  if (c.rank0()) {
+    for (tg::vertex_id u = 0; u < 8; ++u) {
+      for (tg::vertex_id v = u + 1; v < 8; ++v) add(u, v);
+    }
+  }
+  tripoll::gen::erdos_renyi_generator er(80, 500, 1234);
+  for (std::uint64_t k = static_cast<std::uint64_t>(c.rank()); k < er.num_edges();
+       k += static_cast<std::uint64_t>(c.size())) {
+    const auto e = er.edge_at(k);
+    if (e.u == e.v) continue;
+    add(e.u + 100, e.v + 100);
+  }
+  builder.build_into(g);
+  g.for_all_local([](const tg::vertex_id& v, auto& rec) {
+    rec.meta = vertex_label(v);
+    for (auto& e : rec.adj) e.target_meta = vertex_label(e.target);
+  });
+}
+
+/// Local closure histogram + digest comparable across runs via reduce.
+using hist = std::map<cb::closure_bin, std::uint64_t>;
+
+struct closure_cb {
+  template <typename View>
+  void operator()(const View& v, hist& h) const {
+    ++h[cb::closure_bin_of(static_cast<std::uint64_t>(v.meta_pq),
+                           static_cast<std::uint64_t>(v.meta_pr),
+                           static_cast<std::uint64_t>(v.meta_qr))];
+  }
+};
+
+std::uint64_t hist_digest(const hist& h) {
+  std::uint64_t sum = 0;
+  for (const auto& [bin, n] : h) {
+    sum += n * tripoll::serial::splitmix64((std::uint64_t{bin.first} << 32) | bin.second);
+  }
+  return sum;
+}
+
+/// Fresh per-test snapshot prefix under the system temp dir.
+std::string fresh_prefix(const char* tag) {
+  static std::atomic<int> counter{0};
+  return (std::filesystem::temp_directory_path() /
+          ("tripoll_frozen_" + std::string(tag) + "_" + std::to_string(::getpid()) +
+           "_" + std::to_string(counter.fetch_add(1))))
+      .string();
+}
+
+void remove_snapshot(const std::string& prefix, int nranks) {
+  for (int r = 0; r < nranks; ++r) {
+    std::filesystem::remove(tg::snapshot_rank_path(prefix, r));
+  }
+}
+
+}  // namespace
+
+// --- structural identity ----------------------------------------------------------
+
+TEST(Frozen, ColumnsMatchMutableRecords) {
+  tc::runtime::run(3, [](tc::communicator& c) {
+    meta_graph g(c);
+    build_meta_graph(c, g, tg::ordering_policy::degree);
+    auto fz = tg::freeze(g);
+
+    ASSERT_EQ(fz.local_num_vertices(), g.local_num_vertices());
+    const auto& ar = fz.arenas();
+    ASSERT_EQ(ar.offset.size(), ar.vid.size() + 1);
+    ASSERT_EQ(ar.offset[0], 0u);
+    ASSERT_EQ(ar.offset[ar.vid.size()], fz.local_num_edges());
+
+    // The frozen vertex walk is sorted by the <+ order key.
+    for (std::size_t i = 1; i < ar.vid.size(); ++i) {
+      EXPECT_TRUE(tg::make_order_key(ar.vid[i - 1], ar.order_rank[i - 1]) <
+                  tg::make_order_key(ar.vid[i], ar.order_rank[i]));
+    }
+
+    // Every mutable record appears unchanged behind the view API.
+    std::size_t checked = 0;
+    g.for_all_local([&](const tg::vertex_id& v, const meta_graph::record_type& rec) {
+      const auto view = fz.local_find(v);
+      ASSERT_TRUE(view);
+      EXPECT_EQ(view->degree, rec.degree);
+      EXPECT_EQ(view->order_rank, rec.order_rank);
+      EXPECT_EQ(view->meta, rec.meta);
+      ASSERT_EQ(view->adj.size(), rec.adj.size());
+      for (std::size_t j = 0; j < rec.adj.size(); ++j) {
+        const auto e = view->adj[j];
+        EXPECT_EQ(e.target, rec.adj[j].target);
+        EXPECT_EQ(e.target_rank, rec.adj[j].target_rank);
+        EXPECT_EQ(e.target_out_degree, rec.adj[j].target_out_degree);
+        EXPECT_EQ(e.edge_meta, rec.adj[j].edge_meta);
+        EXPECT_EQ(e.target_meta, rec.adj[j].target_meta);
+      }
+      ++checked;
+    });
+    EXPECT_EQ(checked, fz.local_num_vertices());
+    EXPECT_FALSE(fz.local_find(999999999));
+
+    // Census agrees with the mutable graph's.
+    const auto a = g.census();
+    const auto b = fz.census();
+    EXPECT_EQ(a.num_vertices, b.num_vertices);
+    EXPECT_EQ(a.num_directed_edges, b.num_directed_edges);
+    EXPECT_EQ(a.max_degree, b.max_degree);
+    EXPECT_EQ(a.max_out_degree, b.max_out_degree);
+    EXPECT_EQ(a.wedge_checks, b.wedge_checks);
+  });
+}
+
+TEST(Frozen, NoneColumnsOccupyZeroBytes) {
+  tc::runtime::run(2, [](tc::communicator& c) {
+    tg::dodgr<tg::none, tg::none> g(c);
+    tg::graph_builder<tg::none, tg::none> builder(c);
+    if (c.rank0()) {
+      for (tg::vertex_id u = 0; u < 6; ++u) {
+        for (tg::vertex_id v = u + 1; v < 6; ++v) builder.add_edge(u, v);
+      }
+    }
+    builder.build_into(g);
+    auto fz = tg::freeze(g);
+    const auto& ar = fz.arenas();
+    EXPECT_EQ(ar.vmeta.bytes(), 0u);
+    EXPECT_EQ(ar.emeta.bytes(), 0u);
+    EXPECT_EQ(ar.target_vmeta.bytes(), 0u);
+    const auto s = fz.local_storage_stats();
+    // Exactly three 8-byte edge columns remain.
+    EXPECT_EQ(s.edge_bytes, fz.local_num_edges() * 24);
+  });
+}
+
+TEST(Frozen, ProjectionPushDownStoresProjectedColumns) {
+  tc::runtime::run(3, [](tc::communicator& c) {
+    meta_graph g(c);
+    build_meta_graph(c, g, tg::ordering_policy::degree);
+
+    // Push the closure survey's projections into the arenas: vertex meta
+    // dropped entirely, edge meta kept as the 8-byte timestamp.
+    auto fz = tg::freeze(g, tripoll::drop_projection{},
+                         [](const std::uint64_t& ts) { return ts; });
+    static_assert(std::is_same_v<decltype(fz), tg::frozen_dodgr<tg::none, std::uint64_t>>);
+    const auto& ar = fz.arenas();
+    EXPECT_EQ(ar.vmeta.bytes(), 0u);
+    EXPECT_EQ(ar.target_vmeta.bytes(), 0u);
+    EXPECT_EQ(ar.emeta.bytes(), fz.local_num_edges() * 8);
+
+    // The projected edge column holds the projected values.
+    g.for_all_local([&](const tg::vertex_id& v, const meta_graph::record_type& rec) {
+      const auto view = fz.local_find(v);
+      ASSERT_TRUE(view);
+      for (std::size_t j = 0; j < rec.adj.size(); ++j) {
+        EXPECT_EQ(view->adj[j].edge_meta, rec.adj[j].edge_meta);
+      }
+    });
+
+    // freeze(plan) picks the plan's projections up automatically.
+    hist unused;
+    auto plan = tripoll::survey(g)
+                    .project_vertex(tripoll::drop_projection{})
+                    .project_edge(cb::timestamp_projection{})
+                    .add(closure_cb{}, unused);
+    auto fz2 = tg::freeze(plan);
+    static_assert(
+        std::is_same_v<decltype(fz2), tg::frozen_dodgr<tg::none, std::uint64_t>>);
+    EXPECT_EQ(fz2.local_num_edges(), fz.local_num_edges());
+  });
+}
+
+// --- survey equivalence matrix ------------------------------------------------------
+
+class FrozenMatrix
+    : public ::testing::TestWithParam<
+          std::tuple<tc::backend_kind, tg::ordering_policy, survey_mode>> {
+ protected:
+  template <typename F>
+  void run_ranks(int nranks, F&& fn) {
+    if (std::get<0>(GetParam()) == tc::backend_kind::inproc) {
+      (void)tc::runtime::run(nranks, std::forward<F>(fn));
+    } else {
+      tc::runtime::run_socket_local(nranks, std::forward<F>(fn));
+    }
+  }
+};
+
+TEST_P(FrozenMatrix, FrozenSurveyMatchesMapSurvey) {
+  const auto [backend, ordering, mode] = GetParam();
+  (void)backend;
+  EXPECT_NO_THROW(run_ranks(3, [ordering = ordering, mode = mode](tc::communicator& c) {
+    meta_graph g(c);
+    build_meta_graph(c, g, ordering);
+
+    // Map path: sender-side projection per message.
+    hist map_hist;
+    cb::count_context map_count;
+    auto map_res = tripoll::survey(g)
+                       .project_vertex(tripoll::drop_projection{})
+                       .project_edge(cb::timestamp_projection{})
+                       .add(closure_cb{}, map_hist)
+                       .add(cb::count_callback{}, map_count)
+                       .run({mode});
+
+    // Frozen path: projection pushed down into the arenas at freeze time;
+    // the survey itself runs identity projections over pre-projected data.
+    auto fz = tg::freeze(g, tripoll::drop_projection{}, cb::timestamp_projection{});
+    hist fz_hist;
+    cb::count_context fz_count;
+    auto fz_res = tripoll::survey(fz)
+                      .add(closure_cb{}, fz_hist)
+                      .add(cb::count_callback{}, fz_count)
+                      .run({mode});
+
+    require(map_res.total.triangles_found == fz_res.total.triangles_found,
+            "triangle counts differ");
+    require(map_res.total.triangles_found > 0, "graph has no triangles");
+    require(map_count.global_count(c) == fz_count.global_count(c),
+            "callback counts differ");
+    require(map_res.total.total.volume_bytes == fz_res.total.total.volume_bytes,
+            "survey volume differs between storage forms");
+    require(map_res.total.total.messages == fz_res.total.total.messages,
+            "survey message count differs between storage forms");
+    require(map_res.total.pulls_granted == fz_res.total.pulls_granted,
+            "pull grants differ");
+    require(map_res.total.wedge_candidates == fz_res.total.wedge_candidates,
+            "wedge candidates differ");
+    require(c.all_reduce_sum(hist_digest(map_hist)) ==
+                c.all_reduce_sum(hist_digest(fz_hist)),
+            "closure histograms differ");
+  }));
+}
+
+TEST_P(FrozenMatrix, SnapshotRoundTripReproducesSurvey) {
+  const auto [backend, ordering, mode] = GetParam();
+  (void)backend;
+  const std::string prefix = fresh_prefix("matrix");
+  EXPECT_NO_THROW(run_ranks(
+      3, [ordering = ordering, mode = mode, prefix = prefix](tc::communicator& c) {
+        meta_graph g(c);
+        build_meta_graph(c, g, ordering);
+        auto fz = tg::freeze(g);
+        (void)tg::save_snapshot(fz, prefix);
+
+        auto loaded = tg::load_snapshot<std::uint64_t, std::uint64_t>(c, prefix);
+        require(loaded.ordering() == ordering, "ordering policy not preserved");
+        require(loaded.local_num_vertices() == fz.local_num_vertices(),
+                "vertex count not preserved");
+        require(loaded.local_num_edges() == fz.local_num_edges(),
+                "edge count not preserved");
+
+        hist a, b;
+        auto ra = tripoll::survey(fz).add(closure_cb{}, a).run({mode});
+        auto rb = tripoll::survey(loaded).add(closure_cb{}, b).run({mode});
+        require(ra.total.triangles_found == rb.total.triangles_found,
+                "triangles differ after snapshot round-trip");
+        require(ra.total.total.volume_bytes == rb.total.total.volume_bytes,
+                "volume differs after snapshot round-trip");
+        require(c.all_reduce_sum(hist_digest(a)) == c.all_reduce_sum(hist_digest(b)),
+                "histograms differ after snapshot round-trip");
+      }));
+  remove_snapshot(prefix, 3);
+}
+
+namespace {
+
+std::string matrix_name(
+    const ::testing::TestParamInfo<
+        std::tuple<tc::backend_kind, tg::ordering_policy, survey_mode>>& info) {
+  const auto backend = std::get<0>(info.param);
+  const auto ordering = std::get<1>(info.param);
+  const auto mode = std::get<2>(info.param);
+  return std::string(backend == tc::backend_kind::inproc ? "inproc" : "socket") + "_" +
+         tg::ordering_name(ordering) + "_" +
+         (mode == survey_mode::push_pull ? "push_pull" : "push_only");
+}
+
+}  // namespace
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, FrozenMatrix,
+    ::testing::Combine(::testing::Values(tc::backend_kind::inproc,
+                                         tc::backend_kind::socket),
+                       ::testing::Values(tg::ordering_policy::degree,
+                                         tg::ordering_policy::degeneracy),
+                       ::testing::Values(survey_mode::push_pull,
+                                         survey_mode::push_only)),
+    matrix_name);
+
+// --- snapshot details ---------------------------------------------------------------
+
+TEST(Snapshot, FilesAreBitIdenticalAcrossSaves) {
+  const std::string p1 = fresh_prefix("bits_a");
+  const std::string p2 = fresh_prefix("bits_b");
+  tc::runtime::run(2, [&](tc::communicator& c) {
+    meta_graph g(c);
+    build_meta_graph(c, g, tg::ordering_policy::degeneracy);
+    auto fz = tg::freeze(g);
+    (void)tg::save_snapshot(fz, p1);
+    (void)tg::save_snapshot(fz, p2);
+  });
+  for (int r = 0; r < 2; ++r) {
+    const auto f1 = tg::mapped_file::map(tg::snapshot_rank_path(p1, r));
+    const auto f2 = tg::mapped_file::map(tg::snapshot_rank_path(p2, r));
+    ASSERT_EQ(f1->size(), f2->size());
+    ASSERT_GT(f1->size(), 0u);
+    EXPECT_TRUE(f1->is_mapped());
+    EXPECT_EQ(std::memcmp(f1->data(), f2->data(), f1->size()), 0);
+  }
+  remove_snapshot(p1, 2);
+  remove_snapshot(p2, 2);
+}
+
+TEST(Snapshot, LoadedArenasViewTheMapping) {
+  const std::string prefix = fresh_prefix("mmap");
+  tc::runtime::run(1, [&](tc::communicator& c) {
+    meta_graph g(c);
+    build_meta_graph(c, g, tg::ordering_policy::degree);
+    auto fz = tg::freeze(g);
+    const auto bytes = tg::save_snapshot(fz, prefix);
+    EXPECT_EQ(bytes, tg::snapshot_file_bytes(fz.local_num_vertices(),
+                                             fz.local_num_edges(), 8, 8));
+
+    auto loaded = tg::load_snapshot<std::uint64_t, std::uint64_t>(c, prefix);
+    // Column contents identical to the freshly frozen arenas.
+    const auto& a = fz.arenas();
+    const auto& b = loaded.arenas();
+    ASSERT_EQ(a.target.size(), b.target.size());
+    EXPECT_EQ(std::memcmp(a.target.data(), b.target.data(), a.target.bytes()), 0);
+    EXPECT_EQ(std::memcmp(a.offset.data(), b.offset.data(), a.offset.bytes()), 0);
+    EXPECT_EQ(std::memcmp(a.vmeta.data(), b.vmeta.data(), a.vmeta.bytes()), 0);
+  });
+  remove_snapshot(prefix, 1);
+}
+
+TEST(Snapshot, MismatchesAreRejected) {
+  const std::string prefix = fresh_prefix("reject");
+  tc::runtime::run(2, [&](tc::communicator& c) {
+    meta_graph g(c);
+    build_meta_graph(c, g, tg::ordering_policy::degree);
+    auto fz = tg::freeze(g);
+    (void)tg::save_snapshot(fz, prefix);
+  });
+  // Missing file.
+  tc::runtime::run(1, [&](tc::communicator& c) {
+    EXPECT_THROW(((void)tg::load_snapshot<std::uint64_t, std::uint64_t>(
+                     c, prefix + ".does_not_exist")),
+                 std::runtime_error);
+    // Wrong rank count (saved with 2): partition-shaped, must refuse.
+    EXPECT_THROW(((void)tg::load_snapshot<std::uint64_t, std::uint64_t>(c, prefix)),
+                 std::runtime_error);
+  });
+  // Wrong metadata layout (saved 8/8 bytes, none/none expects 0/0).
+  tc::runtime::run(2, [&](tc::communicator& c) {
+    EXPECT_THROW(((void)tg::load_snapshot<tg::none, tg::none>(c, prefix)),
+                 std::runtime_error);
+  });
+  remove_snapshot(prefix, 2);
+}
+
+TEST(Snapshot, SocketRanksSaveAndLoadAcrossBackends) {
+  // Save from forked socket ranks, reload under inproc (and vice versa):
+  // snapshot bytes are backend-independent.
+  const std::string prefix = fresh_prefix("xbackend");
+  std::uint64_t inproc_triangles = 0;
+  tc::runtime::run(3, [&](tc::communicator& c) {
+    meta_graph g(c);
+    build_meta_graph(c, g, tg::ordering_policy::degeneracy);
+    auto fz = tg::freeze(g);
+    (void)tg::save_snapshot(fz, prefix);
+    cb::count_context ctx;
+    (void)cb::plan_for(fz, cb::count_callback{}, ctx).run({});
+    if (c.rank0()) inproc_triangles = ctx.global_count(c);
+    else (void)ctx.global_count(c);
+  });
+  ASSERT_GT(inproc_triangles, 0u);
+
+  // Forked socket ranks mmap the inproc-written files.
+  EXPECT_NO_THROW(tc::runtime::run_socket_local(
+      3, [prefix, inproc_triangles](tc::communicator& c) {
+        auto loaded = tg::load_snapshot<std::uint64_t, std::uint64_t>(c, prefix);
+        cb::count_context ctx;
+        (void)cb::plan_for(loaded, cb::count_callback{}, ctx).run({});
+        require(ctx.global_count(c) == inproc_triangles,
+                "socket-loaded snapshot changed the triangle count");
+      }));
+  remove_snapshot(prefix, 3);
+}
+
+// --- analytics over frozen storage ---------------------------------------------------
+
+TEST(Frozen, AnalyticsRunOnFrozenGraphs) {
+  tc::runtime::run(2, [](tc::communicator& c) {
+    meta_graph g(c);
+    build_meta_graph(c, g, tg::ordering_policy::degree);
+    auto fz = tg::freeze(g);
+
+    const auto a = tripoll::analytics::clustering_coefficients(g);
+    const auto b = tripoll::analytics::clustering_coefficients(fz);
+    EXPECT_EQ(a.triangles, b.triangles);
+    EXPECT_EQ(a.total_wedges, b.total_wedges);
+    EXPECT_DOUBLE_EQ(a.transitivity, b.transitivity);
+    EXPECT_DOUBLE_EQ(a.average_local_cc, b.average_local_cc);
+  });
+}

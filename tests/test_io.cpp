@@ -136,6 +136,98 @@ TEST_P(ReadEdgeListSweep, EveryLineParsedExactlyOnce) {
 
 INSTANTIATE_TEST_SUITE_P(RankCounts, ReadEdgeListSweep, ::testing::Values(1, 2, 3, 7, 16));
 
+/// Exactly-once coverage harness: parse `contents` under `nranks` ranks and
+/// compare the multiset of edges (and the exact edge/malformed totals)
+/// against expectations, so duplicated and dropped lines both fail.
+void expect_exactly_once(
+    const std::string& contents, int nranks,
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& expected,
+    std::uint64_t expected_malformed = 0) {
+  const TempFile file(contents);
+  std::mutex mutex;
+  std::multiset<std::pair<std::uint64_t, std::uint64_t>> seen;
+  std::atomic<std::uint64_t> total_edges{0};
+  std::atomic<std::uint64_t> total_malformed{0};
+  tc::runtime::run(nranks, [&](tc::communicator& c) {
+    const auto stats = tg::read_edge_list(c, file.path(), [&](const tg::parsed_edge& e) {
+      const std::lock_guard lock(mutex);
+      seen.emplace(e.u, e.v);
+    });
+    total_edges.fetch_add(stats.edges);
+    total_malformed.fetch_add(stats.malformed);
+  });
+  EXPECT_EQ(total_edges.load(), expected.size())
+      << "nranks=" << nranks << " contents=" << ::testing::PrintToString(contents);
+  EXPECT_EQ(total_malformed.load(), expected_malformed);
+  const std::multiset<std::pair<std::uint64_t, std::uint64_t>> want(expected.begin(),
+                                                                    expected.end());
+  EXPECT_EQ(seen, want) << "nranks=" << nranks;
+}
+
+class ReadEdgeListTinyFiles : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReadEdgeListTinyFiles, FilesSmallerThanRankCount) {
+  const int nranks = GetParam();
+  // Each file is shorter (in bytes) than the rank count, so most byte
+  // slices are empty and several ranks share begin == 0.
+  expect_exactly_once("1 2\n", nranks, {{1, 2}});
+  expect_exactly_once("1 2", nranks, {{1, 2}});          // no trailing newline
+  expect_exactly_once("1 2\n3 4\n", nranks, {{1, 2}, {3, 4}});
+  expect_exactly_once("1 2\n3 4", nranks, {{1, 2}, {3, 4}});
+  expect_exactly_once("\n\n1 2\n\n", nranks, {{1, 2}});  // blank lines
+  expect_exactly_once("", nranks, {});
+  expect_exactly_once("\n", nranks, {});
+}
+
+TEST_P(ReadEdgeListTinyFiles, CrlfLineEndings) {
+  const int nranks = GetParam();
+  expect_exactly_once("1 2\r\n3 4\r\n", nranks, {{1, 2}, {3, 4}});
+  expect_exactly_once("1 2\r\n3 4\r", nranks, {{1, 2}, {3, 4}});  // CR, no final LF
+  expect_exactly_once("# c\r\n5 6 77\r\n", nranks, {{5, 6}});
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, ReadEdgeListTinyFiles,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 32));
+
+TEST(ReadEdgeList, CrlfSweepWithSliceBoundariesInsideLines) {
+  // 120 CRLF lines of varying width: byte slices land between '\r' and
+  // '\n', inside line bodies, and at line starts for every rank count.
+  std::string contents;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> expected;
+  for (std::uint64_t i = 0; i < 120; ++i) {
+    const std::uint64_t u = i * i % 1000;
+    const std::uint64_t v = i;
+    expected.emplace_back(u, v);
+    contents += std::to_string(u) + " " + std::to_string(v) + "\r\n";
+  }
+  for (const int nranks : {1, 2, 3, 7, 16, 64}) {
+    expect_exactly_once(contents, nranks, expected);
+  }
+}
+
+TEST(ReadEdgeList, FinalLineWithoutNewlineSweep) {
+  // The unterminated final line must be parsed exactly once whichever
+  // rank's slice covers its start.
+  std::string contents = "# head\n";
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> expected;
+  for (std::uint64_t i = 0; i < 57; ++i) {
+    expected.emplace_back(i, i + 1);
+    contents += std::to_string(i) + " " + std::to_string(i + 1) + "\n";
+  }
+  contents += "100000 200000";  // no trailing '\n'
+  expected.emplace_back(100000, 200000);
+  for (const int nranks : {1, 2, 3, 4, 5, 8, 13, 32}) {
+    expect_exactly_once(contents, nranks, expected);
+  }
+}
+
+TEST(ReadEdgeList, MalformedLinesCountedOncePerRankSweep) {
+  const std::string contents = "1 2\nbogus line\n3 4\n5\n6 7\n";
+  for (const int nranks : {1, 2, 3, 6, 12}) {
+    expect_exactly_once(contents, nranks, {{1, 2}, {3, 4}, {6, 7}}, 2);
+  }
+}
+
 TEST(ReadEdgeList, NoTrailingNewline) {
   const TempFile file("1 2\n3 4");  // last line lacks '\n'
   std::atomic<std::uint64_t> edges{0};

@@ -19,6 +19,19 @@
 //                                       next to an identity-projection run;
 //                                       prints deterministic metrics (also used
 //                                       by the cross-backend smoke test)
+//   frozen <rmat|temporal|web> [ranks] [delta]
+//                                       build a preset, survey it from the
+//                                       mutable map AND the frozen CSR arenas
+//                                       (plus a projection-pushdown freeze);
+//                                       prints deterministic metrics for all
+//                                       three (cross-backend smoke test)
+//   snapshot save <edges.txt> <prefix> [ranks]
+//                                       build + freeze a graph from a file and
+//                                       write per-rank CSR snapshot files
+//   snapshot load <prefix> [ranks] [push_pull|push_only]
+//                                       mmap the snapshot (skipping edge
+//                                       shuffle and ordering peel) and run the
+//                                       counting survey
 //
 // Options:
 //   --ordering {degree,degeneracy}   DODGr <+ vertex order (graph-building cmds)
@@ -53,8 +66,10 @@
 #include "gen/temporal.hpp"
 #include "gen/web.hpp"
 #include "graph/builder.hpp"
+#include "graph/frozen.hpp"
 #include "graph/io.hpp"
 #include "graph/ordering.hpp"
+#include "graph/snapshot.hpp"
 #include "serial/hash.hpp"
 
 namespace cb = tripoll::callbacks;
@@ -76,6 +91,9 @@ int usage() {
                "  tripoll_cli closure <edges.txt> [ranks]\n"
                "  tripoll_cli preset <rmat|temporal|web> [ranks] [delta]\n"
                "  tripoll_cli plan <rmat|temporal|web> [ranks] [delta]\n"
+               "  tripoll_cli frozen <rmat|temporal|web> [ranks] [delta]\n"
+               "  tripoll_cli snapshot save <edges.txt> <prefix> [ranks]\n"
+               "  tripoll_cli snapshot load <prefix> [ranks] [push_pull|push_only]\n"
                "options:\n"
                "  --ordering <degree|degeneracy>  DODGr <+ vertex order (default degree)\n"
                "  --backend <inproc|socket>       transport backend (default inproc;\n"
@@ -203,35 +221,7 @@ int with_plain_graph_from_file(const std::string& path, int ranks, Fn&& fn) {
   return 0;
 }
 
-/// Stream the deterministic edge list of one ablation preset to `fn(u, v)`
-/// (this rank's slice).
-template <typename Fn>
-void for_preset_edges(comm::communicator& c, const std::string& which, int delta,
-                      Fn&& fn) {
-  if (which == "rmat") {
-    const auto spec = gen::livejournal_like(delta);
-    const gen::rmat_generator rmat(spec.rmat);
-    gen::for_rank_slice(c, rmat.num_edges(), [&](std::uint64_t k) {
-      const auto e = rmat.edge_at(k);
-      fn(e.u, e.v);
-    });
-  } else if (which == "temporal") {
-    gen::temporal_params params;
-    params.scale = static_cast<std::uint32_t>(std::max(8, 13 + delta));
-    const gen::temporal_generator tgen(params);
-    gen::for_rank_slice(c, tgen.num_edges(), [&](std::uint64_t k) {
-      const auto e = tgen.edge_at(k);
-      fn(e.u, e.v);
-    });
-  } else {
-    const auto spec = gen::standard_suite(delta)[3];  // webcc12-host-like
-    const gen::web_generator wgen(spec.web);
-    gen::for_rank_slice(c, wgen.num_edges(), [&](std::uint64_t k) {
-      const auto e = wgen.edge_at(k);
-      fn(e.u, e.v);
-    });
-  }
-}
+using gen::for_preset_edges;
 
 /// Deterministic survey report of one ablation preset: everything printed
 /// is a global count or an all-reduced sum, so the output is bit-identical
@@ -403,6 +393,165 @@ int cmd_plan(int argc, char** argv) {
   return 0;
 }
 
+/// Print one deterministic survey line (global reductions only).
+void print_survey_line(const char* tag, std::uint64_t triangles,
+                       const tripoll::survey_result& r) {
+  std::printf("%-9s triangles %llu volume %llu messages %llu pulls %llu "
+              "candidates %llu\n",
+              tag, (unsigned long long)triangles,
+              (unsigned long long)r.total.volume_bytes,
+              (unsigned long long)r.total.messages,
+              (unsigned long long)r.pulls_granted,
+              (unsigned long long)r.wedge_candidates);
+}
+
+/// Deterministic map-vs-frozen comparison over a preset graph: the same
+/// survey runs from the mutable map, an identity freeze, and a
+/// projection-pushdown freeze.  All printed values are global reductions --
+/// bit-identical across backends; the socket-smoke ctest diffs this output.
+int cmd_frozen(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string which = argv[2];
+  const int ranks = argc > 3 ? std::atoi(argv[3]) : 4;
+  const int delta = argc > 4 ? std::atoi(argv[4]) : -2;
+  if (which != "rmat" && which != "temporal" && which != "web") return usage();
+
+  run_spmd(ranks, [&](comm::communicator& c) {
+    graph::dodgr<std::uint64_t, std::uint64_t> g(c);
+    graph::graph_builder<std::uint64_t, std::uint64_t> builder(c, g_ordering);
+    for_preset_edges(c, which, delta, [&](graph::vertex_id u, graph::vertex_id v) {
+      builder.add_edge(u, v, plan_edge_ts(u, v));
+    });
+    builder.build_into(g);
+    g.for_all_local([](const graph::vertex_id& v, auto& rec) {
+      rec.meta = plan_vertex_label(v);
+      for (auto& e : rec.adj) e.target_meta = plan_vertex_label(e.target);
+    });
+
+    // Map path: per-message projection of edge meta to its timestamp.
+    comm::counting_set<cb::closure_bin> map_bins(c);
+    cb::closure_time_context map_ctx{&map_bins};
+    const auto map_res =
+        cb::plan_for(g, cb::closure_time_callback{}, map_ctx).run({}).slice(0);
+    map_bins.finalize();
+
+    // Identity freeze: same metadata, CSR arenas.
+    auto fz = graph::freeze(g);
+    comm::counting_set<cb::closure_bin> fz_bins(c);
+    cb::closure_time_context fz_ctx{&fz_bins};
+    const auto fz_res =
+        cb::plan_for(fz, cb::closure_time_callback{}, fz_ctx).run({}).slice(0);
+    fz_bins.finalize();
+
+    // Projection push-down: the arenas store only the survey's projection
+    // (vertex meta dropped, edge meta -> timestamp).
+    auto pd = graph::freeze(g, tripoll::drop_projection{}, cb::timestamp_projection{});
+    comm::counting_set<cb::closure_bin> pd_bins(c);
+    cb::closure_time_context pd_ctx{&pd_bins};
+    const auto pd_res =
+        tripoll::survey(pd).add(cb::closure_time_callback{}, pd_ctx).run({}).slice(0);
+    pd_bins.finalize();
+
+    const auto digest = [](const std::map<cb::closure_bin, std::uint64_t>& h) {
+      std::uint64_t d = 0;
+      for (const auto& [bin, n] : h) {
+        d = tripoll::serial::hash_combine(d, (std::uint64_t{bin.first} << 32) | bin.second);
+        d = tripoll::serial::hash_combine(d, n);
+      }
+      return d;
+    };
+    const auto map_digest = digest(map_bins.gather_all());
+    const auto fz_digest = digest(fz_bins.gather_all());
+    const auto pd_digest = digest(pd_bins.gather_all());
+    const auto storage = fz.global_storage_stats();
+    const auto pd_storage = pd.global_storage_stats();
+
+    if (c.rank0()) {
+      std::printf("frozen %s ranks %d delta %d ordering %s mode push_pull\n",
+                  which.c_str(), ranks, delta, graph::ordering_name(g.ordering()));
+      print_survey_line("map", map_res.triangles_found, map_res);
+      print_survey_line("frozen", fz_res.triangles_found, fz_res);
+      print_survey_line("pushdown", pd_res.triangles_found, pd_res);
+      std::printf("digests map %016llx frozen %016llx pushdown %016llx\n",
+                  (unsigned long long)map_digest, (unsigned long long)fz_digest,
+                  (unsigned long long)pd_digest);
+      std::printf("arena bytes frozen %llu pushdown %llu (edges %llu)\n",
+                  (unsigned long long)(storage.vertex_bytes + storage.edge_bytes),
+                  (unsigned long long)(pd_storage.vertex_bytes + pd_storage.edge_bytes),
+                  (unsigned long long)storage.edges);
+    }
+  });
+  return 0;
+}
+
+/// Frozen-graph snapshot workflow for plain edge-list files.  `save` builds
+/// (and optionally degeneracy-orders) the graph once and writes per-rank
+/// CSR arenas; `load` mmaps them back -- no edge shuffle, no re-peel -- and
+/// runs the counting survey.  Output is deterministic for the smoke test.
+int cmd_snapshot(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string verb = argv[2];
+
+  if (verb == "save") {
+    if (argc < 5) return usage();
+    const std::string path = argv[3];
+    const std::string prefix = argv[4];
+    const int ranks = argc > 5 ? std::atoi(argv[5]) : 4;
+    run_spmd(ranks, [&](comm::communicator& c) {
+      graph::graph_builder<graph::none, graph::none> builder(c, g_ordering);
+      graph::read_edge_list(c, path, [&](const graph::parsed_edge& e) {
+        builder.add_edge(e.u, e.v);
+      });
+      graph::dodgr<graph::none, graph::none> g(c);
+      builder.build_into(g);
+      auto fz = graph::freeze(g);
+      const auto bytes = fz.comm().all_reduce_sum(tripoll::graph::save_snapshot(fz, prefix));
+      const auto census = fz.census();
+      if (c.rank0()) {
+        std::printf("snapshot saved %s ranks %d ordering %s\n", prefix.c_str(), ranks,
+                    graph::ordering_name(fz.ordering()));
+        std::printf("census |V| %llu |E|+ %llu dmax %llu dmax+ %llu |W+| %llu\n",
+                    (unsigned long long)census.num_vertices,
+                    (unsigned long long)census.num_directed_edges,
+                    (unsigned long long)census.max_degree,
+                    (unsigned long long)census.max_out_degree,
+                    (unsigned long long)census.wedge_checks);
+        std::printf("snapshot bytes %llu\n", (unsigned long long)bytes);
+      }
+    });
+    return 0;
+  }
+
+  if (verb == "load") {
+    const std::string prefix = argv[3];
+    const int ranks = argc > 4 ? std::atoi(argv[4]) : 4;
+    const auto mode = (argc > 5 && std::strcmp(argv[5], "push_only") == 0)
+                          ? tripoll::survey_mode::push_only
+                          : tripoll::survey_mode::push_pull;
+    run_spmd(ranks, [&](comm::communicator& c) {
+      auto g = graph::load_snapshot<graph::none, graph::none>(c, prefix);
+      const auto census = g.census();
+      cb::count_context ctx;
+      const auto r = cb::plan_for(g, cb::count_callback{}, ctx).run({mode}).slice(0);
+      const auto triangles = ctx.global_count(c);
+      if (c.rank0()) {
+        std::printf("snapshot loaded %s ranks %d ordering %s mode %s\n", prefix.c_str(),
+                    ranks, graph::ordering_name(g.ordering()),
+                    mode == tripoll::survey_mode::push_only ? "push_only" : "push_pull");
+        std::printf("census |V| %llu |E|+ %llu dmax %llu dmax+ %llu |W+| %llu\n",
+                    (unsigned long long)census.num_vertices,
+                    (unsigned long long)census.num_directed_edges,
+                    (unsigned long long)census.max_degree,
+                    (unsigned long long)census.max_out_degree,
+                    (unsigned long long)census.wedge_checks);
+        print_survey_line("loaded", triangles, r);
+      }
+    });
+    return 0;
+  }
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -413,6 +562,8 @@ int main(int argc, char** argv) {
     if (cmd == "gen") return cmd_gen(argc, argv);
     if (cmd == "preset") return cmd_preset(argc, argv);
     if (cmd == "plan") return cmd_plan(argc, argv);
+    if (cmd == "frozen") return cmd_frozen(argc, argv);
+    if (cmd == "snapshot") return cmd_snapshot(argc, argv);
     if (argc < 3) return usage();
     const std::string path = argv[2];
     const int ranks = argc > 3 ? std::atoi(argv[3]) : 4;
