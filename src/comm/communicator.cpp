@@ -23,6 +23,7 @@ void communicator::drain(std::size_t max_buffers) {
     serial::buffer_reader rd(env.payload.data(), env.payload.size());
     serial::reader ar(rd);
     std::uint64_t handlers = 0;
+    current_payload_ = &env.payload;  // handlers may share_current_payload()
     while (!rd.exhausted()) {
       const auto handler = static_cast<std::uint32_t>(ar.read_varint());
       if (handler >= published) [[unlikely]] {
@@ -32,17 +33,37 @@ void communicator::drain(std::size_t max_buffers) {
       thunks[handler](*this, rd);
       ++handlers;
     }
+    current_payload_ = nullptr;
     counters.handlers_run.fetch_add(handlers, std::memory_order_relaxed);
     // Only acknowledge after every handler inside the buffer has run; any
     // sends they performed sit in our send buffers and will be flushed
     // before this rank can declare itself idle again.
     transport_->acknowledge_processed(rank_);
-    // The payload's storage block joins this rank's pool and backs a future
-    // outbound buffer; pools redistribute blocks across ranks.
-    pool_.recycle(std::move(env.payload));
+    if (current_payload_shared_) {
+      // A handler stole the payload: its block now belongs to the shared
+      // owner (the reader's raw pointers stayed valid -- the block never
+      // moved).  Drop our reference instead of recycling.
+      current_payload_shared_.reset();
+    } else {
+      // The payload's storage block joins this rank's pool and backs a
+      // future outbound buffer; pools redistribute blocks across ranks.
+      pool_.recycle(std::move(env.payload));
+    }
     ++processed;
   }
   in_drain_ = false;
+}
+
+std::shared_ptr<const serial::byte_buffer> communicator::share_current_payload() {
+  if (current_payload_shared_) return current_payload_shared_;
+  if (current_payload_ == nullptr) {
+    throw std::logic_error(
+        "share_current_payload: no payload is being drained (only handlers "
+        "may steal the in-flight payload)");
+  }
+  current_payload_shared_ =
+      std::make_shared<const serial::byte_buffer>(std::move(*current_payload_));
+  return current_payload_shared_;
 }
 
 void communicator::backoff(unsigned& spins) {

@@ -10,13 +10,17 @@
 //
 // One communicator belongs to exactly one rank thread; only that thread may
 // call its methods.  Handlers run on the destination rank's thread, giving
-// the single-writer discipline the vertex-centric algorithms assume.
+// the single-writer discipline the vertex-centric algorithms assume.  (The
+// one sanctioned relaxation -- intra-rank survey workers delivering staged
+// buffers straight to the thread-safe transport, never through the
+// communicator -- is specified in docs/THREADING.md.)
 #pragma once
 
 #include <algorithm>
 #include <any>
 #include <cassert>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <thread>
 #include <type_traits>
@@ -109,6 +113,15 @@ class communicator {
 
   /// Drain and execute everything currently in this rank's inbox.
   void process_incoming() { drain(SIZE_MAX); }
+
+  /// Pin the payload currently being drained so work referencing it
+  /// (wire_spans, string_views) can outlive the handler -- the survey
+  /// engine's parallel mode hands intersection tasks to worker threads this
+  /// way.  Only callable from inside a handler.  The payload's heap block
+  /// never moves (byte_buffer moves transfer the pointer), so raw pointers
+  /// taken before the call stay valid; a stolen payload skips the buffer
+  /// pool and is freed when the last shared_ptr drops.
+  [[nodiscard]] std::shared_ptr<const serial::byte_buffer> share_current_payload();
 
   // --- barrier ---------------------------------------------------------------
 
@@ -266,6 +279,11 @@ class communicator {
   serial::buffer_pool pool_;
   std::size_t ops_since_poll_ = 0;
   bool in_drain_ = false;
+
+  // Payload-stealing slots for share_current_payload(): the envelope being
+  // drained, and (lazily) its shared owner once a handler steals it.
+  serial::byte_buffer* current_payload_ = nullptr;
+  std::shared_ptr<const serial::byte_buffer> current_payload_shared_;
 
   std::uint64_t barrier_generation_ = 0;
 

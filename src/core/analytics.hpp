@@ -16,6 +16,13 @@
 // traversal (one pass over |W+| instead of two).  The partition of
 // counting-set keys matches the graph's vertex partition, so the final
 // division by degree is rank-local.
+//
+// Parallel traversal: every entry point forwards `survey_options` (and so
+// `threads` / TRIPOLL_THREADS) to the engine, which parallelizes the send
+// stages of a frozen-graph run.  The callbacks here fire into distributed
+// counting sets (`async_increment` = communicator traffic), so they are
+// registered through plain `.add` and always fire on the owning thread --
+// they must NOT be moved to `add_reduced`; see docs/THREADING.md.
 #pragma once
 
 #include <cstdint>
@@ -116,31 +123,42 @@ template <typename Graph>
 /// Collective: run a per-vertex participation survey and reduce it to the
 /// standard clustering statistics.
 template <typename Graph>
-[[nodiscard]] clustering_summary clustering_coefficients(
-    Graph& g, survey_mode mode = survey_mode::push_pull) {
+[[nodiscard]] clustering_summary clustering_coefficients(Graph& g,
+                                                         survey_options opts = {}) {
   auto& c = g.comm();
   comm::counting_set<graph::vertex_id> per_vertex(c);
   const auto result = survey(g)
                           .project_vertex(drop_projection{})
                           .project_edge(drop_projection{})
                           .add(detail::vertex_count_cb{}, per_vertex)
-                          .run({mode});
+                          .run(opts);
   per_vertex.finalize();
   return detail::summarize_clustering(g, per_vertex, result.total.triangles_found);
+}
+
+template <typename Graph>
+[[nodiscard]] clustering_summary clustering_coefficients(Graph& g, survey_mode mode) {
+  return clustering_coefficients(g, survey_options{mode});
 }
 
 /// Collective: count, for every edge, the number of triangles containing it
 /// (the k-truss "support").  Results land in `support` (finalized).
 template <typename Graph>
 survey_result edge_support(Graph& g, comm::counting_set<edge_key>& support,
-                           survey_mode mode = survey_mode::push_pull) {
+                           survey_options opts = {}) {
   const auto result = survey(g)
                           .project_vertex(drop_projection{})
                           .project_edge(drop_projection{})
                           .add(detail::edge_support_cb{}, support)
-                          .run({mode});
+                          .run(opts);
   support.finalize();
   return result.slice(0);
+}
+
+template <typename Graph>
+survey_result edge_support(Graph& g, comm::counting_set<edge_key>& support,
+                           survey_mode mode) {
+  return edge_support(g, support, survey_options{mode});
 }
 
 /// Collective: BOTH primitives from one fused traversal -- per-vertex
@@ -149,8 +167,7 @@ survey_result edge_support(Graph& g, comm::counting_set<edge_key>& support,
 /// clustering_coefficients and edge_support back to back.
 template <typename Graph>
 [[nodiscard]] clustering_summary clustering_and_support(
-    Graph& g, comm::counting_set<edge_key>& support,
-    survey_mode mode = survey_mode::push_pull) {
+    Graph& g, comm::counting_set<edge_key>& support, survey_options opts = {}) {
   auto& c = g.comm();
   comm::counting_set<graph::vertex_id> per_vertex(c);
   const auto result = survey(g)
@@ -158,10 +175,16 @@ template <typename Graph>
                           .project_edge(drop_projection{})
                           .add(detail::vertex_count_cb{}, per_vertex)
                           .add(detail::edge_support_cb{}, support)
-                          .run({mode});
+                          .run(opts);
   per_vertex.finalize();
   support.finalize();
   return detail::summarize_clustering(g, per_vertex, result.total.triangles_found);
+}
+
+template <typename Graph>
+[[nodiscard]] clustering_summary clustering_and_support(
+    Graph& g, comm::counting_set<edge_key>& support, survey_mode mode) {
+  return clustering_and_support(g, support, survey_options{mode});
 }
 
 }  // namespace tripoll::analytics

@@ -71,6 +71,23 @@ template <typename Cb, typename Graph, typename Context>
       .add(std::move(cb), ctx);
 }
 
+/// `plan_for`, but registers the callback through the plan's reduction hook
+/// (`add_reduced`): under a parallel traversal each worker thread fires into
+/// a private default-constructed context slice and `reduce` folds the slices
+/// back into `ctx` at the phase merge point (docs/THREADING.md).  Only
+/// callbacks whose whole state lives in the context qualify -- a callback
+/// that touches the communicator or a distributed container (e.g. the
+/// counting-set analyses calling `async_increment`) must stay on the plain
+/// `plan_for` / `.add` path, which keeps it on the owning thread.
+template <reduce_scope Scope = reduce_scope::threads, typename Cb, typename Graph,
+          typename Context, typename Reduce>
+[[nodiscard]] auto plan_for_reduced(Graph& g, Cb cb, Context& ctx, Reduce reduce) {
+  return tripoll::survey(g)
+      .project_vertex(typename Cb::vertex_projection{})
+      .project_edge(typename Cb::edge_projection{})
+      .template add_reduced<Scope>(std::move(cb), ctx, std::move(reduce));
+}
+
 // --- Alg. 2: triangle counting ---------------------------------------------------
 
 struct count_context {
@@ -89,6 +106,16 @@ struct count_callback {
   template <typename View>
   void operator()(const View& /*view*/, count_context& ctx) const {
     ++ctx.triangles;
+  }
+};
+
+/// Fold for `plan_for_reduced`/`add_reduced` over count contexts: counting
+/// is a plain sum, so per-thread (or, under reduce_scope::global, per-rank)
+/// slices merge by adding tallies.
+struct count_reduce {
+  [[nodiscard]] count_context operator()(const count_context& a,
+                                         const count_context& b) const noexcept {
+    return count_context{a.triangles + b.triangles};
   }
 };
 

@@ -29,11 +29,14 @@
 // bool-returning callback reports whether it fired, which its slice's
 // `triangles_found` reflects.
 //
-// Thread-safety contract: a plan, its callbacks and its contexts are
-// rank-local.  The engine invokes callbacks only from the owning rank's
-// thread (handlers run on the destination rank), so callback/context state
-// needs no synchronization; sharing one context object across ranks of the
-// inproc backend is the caller's race to lose.  Contexts are held by
+// Thread-safety contract (full statement: docs/THREADING.md): a plan, its
+// callbacks and its contexts are rank-local.  With survey_options::threads
+// == 1 the engine invokes callbacks only from the owning rank's thread.
+// With threads > 1, `.add()` entries still fire only on the owning thread;
+// `.add_reduced()` entries may fire on worker threads, each into its own
+// default-constructed per-thread context slice, merged into the registered
+// context by the declared reduction at the end of the run (and, for
+// reduce_scope::global, all_reduced across ranks).  Contexts are held by
 // pointer and must outlive `run()`.
 //
 // This header defines the plan, result and view types; the engine that
@@ -47,6 +50,7 @@
 #include <tuple>
 #include <type_traits>
 #include <utility>
+#include <vector>
 
 #include "comm/communicator.hpp"
 #include "graph/dodgr.hpp"
@@ -62,6 +66,18 @@ enum class survey_mode {
 
 struct survey_options {
   survey_mode mode = survey_mode::push_pull;
+  /// Worker threads per rank for the traversal (frozen graphs only; the
+  /// mutable map always walks single-threaded).  0 = read TRIPOLL_THREADS
+  /// from the environment, defaulting to 1.  Results -- triangle counts,
+  /// volume_bytes, messages, per-callback fire counts -- are bit-identical
+  /// across thread counts; see docs/THREADING.md.
+  int threads = 0;
+};
+
+/// How an `add_reduced` context is combined at the end of a run.
+enum class reduce_scope {
+  threads,  ///< merge per-thread slices into the registered context only
+  global,   ///< ...then all_reduce the context across ranks too
 };
 
 /// Wall time and measured traffic of one survey phase.
@@ -83,6 +99,8 @@ struct survey_result {
   std::uint64_t wedge_candidates = 0;   ///< candidate r vertices examined
   std::uint64_t triangles_found = 0;    ///< engine-side cross-check counter
   std::uint64_t proposals_filtered = 0; ///< hopeless pull proposals never sent
+  std::uint64_t bitmap_batches = 0;     ///< batches closed via hub bitmap probe
+  std::uint64_t list_batches = 0;       ///< batches closed via merge/gallop
 
   [[nodiscard]] double pulls_per_rank(int nranks) const noexcept {
     return nranks > 0 ? static_cast<double>(pulls_granted) / nranks : 0.0;
@@ -164,9 +182,39 @@ struct wire_type<std::string> {
 template <typename P>
 using wire_type_t = typename wire_type<P>::type;
 
+/// Shared callback dispatch: cb(comm, view, ctx) or cb(view, ctx), each
+/// either bool-returning ("did it fire?") or void (always fires).
+template <typename Callback, typename View, typename Context>
+bool dispatch_callback(Callback& callback, comm::communicator& c, const View& view,
+                       Context& context) {
+  if constexpr (std::is_invocable_v<Callback&, comm::communicator&, const View&,
+                                    Context&>) {
+    if constexpr (std::is_same_v<std::invoke_result_t<Callback&, comm::communicator&,
+                                                      const View&, Context&>,
+                                 bool>) {
+      return callback(c, view, context);
+    } else {
+      callback(c, view, context);
+      return true;
+    }
+  } else {
+    static_assert(std::is_invocable_v<Callback&, const View&, Context&>,
+                  "survey callback must be callable as cb(view, ctx) or "
+                  "cb(comm, view, ctx)");
+    if constexpr (std::is_same_v<std::invoke_result_t<Callback&, const View&, Context&>,
+                                 bool>) {
+      return callback(view, context);
+    } else {
+      callback(view, context);
+      return true;
+    }
+  }
+}
+
 /// One (callback, context) registration of a plan.
 template <typename Callback, typename Context>
 struct callback_entry {
+  static constexpr bool reduced = false;
   Callback callback;
   Context* context;
 
@@ -174,29 +222,67 @@ struct callback_entry {
   /// bool-returning callback can decline, e.g. a threshold filter).
   template <typename View>
   bool invoke(comm::communicator& c, const View& view) {
-    if constexpr (std::is_invocable_v<Callback&, comm::communicator&, const View&,
-                                      Context&>) {
-      if constexpr (std::is_same_v<std::invoke_result_t<Callback&, comm::communicator&,
-                                                        const View&, Context&>,
-                                   bool>) {
-        return callback(c, view, *context);
-      } else {
-        callback(c, view, *context);
-        return true;
-      }
+    return dispatch_callback(callback, c, view, *context);
+  }
+};
+
+/// One `.add_reduced()` registration: a callback plus the reduction that
+/// folds per-thread context slices (and, for reduce_scope::global, the
+/// per-rank contexts) back into the registered context.
+template <typename Callback, typename Context, typename Reduce, reduce_scope Scope>
+struct reduced_callback_entry {
+  static constexpr bool reduced = true;
+  static constexpr reduce_scope scope = Scope;
+  using callback_type = Callback;
+  using context_type = Context;
+
+  Callback callback;
+  Context* context;
+  Reduce reduce;
+
+  template <typename View>
+  bool invoke(comm::communicator& c, const View& view) {
+    return dispatch_callback(callback, c, view, *context);
+  }
+
+  /// Worker-thread fire into a per-thread slice: no communicator (workers
+  /// must never touch comm state; see docs/THREADING.md).
+  template <typename View>
+  bool invoke_on(const View& view, Context& slice) {
+    if constexpr (std::is_same_v<std::invoke_result_t<Callback&, const View&, Context&>,
+                                 bool>) {
+      return callback(view, slice);
     } else {
-      static_assert(std::is_invocable_v<Callback&, const View&, Context&>,
-                    "survey callback must be callable as cb(view, ctx) or "
-                    "cb(comm, view, ctx)");
-      if constexpr (std::is_same_v<std::invoke_result_t<Callback&, const View&, Context&>,
-                                   bool>) {
-        return callback(view, *context);
-      } else {
-        callback(view, *context);
-        return true;
-      }
+      callback(view, slice);
+      return true;
     }
   }
+};
+
+/// Is this entry eligible to fire on worker threads for triangle views of
+/// type View?  Plain `.add()` entries never are (no declared reduction);
+/// reduced entries are when their context can be default-constructed as a
+/// per-thread slice and the callback runs without a communicator.
+template <typename Entry, typename View>
+inline constexpr bool entry_parallel_ready = false;
+
+template <typename Callback, typename Context, typename Reduce, reduce_scope Scope,
+          typename View>
+inline constexpr bool
+    entry_parallel_ready<reduced_callback_entry<Callback, Context, Reduce, Scope>, View> =
+        std::is_default_constructible_v<Context> &&
+        std::is_invocable_v<Callback&, const View&, Context&>;
+
+/// Per-thread slice storage for one entry: the context type for reduced
+/// entries, an empty placeholder for plain ones (never touched -- a plan
+/// with any plain entry is not parallel-fire capable).
+template <typename Entry>
+struct slice_of {
+  struct type {};
+};
+template <typename Callback, typename Context, typename Reduce, reduce_scope Scope>
+struct slice_of<reduced_callback_entry<Callback, Context, Reduce, Scope>> {
+  using type = Context;
 };
 
 // Defined in core/survey.hpp (constructs the engine and runs it); declared
@@ -269,6 +355,32 @@ class survey_plan {
                        std::make_tuple(entry{std::move(callback), &context})));
   }
 
+  /// Register a (callback, context) pair WITH a declared reduction over
+  /// context state.  `reduce` must be a stateless binary op
+  /// `Context(const Context&, const Context&)`.  Two things follow:
+  ///
+  ///   * parallel traversal: if Context is default-constructible and the
+  ///     callback runs as cb(view, ctx) (no communicator), worker threads
+  ///     fire into per-thread slices that `reduce` folds into `context` by
+  ///     the end of run() (docs/THREADING.md);
+  ///   * Scope == reduce_scope::global additionally all_reduces the folded
+  ///     context across ranks (even in single-threaded runs), so run()
+  ///     returns with `context` already holding the global result -- the
+  ///     plan-level twin of count_context::global_count().
+  template <reduce_scope Scope = reduce_scope::threads, typename Callback,
+            typename Context, typename Reduce>
+  [[nodiscard]] auto add_reduced(Callback callback, Context& context,
+                                 Reduce reduce) const {
+    static_assert(std::is_empty_v<Reduce>,
+                  "plan reductions must be stateless (captureless lambda or "
+                  "empty functor); global scope runs them through all_reduce");
+    using entry = core::detail::reduced_callback_entry<Callback, Context, Reduce, Scope>;
+    return survey_plan<Graph, VProj, EProj, Entries..., entry>(
+        *graph_, vproj_, eproj_,
+        std::tuple_cat(entries_, std::make_tuple(entry{std::move(callback), &context,
+                                                       std::move(reduce)})));
+  }
+
   /// Collective: execute the plan as one fused traversal.  Requires
   /// core/survey.hpp (the engine) to be included.
   [[nodiscard]] plan_result<num_callbacks> run(survey_options opts = {}) {
@@ -296,7 +408,73 @@ class survey_plan {
         entries_);
   }
 
+  /// May every entry of this plan fire on a worker thread for views of type
+  /// View?  If not, a parallel run still parallelizes the send stages but
+  /// funnels every fire through the owning thread.
+  template <typename View>
+  static constexpr bool parallel_fire_capable =
+      (core::detail::entry_parallel_ready<Entries, View> && ...);
+
+  /// One worker thread's context slices, one element per entry (empty
+  /// placeholders for plain entries).
+  using slice_tuple = std::tuple<typename core::detail::slice_of<Entries>::type...>;
+
+  [[nodiscard]] slice_tuple make_slices() const { return slice_tuple{}; }
+
+  /// Worker-thread fire: every entry fires into its slice, never into the
+  /// registered context, and never sees the communicator.  Only
+  /// instantiated when parallel_fire_capable<View>.
+  template <typename View>
+  void fire_slices(const View& view, slice_tuple& slices,
+                   std::array<std::uint64_t, num_callbacks>& fired) {
+    [&]<std::size_t... I>(std::index_sequence<I...>) {
+      ((fired[I] +=
+        std::get<I>(entries_).invoke_on(view, std::get<I>(slices)) ? 1u : 0u),
+       ...);
+    }(std::make_index_sequence<num_callbacks>{});
+  }
+
+  /// Owning-thread merge point: fold every worker's slices into the
+  /// registered contexts, in worker-index order (deterministic for any
+  /// reduction; bit-identical across runs for associative+commutative ones).
+  void merge_slices(std::vector<slice_tuple>& all_slices) {
+    for (auto& slices : all_slices) {
+      [&]<std::size_t... I>(std::index_sequence<I...>) {
+        (merge_one(std::get<I>(entries_), std::get<I>(slices)), ...);
+      }(std::make_index_sequence<num_callbacks>{});
+    }
+  }
+
+  /// End-of-run hook, called by the engine on EVERY run (any thread count,
+  /// either storage form): all_reduce the contexts of reduce_scope::global
+  /// entries so they return holding globally-reduced state.
+  void finish_reductions(comm::communicator& c) {
+    std::apply([&](auto&... entry) { (finish_one(c, entry), ...); }, entries_);
+  }
+
  private:
+  template <typename Entry, typename Slice>
+  static void merge_one(Entry& entry, Slice& slice) {
+    if constexpr (Entry::reduced) {
+      *entry.context = entry.reduce(std::as_const(*entry.context), std::as_const(slice));
+    } else {
+      (void)entry;
+      (void)slice;
+    }
+  }
+
+  template <typename Entry>
+  static void finish_one(comm::communicator& c, Entry& entry) {
+    if constexpr (Entry::reduced) {
+      if constexpr (Entry::scope == reduce_scope::global) {
+        *entry.context = c.all_reduce(*entry.context, entry.reduce);
+      }
+    } else {
+      (void)c;
+      (void)entry;
+    }
+  }
+
   graph_type* graph_;
   VProj vproj_;
   EProj eproj_;

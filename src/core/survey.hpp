@@ -17,6 +17,26 @@
 //     Rank(q) grants a "pull" when shipping Adjm+(q) once to that rank is
 //     cheaper, and the work then splits into Push and Pull phases.
 //
+// Intra-rank parallelism (docs/THREADING.md): with survey_options::threads
+// > 1 over a FROZEN graph, each phase's vertex walk is partitioned into
+// work-stealing chunks consumed by a small std::thread pool.  Workers stage
+// sends into per-thread buffers delivered straight to the thread-safe
+// transport (never through the communicator), and -- when every plan entry
+// was registered with .add_reduced() -- intersect incoming batches as tasks
+// firing into per-thread context slices, merged by the declared reductions
+// at phase end.  Counts, volume_bytes and messages are bit-identical across
+// thread counts: per-RPC serialization is unchanged and every reported
+// metric is a sum of per-batch/per-source contributions independent of the
+// partition.
+//
+// Hub/tail intersection dispatch (core/intersect.hpp): when the frozen
+// graph carries hub bitmap rows and the plan ships no metadata, a wedge
+// batch arriving at a hub is closed by an O(1)-per-candidate sparse-vs-dense
+// bitmap probe (AVX2 or portable) instead of a gallop; tails keep the
+// merge/gallop kernels.  The kernel picked for a batch depends only on
+// whether the target owns a bitmap row, so the reported bitmap/list mix is
+// deterministic too.
+//
 // What travels is governed by the plan's projections: every metadata field
 // of a wedge batch or pulled adjacency is projected sender-side, so the
 // wire (and handler) types below are templated on the PROJECTED metadata
@@ -28,10 +48,14 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cassert>
 #include <chrono>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
+#include <thread>
 #include <type_traits>
 #include <unordered_map>
 #include <utility>
@@ -39,6 +63,7 @@
 
 #include "comm/communicator.hpp"
 #include "core/intersect.hpp"
+#include "core/parallel.hpp"
 #include "core/plan.hpp"
 #include "graph/dodgr.hpp"
 #include "graph/types.hpp"
@@ -153,6 +178,26 @@ class survey_engine {
   using view_type = triangle_view<wire_vm, wire_em>;
   using self = survey_engine<Graph, Plan>;
 
+  /// Frozen CSR storage exposes slot-addressed records and hub bitmap rows;
+  /// the parallel chunk walks and the bitmap kernels both key off this.
+  static constexpr bool frozen_graph =
+      requires(const Graph& g, std::uint32_t slot) {
+        g.vid_at(slot);
+        g.hub_bitmap(slot);
+      };
+
+  /// A bitmap answers membership, not which adjacency entry matched, so the
+  /// probe path exists only for metadata-free wire shapes over frozen CSR.
+  static constexpr bool bitmap_eligible =
+      frozen_graph && std::is_empty_v<wire_vm> && std::is_empty_v<wire_em>;
+
+  /// May incoming batches be intersected on worker threads?  Requires every
+  /// plan entry to carry a declared reduction (plan.hpp: add_reduced) so
+  /// fires land in per-thread context slices.  Otherwise a parallel run
+  /// still parallelizes the send stages but intersects on the owning thread.
+  static constexpr bool task_capable =
+      frozen_graph && Plan::template parallel_fire_capable<view_type>;
+
   survey_engine(graph_type& g, plan_type& plan)
       : comm_(&g.comm()), graph_(&g), plan_(&plan),
         handle_(comm_->register_object(*this)) {}
@@ -167,16 +212,18 @@ class survey_engine {
   plan_result<num_callbacks> run(survey_options opts = {}) {
     comm_->barrier();
     reset_counters();
+    threads_ = 1;
+    if constexpr (frozen_graph) threads_ = core::resolve_threads(opts.threads);
     const auto t_start = core::detail::clock::now();
 
     plan_result<num_callbacks> out;
     survey_result& result = out.total;
     if (opts.mode == survey_mode::push_only) {
-      result.push = timed_phase([&] { push_all(); });
+      result.push = run_push_all_phase();
     } else {
       result.dry_run = timed_phase([&] { dry_run(); });
-      result.push = timed_phase([&] { push_undecided(); });
-      result.pull = timed_phase([&] { pull_phase(); });
+      result.push = run_push_undecided_phase();
+      result.pull = run_pull_phase();
     }
 
     result.total.seconds = comm_->all_reduce_max(core::detail::seconds_since(t_start));
@@ -193,9 +240,15 @@ class survey_engine {
     result.wedge_candidates = comm_->all_reduce_sum(local_candidates_);
     result.triangles_found = comm_->all_reduce_sum(local_triangles_);
     result.proposals_filtered = comm_->all_reduce_sum(local_proposals_filtered_);
+    result.bitmap_batches = comm_->all_reduce_sum(local_bitmap_batches_);
+    result.list_batches = comm_->all_reduce_sum(local_list_batches_);
     for (std::size_t i = 0; i < num_callbacks; ++i) {
       out.invocations[i] = comm_->all_reduce_sum(local_invocations_[i]);
     }
+
+    // Plan-level result reductions: all_reduce the contexts of
+    // reduce_scope::global entries (collective; runs on EVERY run shape).
+    plan_->finish_reductions(*comm_);
 
     // Release dry-run scratch.
     targets_.clear();
@@ -211,6 +264,7 @@ class survey_engine {
   void reset_counters() {
     local_pulls_granted_ = local_push_batches_ = local_candidates_ = local_triangles_ = 0;
     local_proposals_filtered_ = 0;
+    local_bitmap_batches_ = local_list_batches_ = 0;
     local_invocations_.fill(0);
     targets_.clear();
     pull_grants_.clear();
@@ -218,17 +272,28 @@ class survey_engine {
 
   template <typename Body>
   phase_metrics timed_phase(Body&& body) {
+    return timed_phase(std::forward<Body>(body), [] {});
+  }
+
+  template <typename Body, typename Finish>
+  phase_metrics timed_phase(Body&& body, Finish&& finish) {
     // Per-rank snapshot / barrier / body / barrier / per-rank snapshot: a
-    // rank's counters move only from its own thread, so the bracketed delta
-    // is exactly this rank's sends for the phase.  The explicit reductions
-    // turn the deltas into global sums that are bit-identical on every rank
-    // (a global point-in-time snapshot here would race with other ranks
-    // already issuing the reductions' own traffic).
+    // rank's counters move only from its own thread (worker sends go through
+    // the transport under this rank's id and complete before the rank
+    // announces idle), so the bracketed delta is exactly this rank's sends
+    // for the phase.  The explicit reductions turn the deltas into global
+    // sums that are bit-identical on every rank (a global point-in-time
+    // snapshot here would race with other ranks already issuing the
+    // reductions' own traffic).  `finish` runs after the closing barrier --
+    // when every batch has been handled, hence every intersect task enqueued
+    // -- and before the elapsed time is read, so task-queue drain, worker
+    // join and slice merging are charged to the phase that produced them.
     const auto before = comm_->local_stats();
     comm_->barrier();
     const auto start = core::detail::clock::now();
     body();
     comm_->barrier();
+    finish();
     const double elapsed = core::detail::seconds_since(start);
     const auto delta = comm_->local_stats() - before;  // excludes the reductions below
     phase_metrics m;
@@ -264,6 +329,17 @@ class survey_engine {
     }
   }
 
+  /// Shared empty-metadata instances for the bitmap fire path (only
+  /// instantiated when bitmap_eligible, i.e. both wire types are empty).
+  [[nodiscard]] static const wire_vm& dummy_vm() noexcept {
+    static const wire_vm v{};
+    return v;
+  }
+  [[nodiscard]] static const wire_em& dummy_em() noexcept {
+    static const wire_em v{};
+    return v;
+  }
+
   /// True when edge projections return owning strings BY VALUE: the wire
   /// views then need scratch storage that outlives the async() call.
   static constexpr bool edge_scratch_needed =
@@ -287,9 +363,74 @@ class survey_engine {
     }
   }
 
+  // --- send paths (serial via the communicator, parallel via staged buffers) --
+
+  /// Per-worker send staging: the exact wire recipe of communicator::async
+  /// (varint handler id + serialized args, coalesced per destination) with
+  /// delivery straight to the thread-safe transport under this rank's id.
+  /// Identical bytes-per-RPC and one logical message per RPC keep
+  /// volume_bytes and messages invariant to how sends are grouped, hence to
+  /// the thread count (docs/THREADING.md).
+  class staged_sender {
+   public:
+    staged_sender(comm::transport& t, int rank, int nranks)
+        : t_(&t), rank_(rank), bufs_(static_cast<std::size_t>(nranks)),
+          counts_(static_cast<std::size_t>(nranks), 0) {}
+
+    template <typename Handler, typename... Args>
+    void async(int dest, Handler /*handler*/, const Args&... args) {
+      static_assert(std::is_empty_v<Handler>);
+      const std::uint32_t id = comm::detail::handler_id<Handler, std::decay_t<Args>...>();
+      auto& buf = bufs_[static_cast<std::size_t>(dest)];
+      serial::writer w(buf);
+      w.write_varint(id);
+      w(args...);
+      ++counts_[static_cast<std::size_t>(dest)];
+      if (buf.size() >= kStageBytes) flush(dest);
+    }
+
+    void flush(int dest) {
+      auto& buf = bufs_[static_cast<std::size_t>(dest)];
+      if (buf.empty()) return;
+      const std::uint64_t n = counts_[static_cast<std::size_t>(dest)];
+      counts_[static_cast<std::size_t>(dest)] = 0;
+      t_->deliver(rank_, dest, buf.release(), n);
+    }
+
+    void flush_all() {
+      for (int dest = 0; dest < static_cast<int>(bufs_.size()); ++dest) flush(dest);
+    }
+
+    /// Fixed watermark: workers see no barrier-time decay, so a static value
+    /// keeps staging deterministic and simple (64 KiB amortizes transport
+    /// overhead without hoarding memory across `threads x nranks` buffers).
+    static constexpr std::size_t kStageBytes = 64 * 1024;
+
+   private:
+    comm::transport* t_;
+    int rank_;
+    std::vector<serial::byte_buffer> bufs_;
+    std::vector<std::uint64_t> counts_;
+  };
+
+  /// Serial twin of staged_sender: forwards to the communicator (adaptive
+  /// flushing, polling) so the single-threaded path is exactly the old one.
+  struct comm_sender {
+    comm::communicator* c;
+    template <typename Handler, typename... Args>
+    void async(int dest, Handler h, const Args&... args) {
+      c->async(dest, h, args...);
+    }
+  };
+
   /// Ship the wedge batch (p; q at position i; suffix beyond i) to Rank(q),
-  /// all metadata projected sender-side.
-  void send_wedge_batch(graph::vertex_id p, const record_type& rec, std::size_t i) {
+  /// all metadata projected sender-side.  `snd` is a comm_sender on the
+  /// owning thread or a worker's staged_sender; the counters are the
+  /// caller's (engine-local or per-worker, merged later).
+  template <typename Sender>
+  void send_wedge_batch(Sender& snd, graph::vertex_id p, const record_type& rec,
+                        std::size_t i, std::uint64_t& cand_ctr,
+                        std::uint64_t& batch_ctr) const {
     const entry_type& q_entry = rec.adj[i];
     const std::size_t n = rec.adj.size() - i - 1;
     std::vector<candidate_type> candidates;
@@ -301,13 +442,13 @@ class survey_engine {
       candidates.push_back(
           candidate_type{e.target, e.target_rank, em_wire(e.edge_meta, owned)});
     }
-    local_candidates_ += candidates.size();
-    ++local_push_batches_;
+    cand_ctr += candidates.size();
+    ++batch_ctr;
     decltype(auto) meta_p = pv(rec.meta);
     decltype(auto) meta_pq = pe(q_entry.edge_meta);
-    comm_->async(graph_->owner(q_entry.target), wedge_batch_handler{}, handle_,
-                 q_entry.target, p, vm_view(meta_p), em_view(meta_pq),
-                 core::detail::as_batch_arg(candidates));
+    snd.async(graph_->owner(q_entry.target), wedge_batch_handler{}, handle_,
+              q_entry.target, p, vm_view(meta_p), em_view(meta_pq),
+              core::detail::as_batch_arg(candidates));
   }
 
   void fire_callback(const view_type& view) {
@@ -315,42 +456,8 @@ class survey_engine {
     plan_->fire(*comm_, view, local_invocations_);
   }
 
-  // --- push-only (Alg. 1) ------------------------------------------------------
-
-  void push_all() {
-    graph_->for_all_local([&](const graph::vertex_id& p, const record_type& rec) {
-      for (std::size_t i = 0; i + 1 < rec.adj.size(); ++i) send_wedge_batch(p, rec, i);
-    });
-  }
-
-  struct wedge_batch_handler {
-    void operator()(comm::communicator& c, comm::dist_handle<self> h, graph::vertex_id q,
-                    graph::vertex_id p, const wire_vm& meta_p, const wire_em& meta_pq,
-                    const core::detail::batch_arg<candidate_type>& candidates) {
-      self& eng = c.resolve(h);
-      // local_find returns a nullable record handle: a record pointer for
-      // the mutable map, an optional record view for the frozen CSR form.
-      const auto rec_q = eng.graph_->local_find(q);
-      assert(rec_q);
-      decltype(auto) meta_q = eng.pv(rec_q->meta);  // projected once per batch
-      // Adaptive kernel: a short pushed suffix meeting a hub's long list
-      // gallops instead of scanning (degeneracy-ordering insight from
-      // Pashanasangi & Seshadhri; see core/intersect.hpp).
-      core::adaptive_intersect(
-          candidates.begin(), candidates.end(), rec_q->adj.begin(), rec_q->adj.end(),
-          [](const candidate_type& cand) { return cand.key(); },
-          [](const entry_type& e) { return e.key(); },
-          [&](const candidate_type& cand, const entry_type& e) {
-            decltype(auto) meta_r = eng.pv(e.target_meta);
-            decltype(auto) meta_qr = eng.pe(e.edge_meta);
-            eng.fire_callback(view_type{p, q, e.target, meta_p, vm_view(meta_q),
-                                        vm_view(meta_r), meta_pq, cand.meta_pr,
-                                        em_view(meta_qr)});
-          });
-    }
-  };
-
-  // --- push-pull (Sec. 4.4) ------------------------------------------------------
+  // --- dry-run bookkeeping types (declared early: they appear in member
+  // --- function signatures below) --------------------------------------------
 
   /// Compact graph-defined locator for a local record (map form: record
   /// pointer; frozen form: 4-byte CSR slot).  Stable for the whole survey
@@ -377,19 +484,345 @@ class survey_engine {
     std::vector<source_ref> sources;
   };
 
-  void dry_run() {
-    // Communication-free counting pass.
-    graph_->for_all_local_located([&](const graph::vertex_id& p, const record_type& rec,
-                                      record_locator loc) {
-      if (rec.adj.size() < 2) return;
+  using targets_map = std::unordered_map<graph::vertex_id, per_target>;
+
+  // --- intra-rank worker pool -------------------------------------------------
+
+  struct no_slices {};
+  using slices_type =
+      std::conditional_t<task_capable, typename Plan::slice_tuple, no_slices>;
+
+  /// One worker thread's whole world: its staged sender, its context slices
+  /// (task_capable plans only) and its counter deltas, merged into the
+  /// engine in worker-index order at phase end.
+  struct worker_ctx {
+    worker_ctx(comm::transport& t, int rank, int nranks) : sender(t, rank, nranks) {}
+    staged_sender sender;
+    slices_type slices{};
+    std::array<std::uint64_t, num_callbacks> fired{};
+    std::uint64_t candidates = 0;
+    std::uint64_t push_batches = 0;
+    std::uint64_t triangles = 0;
+    std::uint64_t bitmap_batches = 0;
+    std::uint64_t list_batches = 0;
+  };
+
+  using task_fn = std::function<void(worker_ctx&)>;
+
+  /// Per-phase worker pool: run_stage() spawns the workers on a send stage
+  /// and drains the inbox until they finish sending (so this rank only
+  /// enters the phase's closing barrier once its traffic is fully delivered
+  /// -- the quiescence handshake counts delivered buffers).  Workers then
+  /// consume intersect tasks until finish() closes the queue after the
+  /// barrier, joins them, and merges counters and slices deterministically.
+  /// The destructor makes barrier exceptions safe (close + join, no merge).
+  class parallel_pool {
+   public:
+    explicit parallel_pool(self& eng) : eng_(eng) {}
+
+    parallel_pool(const parallel_pool&) = delete;
+    parallel_pool& operator=(const parallel_pool&) = delete;
+
+    ~parallel_pool() {
+      eng_.tasks_.close();
+      eng_.tasks_enabled_ = false;
+      for (auto& t : threads_) {
+        if (t.joinable()) t.join();
+      }
+    }
+
+    template <typename Stage>
+    void run_stage(Stage&& stage) {
+      auto& transport = eng_.comm_->underlying_transport();
+      const int rank = eng_.comm_->rank();
+      const int nranks = eng_.comm_->size();
+      eng_.tasks_.reopen();
+      eng_.tasks_enabled_ = task_capable;
+      eng_.senders_active_.store(eng_.threads_, std::memory_order_relaxed);
+      ctxs_.reserve(static_cast<std::size_t>(eng_.threads_));
+      for (int w = 0; w < eng_.threads_; ++w) {
+        ctxs_.push_back(std::make_unique<worker_ctx>(transport, rank, nranks));
+      }
+      for (int w = 0; w < eng_.threads_; ++w) {
+        threads_.emplace_back([this, w, &transport, stage]() mutable {
+          worker_ctx& wc = *ctxs_[static_cast<std::size_t>(w)];
+          try {
+            stage(wc);
+            wc.sender.flush_all();
+          } catch (...) {
+            transport.abort_run(std::current_exception());
+          }
+          eng_.senders_active_.fetch_sub(1, std::memory_order_acq_rel);
+          task_fn task;
+          while (eng_.tasks_.pop(task)) {
+            try {
+              task(wc);
+            } catch (...) {
+              transport.abort_run(std::current_exception());
+            }
+            task = nullptr;
+          }
+        });
+      }
+      // The owning thread drains (and enqueues tasks) while workers send;
+      // leaving only once senders_active_ hits zero guarantees every staged
+      // buffer has been delivered before this rank can announce idle.
+      while (eng_.senders_active_.load(std::memory_order_acquire) > 0) {
+        eng_.comm_->process_incoming();
+        std::this_thread::yield();
+      }
+    }
+
+    void finish() {
+      if (finished_) return;
+      finished_ = true;
+      const bool had_tasks = eng_.tasks_enabled_;
+      eng_.tasks_.close();
+      eng_.tasks_enabled_ = false;
+      for (auto& t : threads_) t.join();
+      threads_.clear();
+      for (auto& up : ctxs_) {
+        worker_ctx& wc = *up;
+        eng_.local_candidates_ += wc.candidates;
+        eng_.local_push_batches_ += wc.push_batches;
+        eng_.local_triangles_ += wc.triangles;
+        eng_.local_bitmap_batches_ += wc.bitmap_batches;
+        eng_.local_list_batches_ += wc.list_batches;
+        for (std::size_t i = 0; i < num_callbacks; ++i) {
+          eng_.local_invocations_[i] += wc.fired[i];
+        }
+      }
+      if constexpr (task_capable) {
+        if (had_tasks) {
+          std::vector<typename Plan::slice_tuple> slices;
+          slices.reserve(ctxs_.size());
+          for (auto& up : ctxs_) slices.push_back(std::move(up->slices));
+          eng_.plan_->merge_slices(slices);  // worker-index order
+        }
+      }
+      ctxs_.clear();
+    }
+
+   private:
+    self& eng_;
+    std::vector<std::unique_ptr<worker_ctx>> ctxs_;
+    std::vector<std::thread> threads_;
+    bool finished_ = false;
+  };
+
+  // --- intersection (shared by the inline and worker-task receive paths) ------
+
+  /// Close one wedge batch against Adjm+(q).  Hub targets with a bitmap row
+  /// take the sparse-vs-dense probe (only when the wire carries no metadata,
+  /// so the dummies below are exactly what the projections produce);
+  /// everything else takes the adaptive merge/gallop.  The kernel counters
+  /// are per-batch and partition-independent.
+  template <typename Sink>
+  void process_wedge_batch(graph::vertex_id q, graph::vertex_id p,
+                           const wire_vm& meta_p, const wire_em& meta_pq,
+                           const core::detail::batch_arg<candidate_type>& candidates,
+                           Sink&& sink, std::uint64_t& bitmap_ctr,
+                           std::uint64_t& list_ctr) const {
+    if constexpr (bitmap_eligible) {
+      static_assert(serial::detail::bitwise<candidate_type>);
+      const auto slot = graph_->locate(q);
+      const core::bitmap_view bm = graph_->hub_bitmap(slot);
+      if (!bm.empty()) {
+        ++bitmap_ctr;
+        core::bitmap_probe(bm, candidates.data(), sizeof(candidate_type),
+                           candidates.size(), [&](std::size_t k) {
+                             const candidate_type cand = candidates[k];
+                             sink(view_type{p, q, cand.r, meta_p, dummy_vm(),
+                                            dummy_vm(), meta_pq, dummy_em(),
+                                            dummy_em()});
+                           });
+        return;
+      }
+      ++list_ctr;
+      decltype(auto) rec_q = graph_->resolve_record(slot);
+      intersect_wedge_list(rec_q, q, p, meta_p, meta_pq, candidates,
+                           std::forward<Sink>(sink));
+    } else {
+      ++list_ctr;
+      const auto rec_q = graph_->local_find(q);
+      assert(rec_q);
+      intersect_wedge_list(*rec_q, q, p, meta_p, meta_pq, candidates,
+                           std::forward<Sink>(sink));
+    }
+  }
+
+  template <typename Rec, typename Sink>
+  void intersect_wedge_list(const Rec& rec_q, graph::vertex_id q, graph::vertex_id p,
+                            const wire_vm& meta_p, const wire_em& meta_pq,
+                            const core::detail::batch_arg<candidate_type>& candidates,
+                            Sink&& sink) const {
+    decltype(auto) meta_q = pv(rec_q.meta);  // projected once per batch
+    // Adaptive kernel: a short pushed suffix meeting a hub's long list
+    // gallops instead of scanning (degeneracy-ordering insight from
+    // Pashanasangi & Seshadhri; see core/intersect.hpp).
+    core::adaptive_intersect(
+        candidates.begin(), candidates.end(), rec_q.adj.begin(), rec_q.adj.end(),
+        [](const candidate_type& cand) { return cand.key(); },
+        [](const entry_type& e) { return e.key(); },
+        [&](const candidate_type& cand, const entry_type& e) {
+          decltype(auto) meta_r = pv(e.target_meta);
+          decltype(auto) meta_qr = pe(e.edge_meta);
+          sink(view_type{p, q, e.target, meta_p, vm_view(meta_q), vm_view(meta_r),
+                         meta_pq, cand.meta_pr, em_view(meta_qr)});
+        });
+  }
+
+  /// Close one pulled adjacency Adjm+(q) against every local source (p, i).
+  /// A source p owning a hub bitmap probes the pulled entries against its
+  /// FULL adjacency row: a hit r satisfies q <+ r (r ∈ Adjm+(q)), and any
+  /// entry of Adjm+(p) at a position <= i satisfies <=+ q, so every hit
+  /// necessarily lies past the split -- the probe equals the suffix
+  /// intersection.  Tail sources keep the gallop over the suffix.
+  template <typename Sink>
+  void process_pulled(graph::vertex_id q, const wire_vm& meta_q,
+                      const core::detail::batch_arg<pulled_type>& entries,
+                      const per_target& t, Sink&& sink, std::uint64_t& cand_ctr,
+                      std::uint64_t& bitmap_ctr, std::uint64_t& list_ctr) const {
+    for (const source_ref& s : t.sources) {
+      decltype(auto) rec_p = graph_->resolve_record(s.rec);
+      const graph::vertex_id p = s.p;
+      const std::uint32_t i = s.split;
+      cand_ctr += rec_p.adj.size() - i - 1;
+      if constexpr (bitmap_eligible) {
+        static_assert(serial::detail::bitwise<pulled_type>);
+        const core::bitmap_view bm = graph_->hub_bitmap(s.rec);
+        if (!bm.empty()) {
+          ++bitmap_ctr;
+          core::bitmap_probe(bm, entries.data(), sizeof(pulled_type), entries.size(),
+                             [&](std::size_t k) {
+                               const pulled_type e_qr = entries[k];
+                               sink(view_type{p, q, e_qr.r, dummy_vm(), meta_q,
+                                              dummy_vm(), dummy_em(), dummy_em(),
+                                              dummy_em()});
+                             });
+          continue;
+        }
+      }
+      ++list_ctr;
+      const entry_type& q_entry = rec_p.adj[i];
+      decltype(auto) meta_p = pv(rec_p.meta);
+      decltype(auto) meta_pq = pe(q_entry.edge_meta);
+      core::adaptive_intersect(
+          rec_p.adj.begin() + static_cast<std::ptrdiff_t>(i) + 1, rec_p.adj.end(),
+          entries.begin(), entries.end(),
+          [](const entry_type& e) { return e.key(); },
+          [](const pulled_type& pe_) { return pe_.key(); },
+          [&](const entry_type& e_pr, const pulled_type& e_qr) {
+            // Callback on Rank(p): meta(r) comes from p's own Adjm+ entry.
+            decltype(auto) meta_r = pv(e_pr.target_meta);
+            decltype(auto) meta_pr = pe(e_pr.edge_meta);
+            sink(view_type{p, q, e_pr.target, vm_view(meta_p), meta_q,
+                           vm_view(meta_r), em_view(meta_pq), em_view(meta_pr),
+                           e_qr.meta_qr});
+          });
+    }
+  }
+
+  // --- push-only (Alg. 1) ------------------------------------------------------
+
+  phase_metrics run_push_all_phase() {
+    if constexpr (frozen_graph) {
+      if (threads_ > 1) {
+        const std::size_t n = graph_->local_num_vertices();
+        core::chunk_queue chunks(n, core::chunk_size_for(n, threads_));
+        parallel_pool pool(*this);
+        return timed_phase(
+            [&] {
+              pool.run_stage([&](worker_ctx& wc) {
+                std::size_t first = 0, last = 0;
+                while (chunks.next(first, last)) {
+                  for (std::size_t slot = first; slot < last; ++slot) {
+                    const auto loc = static_cast<record_locator>(slot);
+                    decltype(auto) rec = graph_->resolve_record(loc);
+                    const graph::vertex_id p = graph_->vid_at(loc);
+                    for (std::size_t i = 0; i + 1 < rec.adj.size(); ++i) {
+                      send_wedge_batch(wc.sender, p, rec, i, wc.candidates,
+                                       wc.push_batches);
+                    }
+                  }
+                  comm_->underlying_transport().throw_if_aborted();
+                }
+              });
+            },
+            [&] { pool.finish(); });
+      }
+    }
+    return timed_phase([&] { push_all(); });
+  }
+
+  void push_all() {
+    comm_sender snd{comm_};
+    graph_->for_all_local([&](const graph::vertex_id& p, const record_type& rec) {
       for (std::size_t i = 0; i + 1 < rec.adj.size(); ++i) {
-        const entry_type& q_entry = rec.adj[i];
-        per_target& t = targets_[q_entry.target];
-        t.candidate_count += rec.adj.size() - i - 1;
-        t.q_out_degree = q_entry.target_out_degree;
-        t.sources.push_back(source_ref{p, loc, static_cast<std::uint32_t>(i)});
+        send_wedge_batch(snd, p, rec, i, local_candidates_, local_push_batches_);
       }
     });
+  }
+
+  struct wedge_batch_handler {
+    void operator()(comm::communicator& c, comm::dist_handle<self> h, graph::vertex_id q,
+                    graph::vertex_id p, const wire_vm& meta_p, const wire_em& meta_pq,
+                    const core::detail::batch_arg<candidate_type>& candidates) {
+      self& eng = c.resolve(h);
+      if constexpr (self::task_capable) {
+        if (eng.tasks_enabled_) {
+          // Steal the drained payload (the candidates/meta views point into
+          // it) and hand the intersection to a worker, which fires into its
+          // own context slices -- the owning-thread-only contract holds for
+          // the registered contexts (docs/THREADING.md).
+          auto payload = c.share_current_payload();
+          eng.tasks_.push([&eng, payload = std::move(payload), q, p, meta_p, meta_pq,
+                           candidates](worker_ctx& wc) {
+            eng.process_wedge_batch(
+                q, p, meta_p, meta_pq, candidates,
+                [&](const view_type& view) {
+                  ++wc.triangles;
+                  eng.plan_->fire_slices(view, wc.slices, wc.fired);
+                },
+                wc.bitmap_batches, wc.list_batches);
+          });
+          return;
+        }
+      }
+      eng.process_wedge_batch(
+          q, p, meta_p, meta_pq, candidates,
+          [&eng](const view_type& view) { eng.fire_callback(view); },
+          eng.local_bitmap_batches_, eng.local_list_batches_);
+    }
+  };
+
+  // --- push-pull (Sec. 4.4) ------------------------------------------------------
+
+  void dry_run() {
+    // Communication-free counting pass; parallel over CSR slot chunks for
+    // frozen graphs (per-worker partial maps merged in worker order -- the
+    // per-target sums are partition-independent, only source order varies,
+    // and source order never feeds a reported metric).
+    bool scanned_parallel = false;
+    if constexpr (frozen_graph) {
+      if (threads_ > 1) {
+        dry_run_scan_parallel();
+        scanned_parallel = true;
+      }
+    }
+    if (!scanned_parallel) {
+      graph_->for_all_local_located([&](const graph::vertex_id& p, const record_type& rec,
+                                        record_locator loc) {
+        if (rec.adj.size() < 2) return;
+        for (std::size_t i = 0; i + 1 < rec.adj.size(); ++i) {
+          const entry_type& q_entry = rec.adj[i];
+          per_target& t = targets_[q_entry.target];
+          t.candidate_count += rec.adj.size() - i - 1;
+          t.q_out_degree = q_entry.target_out_degree;
+          t.sources.push_back(source_ref{p, loc, static_cast<std::uint32_t>(i)});
+        }
+      });
+    }
     // One aggregate proposal per (this rank, q) -- but only where pulling
     // could possibly win.  d+(q) is already local (the builder's P6 flow),
     // and Rank(q) grants a pull iff d+(q) < candidate_count, so a proposal
@@ -403,6 +836,58 @@ class survey_engine {
                    t.candidate_count);
     }
     // The barrier of timed_phase() drains proposals and decisions.
+  }
+
+  void dry_run_scan_parallel() {
+    const std::size_t n = graph_->local_num_vertices();
+    core::chunk_queue chunks(n, core::chunk_size_for(n, threads_));
+    std::vector<targets_map> partial(static_cast<std::size_t>(threads_));
+    std::vector<std::exception_ptr> errors(static_cast<std::size_t>(threads_));
+    auto scan = [&](targets_map& out, std::exception_ptr& err) {
+      try {
+        std::size_t first = 0, last = 0;
+        while (chunks.next(first, last)) {
+          for (std::size_t slot = first; slot < last; ++slot) {
+            const auto loc = static_cast<record_locator>(slot);
+            decltype(auto) rec = graph_->resolve_record(loc);
+            if (rec.adj.size() < 2) continue;
+            const graph::vertex_id p = graph_->vid_at(loc);
+            for (std::size_t i = 0; i + 1 < rec.adj.size(); ++i) {
+              const entry_type q_entry = rec.adj[i];
+              per_target& t = out[q_entry.target];
+              t.candidate_count += rec.adj.size() - i - 1;
+              t.q_out_degree = q_entry.target_out_degree;
+              t.sources.push_back(source_ref{p, loc, static_cast<std::uint32_t>(i)});
+            }
+          }
+        }
+      } catch (...) {
+        err = std::current_exception();
+      }
+    };
+    std::vector<std::thread> workers;
+    for (int w = 1; w < threads_; ++w) {
+      workers.emplace_back(scan, std::ref(partial[static_cast<std::size_t>(w)]),
+                           std::ref(errors[static_cast<std::size_t>(w)]));
+    }
+    scan(partial[0], errors[0]);  // the owning thread participates (comm-free)
+    for (auto& w : workers) w.join();
+    for (const auto& err : errors) {
+      if (err) std::rethrow_exception(err);
+    }
+    for (auto& pm : partial) {
+      for (auto& [q, t] : pm) {
+        per_target& dst = targets_[q];
+        dst.candidate_count += t.candidate_count;
+        dst.q_out_degree = t.q_out_degree;
+        if (dst.sources.empty()) {
+          dst.sources = std::move(t.sources);
+        } else {
+          dst.sources.insert(dst.sources.end(), t.sources.begin(), t.sources.end());
+        }
+      }
+      pm = {};
+    }
   }
 
   struct propose_handler {
@@ -432,33 +917,100 @@ class survey_engine {
     }
   };
 
+  phase_metrics run_push_undecided_phase() {
+    if constexpr (frozen_graph) {
+      if (threads_ > 1) {
+        // Materialize the non-granted sources so workers chunk a flat array.
+        std::vector<const source_ref*> work;
+        for (const auto& [q, t] : targets_) {
+          if (t.pull_granted) continue;
+          for (const source_ref& s : t.sources) work.push_back(&s);
+        }
+        core::chunk_queue chunks(work.size(), core::chunk_size_for(work.size(), threads_));
+        parallel_pool pool(*this);
+        return timed_phase(
+            [&] {
+              pool.run_stage([&](worker_ctx& wc) {
+                std::size_t first = 0, last = 0;
+                while (chunks.next(first, last)) {
+                  for (std::size_t k = first; k < last; ++k) {
+                    const source_ref& s = *work[k];
+                    decltype(auto) rec = graph_->resolve_record(s.rec);
+                    send_wedge_batch(wc.sender, s.p, rec, s.split, wc.candidates,
+                                     wc.push_batches);
+                  }
+                  comm_->underlying_transport().throw_if_aborted();
+                }
+              });
+            },
+            [&] { pool.finish(); });
+      }
+    }
+    return timed_phase([&] { push_undecided(); });
+  }
+
   void push_undecided() {
+    comm_sender snd{comm_};
     for (const auto& [q, t] : targets_) {
       if (t.pull_granted) continue;
       for (const source_ref& s : t.sources) {
         decltype(auto) rec = graph_->resolve_record(s.rec);
-        send_wedge_batch(s.p, rec, s.split);
+        send_wedge_batch(snd, s.p, rec, s.split, local_candidates_, local_push_batches_);
       }
     }
   }
 
+  phase_metrics run_pull_phase() {
+    if constexpr (frozen_graph) {
+      if (threads_ > 1) {
+        std::vector<std::pair<graph::vertex_id, const std::vector<int>*>> pulls;
+        pulls.reserve(pull_grants_.size());
+        for (const auto& [q, ranks] : pull_grants_) pulls.emplace_back(q, &ranks);
+        core::chunk_queue chunks(pulls.size(),
+                                 core::chunk_size_for(pulls.size(), threads_));
+        parallel_pool pool(*this);
+        return timed_phase(
+            [&] {
+              pool.run_stage([&](worker_ctx& wc) {
+                std::size_t first = 0, last = 0;
+                while (chunks.next(first, last)) {
+                  for (std::size_t k = first; k < last; ++k) {
+                    send_pulled_adjacency(wc.sender, pulls[k].first, *pulls[k].second);
+                  }
+                  comm_->underlying_transport().throw_if_aborted();
+                }
+              });
+            },
+            [&] { pool.finish(); });
+      }
+    }
+    return timed_phase([&] { pull_phase(); });
+  }
+
   void pull_phase() {
+    comm_sender snd{comm_};
     for (const auto& [q, ranks] : pull_grants_) {
-      const auto rec_q = graph_->local_find(q);
-      assert(rec_q);
-      std::vector<pulled_type> entries;
-      entries.reserve(rec_q->adj.size());
-      std::vector<pe_type> owned;
-      if constexpr (edge_scratch_needed) owned.reserve(rec_q->adj.size());
-      for (const entry_type& e : rec_q->adj) {
-        entries.push_back(
-            pulled_type{e.target, e.target_rank, em_wire(e.edge_meta, owned)});
-      }
-      decltype(auto) meta_q = pv(rec_q->meta);
-      for (const int dest : ranks) {
-        comm_->async(dest, pulled_adj_handler{}, handle_, q, vm_view(meta_q),
-                     core::detail::as_batch_arg(entries));
-      }
+      send_pulled_adjacency(snd, q, ranks);
+    }
+  }
+
+  /// Serialize Adjm+(q) once and ship it to every granted rank.
+  template <typename Sender>
+  void send_pulled_adjacency(Sender& snd, graph::vertex_id q,
+                             const std::vector<int>& ranks) const {
+    const auto rec_q = graph_->local_find(q);
+    assert(rec_q);
+    std::vector<pulled_type> entries;
+    entries.reserve(rec_q->adj.size());
+    std::vector<pe_type> owned;
+    if constexpr (edge_scratch_needed) owned.reserve(rec_q->adj.size());
+    for (const entry_type& e : rec_q->adj) {
+      entries.push_back(pulled_type{e.target, e.target_rank, em_wire(e.edge_meta, owned)});
+    }
+    decltype(auto) meta_q = pv(rec_q->meta);
+    for (const int dest : ranks) {
+      snd.async(dest, pulled_adj_handler{}, handle_, q, vm_view(meta_q),
+                core::detail::as_batch_arg(entries));
     }
   }
 
@@ -469,28 +1021,28 @@ class survey_engine {
       self& eng = c.resolve(h);
       auto it = eng.targets_.find(q);
       assert(it != eng.targets_.end());
-      for (const source_ref& s : it->second.sources) {
-        decltype(auto) rec_p = eng.graph_->resolve_record(s.rec);  // cached locator
-        const graph::vertex_id p = s.p;
-        const std::uint32_t i = s.split;
-        const entry_type& q_entry = rec_p.adj[i];
-        eng.local_candidates_ += rec_p.adj.size() - i - 1;
-        decltype(auto) meta_p = eng.pv(rec_p.meta);
-        decltype(auto) meta_pq = eng.pe(q_entry.edge_meta);
-        core::adaptive_intersect(
-            rec_p.adj.begin() + static_cast<std::ptrdiff_t>(i) + 1, rec_p.adj.end(),
-            entries.begin(), entries.end(),
-            [](const entry_type& e) { return e.key(); },
-            [](const pulled_type& pe_) { return pe_.key(); },
-            [&](const entry_type& e_pr, const pulled_type& e_qr) {
-              // Callback on Rank(p): meta(r) comes from p's own Adjm+ entry.
-              decltype(auto) meta_r = eng.pv(e_pr.target_meta);
-              decltype(auto) meta_pr = eng.pe(e_pr.edge_meta);
-              eng.fire_callback(view_type{p, q, e_pr.target, vm_view(meta_p), meta_q,
-                                          vm_view(meta_r), em_view(meta_pq),
-                                          em_view(meta_pr), e_qr.meta_qr});
-            });
+      // Stable reference: targets_ sees no inserts after the dry run.
+      const per_target& t = it->second;
+      if constexpr (self::task_capable) {
+        if (eng.tasks_enabled_) {
+          auto payload = c.share_current_payload();
+          eng.tasks_.push(
+              [&eng, payload = std::move(payload), q, meta_q, entries, &t](worker_ctx& wc) {
+                eng.process_pulled(
+                    q, meta_q, entries, t,
+                    [&](const view_type& view) {
+                      ++wc.triangles;
+                      eng.plan_->fire_slices(view, wc.slices, wc.fired);
+                    },
+                    wc.candidates, wc.bitmap_batches, wc.list_batches);
+              });
+          return;
+        }
       }
+      eng.process_pulled(
+          q, meta_q, entries, t,
+          [&eng](const view_type& view) { eng.fire_callback(view); },
+          eng.local_candidates_, eng.local_bitmap_batches_, eng.local_list_batches_);
     }
   };
 
@@ -499,14 +1051,21 @@ class survey_engine {
   plan_type* plan_;
   comm::dist_handle<self> handle_;
 
-  std::unordered_map<graph::vertex_id, per_target> targets_;
+  targets_map targets_;
   std::unordered_map<graph::vertex_id, std::vector<int>> pull_grants_;
+
+  int threads_ = 1;
+  bool tasks_enabled_ = false;  ///< read/written on the owning thread only
+  std::atomic<int> senders_active_{0};
+  core::task_queue<task_fn> tasks_;
 
   std::uint64_t local_pulls_granted_ = 0;
   std::uint64_t local_push_batches_ = 0;
   std::uint64_t local_candidates_ = 0;
   std::uint64_t local_triangles_ = 0;
   std::uint64_t local_proposals_filtered_ = 0;
+  std::uint64_t local_bitmap_batches_ = 0;
+  std::uint64_t local_list_batches_ = 0;
   std::array<std::uint64_t, num_callbacks> local_invocations_{};
 };
 

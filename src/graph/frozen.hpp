@@ -50,11 +50,28 @@
 
 #include "comm/communicator.hpp"
 #include "comm/key_hash.hpp"
+#include "core/intersect.hpp"  // core::bitmap_view (dependency-free kernel header)
 #include "graph/dodgr.hpp"
 #include "graph/ordering.hpp"
 #include "graph/types.hpp"
 
 namespace tripoll::graph {
+
+/// Freeze-time knobs for the hub/tail bitmap split (docs/ARCHITECTURE.md,
+/// "Parallel traversal & intersection kernels").  A local vertex whose
+/// Adjm+ out-degree reaches `hub_degree_threshold` gets a dense bitmap row
+/// over its raw neighbour ids, provided the row stays within
+/// `hub_bitmap_max_bytes_per_edge` bytes per out-edge (a density guard: the
+/// default of 2 B/edge admits rows at >= 1/16 id-span density, so sparse
+/// ultra-wide spans keep the gallop path instead of bloating the arenas).
+/// Rows are only built when BOTH projected metadata types are empty --
+/// a bitmap answers membership, not which entry matched, so any survey that
+/// must read matched-entry metadata uses the list kernels regardless.
+struct freeze_options {
+  std::uint64_t hub_degree_threshold = 64;
+  std::uint64_t hub_bitmap_max_bytes_per_edge = 2;
+  bool build_hub_bitmaps = true;
+};
 
 /// One contiguous frozen column: either owned storage (freeze) or a view
 /// into a mapped snapshot whose lifetime is pinned by `keepalive`.
@@ -152,6 +169,11 @@ struct frozen_arenas {
   arena<std::uint64_t> target_out_degree;
   meta_column<EMeta> emeta;
   meta_column<VMeta> target_vmeta;
+  // hub bitmap columns (present iff any row was built: bm_offset has n+1
+  // word offsets into bm_words, bm_base has n base ids; all empty otherwise)
+  arena<std::uint64_t> bm_offset;
+  arena<std::uint64_t> bm_base;
+  arena<std::uint64_t> bm_words;
 };
 
 /// Rank-local storage footprint of a frozen graph (bitwise-reducible).
@@ -161,9 +183,11 @@ struct frozen_storage_stats {
   std::uint64_t vertex_bytes = 0;      ///< vid+degree+rank+offset+vmeta arenas
   std::uint64_t edge_bytes = 0;        ///< target+rank+outdeg+emeta+tvmeta arenas
   std::uint64_t index_bytes = 0;       ///< id -> slot hash index (estimate)
+  std::uint64_t bitmap_bytes = 0;      ///< hub bitmap rows + offset/base columns
+  std::uint64_t hub_vertices = 0;      ///< local vertices owning a bitmap row
 
   [[nodiscard]] std::uint64_t total_bytes() const noexcept {
-    return vertex_bytes + edge_bytes + index_bytes;
+    return vertex_bytes + edge_bytes + index_bytes + bitmap_bytes;
   }
   [[nodiscard]] double bytes_per_edge() const noexcept {
     return edges > 0 ? static_cast<double>(total_bytes()) / static_cast<double>(edges)
@@ -333,6 +357,29 @@ class frozen_dodgr {
     return record_at(slot);
   }
 
+  /// Vertex id stored at a CSR slot (for chunked slot-range walks).
+  [[nodiscard]] vertex_id vid_at(record_locator slot) const noexcept {
+    return ar_.vid[slot];
+  }
+
+  /// Dense hub bitmap row for a CSR slot, or an empty view when the vertex
+  /// has no row (tail vertex, budget-rejected span, bitmaps disabled at
+  /// freeze time, or a pre-bitmap v1 snapshot).  Row semantics: bit
+  /// (id - base) set iff `id` is in the vertex's Adjm+ target set.
+  [[nodiscard]] core::bitmap_view hub_bitmap(record_locator slot) const noexcept {
+    if (ar_.bm_offset.size() != ar_.vid.size() + 1) return {};
+    const std::uint64_t first = ar_.bm_offset[slot];
+    const std::uint64_t last = ar_.bm_offset[slot + 1];
+    if (first == last) return {};
+    return core::bitmap_view{ar_.bm_words.data() + first,
+                             static_cast<std::size_t>(last - first), ar_.bm_base[slot]};
+  }
+
+  /// True when at least one local vertex owns a bitmap row.
+  [[nodiscard]] bool has_hub_bitmaps() const noexcept {
+    return ar_.bm_words.size() > 0;
+  }
+
   /// for_all_local with the CSR slot supplied alongside: scans that cache
   /// locators (the survey dry run) get them for free from the loop index.
   template <typename Fn>
@@ -399,6 +446,12 @@ class frozen_dodgr {
     s.index_bytes =
         index_.bucket_count() * sizeof(void*) +
         index_.size() * (sizeof(std::pair<vertex_id, std::uint32_t>) + sizeof(void*));
+    s.bitmap_bytes = ar_.bm_offset.bytes() + ar_.bm_base.bytes() + ar_.bm_words.bytes();
+    if (ar_.bm_offset.size() == ar_.vid.size() + 1) {
+      for (std::size_t i = 0; i < ar_.vid.size(); ++i) {
+        if (ar_.bm_offset[i + 1] > ar_.bm_offset[i]) ++s.hub_vertices;
+      }
+    }
     return s;
   }
 
@@ -411,6 +464,8 @@ class frozen_dodgr {
     g.vertex_bytes = comm_->all_reduce_sum(local.vertex_bytes);
     g.edge_bytes = comm_->all_reduce_sum(local.edge_bytes);
     g.index_bytes = comm_->all_reduce_sum(local.index_bytes);
+    g.bitmap_bytes = comm_->all_reduce_sum(local.bitmap_bytes);
+    g.hub_vertices = comm_->all_reduce_sum(local.hub_vertices);
     return g;
   }
 
@@ -457,7 +512,8 @@ template <typename Col, typename T>
 /// pre-projected arenas).  Rank-local compaction; the mutable graph is left
 /// untouched and may be discarded afterwards.
 template <typename VMeta, typename EMeta, typename VProj, typename EProj>
-[[nodiscard]] auto freeze(dodgr<VMeta, EMeta>& g, VProj vproj, EProj eproj) {
+[[nodiscard]] auto freeze(dodgr<VMeta, EMeta>& g, VProj vproj, EProj eproj,
+                          const freeze_options& opts = {}) {
   using PV = std::remove_cvref_t<std::invoke_result_t<const VProj&, const VMeta&>>;
   using PE = std::remove_cvref_t<std::invoke_result_t<const EProj&, const EMeta&>>;
   using out_type = frozen_dodgr<PV, PE>;
@@ -510,6 +566,44 @@ template <typename VMeta, typename EMeta, typename VProj, typename EProj>
   }
   offset[n] = e;
 
+  // Hub bitmap rows (counting-shape freezes only: both projected metadata
+  // types empty, see freeze_options).  Built over raw target ids -- the
+  // adjacency is sorted by <+ order key, not id, so each row's base/span
+  // comes from a min/max scan of the slice.
+  std::vector<std::uint64_t> bm_offset, bm_base, bm_words;
+  if constexpr (std::is_empty_v<PV> && std::is_empty_v<PE>) {
+    if (opts.build_hub_bitmaps) {
+      bm_offset.assign(n + 1, 0);
+      bm_base.assign(n, 0);
+      for (std::size_t i = 0; i < n; ++i) {
+        bm_offset[i] = bm_words.size();
+        const std::uint64_t first = offset[i];
+        const std::uint64_t d = offset[i + 1] - first;
+        if (d == 0 || d < opts.hub_degree_threshold) continue;
+        std::uint64_t lo = target[first];
+        std::uint64_t hi = target[first];
+        for (std::uint64_t k = 1; k < d; ++k) {
+          lo = std::min(lo, target[first + k]);
+          hi = std::max(hi, target[first + k]);
+        }
+        const std::uint64_t words = ((hi - lo) >> 6) + 1;
+        if (words * 8 > opts.hub_bitmap_max_bytes_per_edge * d) continue;  // too sparse
+        bm_base[i] = lo;
+        const std::size_t row = bm_words.size();
+        bm_words.resize(row + words, 0);
+        for (std::uint64_t k = 0; k < d; ++k) {
+          const std::uint64_t off = target[first + k] - lo;
+          bm_words[row + (off >> 6)] |= std::uint64_t{1} << (off & 63U);
+        }
+      }
+      bm_offset[n] = bm_words.size();
+      if (bm_words.empty()) {  // no row survived: store nothing at all
+        bm_offset.clear();
+        bm_base.clear();
+      }
+    }
+  }
+
   arenas_type ar;
   ar.vid = arena<vertex_id>(std::move(vid));
   ar.degree = arena<std::uint64_t>(std::move(degree));
@@ -521,13 +615,17 @@ template <typename VMeta, typename EMeta, typename VProj, typename EProj>
   ar.target_out_degree = arena<std::uint64_t>(std::move(target_outdeg));
   ar.emeta = detail::make_meta_column<meta_column<PE>>(std::move(emeta), m);
   ar.target_vmeta = detail::make_meta_column<meta_column<PV>>(std::move(tvmeta), m);
+  ar.bm_offset = arena<std::uint64_t>(std::move(bm_offset));
+  ar.bm_base = arena<std::uint64_t>(std::move(bm_base));
+  ar.bm_words = arena<std::uint64_t>(std::move(bm_words));
   return out_type(g.comm(), std::move(ar), g.ordering());
 }
 
 /// Freeze with the metadata stored unchanged (identity projections).
 template <typename VMeta, typename EMeta>
-[[nodiscard]] frozen_dodgr<VMeta, EMeta> freeze(dodgr<VMeta, EMeta>& g) {
-  return freeze(g, detail::copy_meta{}, detail::copy_meta{});
+[[nodiscard]] frozen_dodgr<VMeta, EMeta> freeze(dodgr<VMeta, EMeta>& g,
+                                                const freeze_options& opts = {}) {
+  return freeze(g, detail::copy_meta{}, detail::copy_meta{}, opts);
 }
 
 /// Freeze through a survey plan's declared projections: the frozen graph
@@ -540,8 +638,8 @@ template <typename Plan>
     p.vertex_proj();
     p.edge_proj();
   }
-[[nodiscard]] auto freeze(const Plan& plan) {
-  return freeze(plan.graph(), plan.vertex_proj(), plan.edge_proj());
+[[nodiscard]] auto freeze(const Plan& plan, const freeze_options& opts = {}) {
+  return freeze(plan.graph(), plan.vertex_proj(), plan.edge_proj(), opts);
 }
 
 }  // namespace tripoll::graph

@@ -21,13 +21,33 @@
 // Peeling proceeds in globally synchronized *waves*.  At level k, every
 // still-alive vertex whose remaining degree is <= k is removed in the current
 // wave and notifies each neighbor once; a barrier lands all notifications
-// before the next wave's scan.  Because the scan itself performs no
-// communication (so no decrement can arrive mid-scan), wave membership is a
-// pure function of the graph -- identical across ranks, rank counts and
-// message timing.  A vertex removed in wave w has at most k not-yet-removed
-// neighbors, and every neighbor ordered after it (same wave or later) is
-// not-yet-removed, so out-degrees under the (wave, hash, id) order are
-// bounded by the degeneracy.
+// before the next wave's scan.
+//
+// Determinism guarantee (relied on by frozen snapshots and cross-backend
+// result identity): a vertex's wave index -- and therefore its full order
+// key (wave, splitmix64(id), id), whose hash/id components depend on nothing
+// but the id -- is a pure structural function of the edge set, identical
+// across rank counts, transport backends and message timing.  Two mechanisms
+// enforce this:
+//
+//   * The scan performs no communication, so no decrement can land mid-scan:
+//     wave membership is decided against a fixed snapshot of `remaining`.
+//   * Decrement notifications NEVER touch `remaining` directly.  They park
+//     in `peel_state::pending` and are folded into `remaining` at exactly
+//     one point per wave, immediately after the wave's barrier.  Without the
+//     fold there is a barrier-exit race: the collectives that follow the
+//     barrier stagger rank exits, so a fast rank's wave-w+1 decrements could
+//     reach a slow rank either before or after its wave-w+1 scan, making
+//     membership timing-dependent.  With it, `remaining` at the wave-w scan
+//     equals (initial degree - all decrements from waves < w) exactly: the
+//     barrier guarantees every wave-(w-1) decrement has arrived by the fold,
+//     and no wave-w decrement can be sent until its sender passes the
+//     collective the folding rank participates in.
+//
+// A vertex removed in wave w has at most k not-yet-removed neighbors, and
+// every neighbor ordered after it (same wave or later) is not-yet-removed,
+// so out-degrees under the (wave, hash, id) order are bounded by the
+// degeneracy.
 #pragma once
 
 #include <algorithm>
@@ -68,7 +88,8 @@ enum class ordering_policy : std::uint8_t {
 /// Per-vertex peeling scratch; embed as `peel_state peel;` in the record type
 /// handed to `degeneracy_peel`.
 struct peel_state {
-  std::uint64_t remaining = 0;  ///< neighbors not yet removed
+  std::uint64_t remaining = 0;  ///< neighbors not yet removed (fold-updated)
+  std::uint64_t pending = 0;    ///< decrements parked until the per-wave fold
   std::uint64_t rank = 0;       ///< peel-wave index assigned at removal
   bool removed = false;
 };
@@ -82,11 +103,13 @@ struct degeneracy_stats {
 
 namespace ordering_detail {
 
-/// Runs on the owner of a neighbor of a just-removed vertex.
+/// Runs on the owner of a neighbor of a just-removed vertex.  Deliberately
+/// touches only `pending`: arrival timing must not influence the `remaining`
+/// value the scans read (see the determinism note at the top of this file).
 struct peel_decrement_visitor {
   template <typename Record>
   void operator()(const vertex_id& /*v*/, Record& rec) const {
-    if (!rec.peel.removed && rec.peel.remaining > 0) --rec.peel.remaining;
+    if (!rec.peel.removed) ++rec.peel.pending;
   }
 };
 
@@ -106,7 +129,7 @@ degeneracy_stats degeneracy_peel(comm::communicator& c,
   records.for_all_local([&](const vertex_id& v, Record& rec) {
     std::uint64_t degree = 0;
     for_neighbors(rec, [&](vertex_id) { ++degree; });
-    rec.peel = peel_state{degree, 0, false};
+    rec.peel = peel_state{degree, 0, 0, false};
     alive.push_back(v);
   });
 
@@ -128,9 +151,10 @@ degeneracy_stats degeneracy_peel(comm::communicator& c,
 
     // Waves at this level until quiescent.
     while (true) {
-      // Mark: no communication happens in this scan, so no decrement can
-      // land mid-scan -- a vertex joins this wave iff its remaining degree
-      // after the previous wave's barrier is <= level.
+      // Mark: no communication happens in this scan, so nothing can move
+      // `remaining` mid-scan (early decrement arrivals only park in
+      // `pending`) -- a vertex joins this wave iff its remaining degree
+      // after the previous wave's fold is <= level.
       std::vector<vertex_id> removed_now;
       std::size_t kept = 0;
       for (const vertex_id v : alive) {
@@ -150,7 +174,16 @@ degeneracy_stats degeneracy_peel(comm::communicator& c,
           records.async_visit_if_exists(u, ordering_detail::peel_decrement_visitor{});
         });
       }
-      c.barrier();  // all of this wave's decrements land before the next scan
+      c.barrier();  // all of this wave's decrements have been parked by now
+      // Fold point: the single place `remaining` moves.  No wave-(w+1)
+      // decrement can exist yet (its sender is gated behind the all_reduce
+      // below, which this rank has not entered), so the fold captures
+      // exactly the decrements of waves <= w -- structurally determined.
+      for (const vertex_id v : alive) {
+        peel_state& st = records.local_find(v)->peel;
+        st.remaining -= std::min(st.remaining, st.pending);
+        st.pending = 0;
+      }
       const auto global_removed = c.all_reduce_sum<std::uint64_t>(removed_now.size());
       if (global_removed == 0) break;
       ++wave;

@@ -11,10 +11,16 @@
 // File layout (little-endian, 64-byte-aligned sections):
 //
 //   [128-byte header]  magic, version, nranks, rank, ordering, n, m,
-//                      vmeta/emeta element sizes, alignment, file size
+//                      vmeta/emeta element sizes, file size, bitmap words
 //   [vertex columns]   vid[n] degree[n] order_rank[n] offset[n+1] vmeta[n]
 //   [edge columns]     target[m] target_rank[m] target_out_degree[m]
 //                      emeta[m] target_vmeta[m]
+//   [bitmap columns]   bm_offset[n+1] bm_base[n] bm_words[W]   (v2, iff W > 0)
+//
+// Version 2 appends the optional hub-bitmap sections (graph/frozen.hpp's
+// freeze_options) so reloads keep the bitmap intersection kernels without
+// rebuilding rows; version-1 files still load, with empty bitmap arenas
+// (the survey falls back to the list kernels).
 //
 // Empty metadata (graph::none, dropped projections) occupies zero bytes on
 // disk, mirroring its zero-byte arena.  Only bitwise-serializable metadata
@@ -49,7 +55,8 @@ namespace tripoll::graph {
 namespace snapshot_detail {
 
 inline constexpr std::uint64_t kMagic = 0x54504C4C534E4150ull;  // "TPLLSNAP"
-inline constexpr std::uint64_t kVersion = 1;
+inline constexpr std::uint64_t kVersion = 2;       // writes v2; loads v1 and v2
+inline constexpr std::uint64_t kMinVersion = 1;
 inline constexpr std::size_t kAlign = 64;
 inline constexpr std::size_t kHeaderBytes = 128;  // 16 u64 words
 
@@ -67,6 +74,7 @@ template <typename T>
 }
 
 struct header {
+  std::uint64_t version = kVersion;
   std::uint64_t nranks = 0;
   std::uint64_t rank = 0;
   std::uint64_t ordering = 0;
@@ -75,12 +83,14 @@ struct header {
   std::uint64_t vmeta_size = 0;
   std::uint64_t emeta_size = 0;
   std::uint64_t file_size = 0;
+  std::uint64_t bm_words = 0;  ///< total hub-bitmap words W (0: no bitmap sections)
 
   void encode(std::byte out[kHeaderBytes]) const noexcept {
     std::memset(out, 0, kHeaderBytes);
-    const std::uint64_t words[10] = {kMagic, kVersion, nranks,    rank,       ordering,
-                                     n,      m,        vmeta_size, emeta_size, file_size};
-    for (std::size_t i = 0; i < 10; ++i) serial::store_u64_le(out + 8 * i, words[i]);
+    const std::uint64_t words[11] = {kMagic,     kVersion,   nranks,    rank,
+                                     ordering,   n,          m,         vmeta_size,
+                                     emeta_size, file_size,  bm_words};
+    for (std::size_t i = 0; i < 11; ++i) serial::store_u64_le(out + 8 * i, words[i]);
   }
 
   [[nodiscard]] static header decode(const std::byte in[kHeaderBytes],
@@ -88,12 +98,14 @@ struct header {
     if (serial::load_u64_le(in) != kMagic) {
       throw std::runtime_error("load_snapshot: '" + path + "' is not a TriPoll snapshot");
     }
-    if (serial::load_u64_le(in + 8) != kVersion) {
+    const std::uint64_t version = serial::load_u64_le(in + 8);
+    if (version < kMinVersion || version > kVersion) {
       throw std::runtime_error("load_snapshot: '" + path +
                                "' has unsupported snapshot version " +
-                               std::to_string(serial::load_u64_le(in + 8)));
+                               std::to_string(version));
     }
     header h;
+    h.version = version;
     h.nranks = serial::load_u64_le(in + 16);
     h.rank = serial::load_u64_le(in + 24);
     h.ordering = serial::load_u64_le(in + 32);
@@ -102,15 +114,33 @@ struct header {
     h.vmeta_size = serial::load_u64_le(in + 56);
     h.emeta_size = serial::load_u64_le(in + 64);
     h.file_size = serial::load_u64_le(in + 72);
+    h.bm_words = version >= 2 ? serial::load_u64_le(in + 80) : 0;
     return h;
   }
 };
 
-/// Section sizes, in file order, for a (n, m, vmeta_size, emeta_size) shape.
-[[nodiscard]] inline std::array<std::uint64_t, 10> section_bytes(const header& h) {
+/// Section sizes, in file order.  Version 2 appends three bitmap sections
+/// (zero-sized when W == 0); version-1 files have exactly the first 10 --
+/// `num_sections(h)` bounds every walk, because even a zero-sized trailing
+/// section affects the file size through its alignment padding.
+[[nodiscard]] inline std::array<std::uint64_t, 13> section_bytes(const header& h) {
+  const std::uint64_t bm_off = h.bm_words > 0 ? (h.n + 1) * 8 : 0;
+  const std::uint64_t bm_base = h.bm_words > 0 ? h.n * 8 : 0;
   return {h.n * 8,          h.n * 8, h.n * 8, (h.n + 1) * 8, h.n * h.vmeta_size,
           h.m * 8,          h.m * 8, h.m * 8, h.m * h.emeta_size,
-          h.m * h.vmeta_size};
+          h.m * h.vmeta_size, bm_off, bm_base, h.bm_words * 8};
+}
+
+[[nodiscard]] inline std::size_t num_sections(const header& h) noexcept {
+  return h.version >= 2 ? 13 : 10;
+}
+
+/// Header + aligned sections for a fully-populated header (version-aware).
+[[nodiscard]] inline std::uint64_t file_bytes_for(const header& h) {
+  std::uint64_t size = kHeaderBytes;
+  const auto sizes = section_bytes(h);
+  for (std::size_t i = 0; i < num_sections(h); ++i) size = align_up(size) + sizes[i];
+  return size;
 }
 
 class file_writer {
@@ -161,19 +191,20 @@ class file_writer {
 
 }  // namespace snapshot_detail
 
-/// Total file size a rank's snapshot will occupy (header + aligned sections).
+/// Total file size a rank's snapshot will occupy (header + aligned
+/// sections).  `bm_words` is the hub-bitmap word count (0 for none / v1).
 [[nodiscard]] inline std::uint64_t snapshot_file_bytes(std::uint64_t n, std::uint64_t m,
                                                        std::uint64_t vmeta_size,
-                                                       std::uint64_t emeta_size) {
+                                                       std::uint64_t emeta_size,
+                                                       std::uint64_t bm_words = 0) {
   namespace sd = snapshot_detail;
   sd::header h;
   h.n = n;
   h.m = m;
   h.vmeta_size = vmeta_size;
   h.emeta_size = emeta_size;
-  std::uint64_t size = sd::kHeaderBytes;
-  for (const auto bytes : sd::section_bytes(h)) size = sd::align_up(size) + bytes;
-  return size;
+  h.bm_words = bm_words;
+  return sd::file_bytes_for(h);
 }
 
 /// Collective: write every rank's frozen arenas under `prefix` (one file per
@@ -196,7 +227,8 @@ std::uint64_t save_snapshot(frozen_dodgr<VMeta, EMeta>& g, const std::string& pr
   h.m = ar.target.size();
   h.vmeta_size = sd::element_size<VMeta>();
   h.emeta_size = sd::element_size<EMeta>();
-  h.file_size = snapshot_file_bytes(h.n, h.m, h.vmeta_size, h.emeta_size);
+  h.bm_words = ar.bm_words.size();
+  h.file_size = snapshot_file_bytes(h.n, h.m, h.vmeta_size, h.emeta_size, h.bm_words);
 
   sd::file_writer out(snapshot_rank_path(prefix, c.rank()));
   std::byte hdr[sd::kHeaderBytes];
@@ -217,6 +249,11 @@ std::uint64_t save_snapshot(frozen_dodgr<VMeta, EMeta>& g, const std::string& pr
   write_section(ar.target_out_degree.data(), ar.target_out_degree.bytes());
   write_section(ar.emeta.data(), ar.emeta.bytes());
   write_section(ar.target_vmeta.data(), ar.target_vmeta.bytes());
+  // v2 bitmap sections are always present in the walk; with no bitmap rows
+  // they are zero-sized and contribute only their alignment padding.
+  write_section(ar.bm_offset.data(), ar.bm_offset.bytes());
+  write_section(ar.bm_base.data(), ar.bm_base.bytes());
+  write_section(ar.bm_words.data(), ar.bm_words.bytes());
   if (out.offset() != h.file_size) {
     throw std::runtime_error("save_snapshot: internal size mismatch (wrote " +
                              std::to_string(out.offset()) + ", expected " +
@@ -262,16 +299,15 @@ template <typename VMeta, typename EMeta>
         std::to_string(sd::element_size<VMeta>()) + "/" +
         std::to_string(sd::element_size<EMeta>()) + " bytes)");
   }
-  if (h.file_size != file->size() ||
-      h.file_size != snapshot_file_bytes(h.n, h.m, h.vmeta_size, h.emeta_size)) {
+  if (h.file_size != file->size() || h.file_size != sd::file_bytes_for(h)) {
     throw std::runtime_error("load_snapshot: '" + path + "' is truncated or corrupt");
   }
 
   // Walk the aligned sections, handing out views pinned by the mapping.
   std::size_t offset = sd::kHeaderBytes;
   const auto sizes = sd::section_bytes(h);
-  std::array<const std::byte*, 10> base{};
-  for (std::size_t i = 0; i < sizes.size(); ++i) {
+  std::array<const std::byte*, 13> base{};
+  for (std::size_t i = 0; i < sd::num_sections(h); ++i) {
     offset = sd::align_up(offset);
     base[i] = file->data() + offset;
     offset += sizes[i];
@@ -306,6 +342,11 @@ template <typename VMeta, typename EMeta>
     ar.emeta = meta_column<EMeta>(h.m);
   } else {
     ar.emeta = meta_column<EMeta>(reinterpret_cast<const EMeta*>(base[8]), h.m, keep);
+  }
+  if (h.bm_words > 0) {  // v1 files and bitmap-free v2 files: arenas stay empty
+    ar.bm_offset = u64_view(10, h.n + 1);
+    ar.bm_base = u64_view(11, h.n);
+    ar.bm_words = u64_view(12, h.bm_words);
   }
   return frozen_dodgr<VMeta, EMeta>(c, std::move(ar),
                                     static_cast<ordering_policy>(h.ordering));

@@ -110,6 +110,29 @@ if [ -z "$snap_count" ] || [ "$snap_count" != "$ordering_inproc" ]; then
   fail=1
 fi
 
+echo "== parallel traversal: --threads sweep over the frozen snapshot =="
+# The loaded graph is frozen CSR storage, so --threads engages the parallel
+# engine; every printed metric (triangles, volume, messages, pulls,
+# candidates) must be bit-identical at every thread count on both backends.
+for t in 2 4 8; do
+  "$CLI" snapshot load "$work/snap" "$RANKS" --threads "$t" \
+    >"$work/inproc.snapload.t$t" || fail=1
+  if diff -u "$work/inproc.snapload" "$work/inproc.snapload.t$t"; then
+    echo "threads $t (inproc): IDENTICAL"
+  else
+    echo "threads $t (inproc): MISMATCH vs single-threaded run" >&2
+    fail=1
+  fi
+done
+run_socket_external snapshot load "$work/snap" "$RANKS" --threads 4 \
+  >"$work/socket.snapload.t4" || fail=1
+if diff -u "$work/inproc.snapload" "$work/socket.snapload.t4"; then
+  echo "threads 4 (socket): IDENTICAL"
+else
+  echo "threads 4 (socket): MISMATCH vs inproc single-threaded run" >&2
+  fail=1
+fi
+
 if [ "$fail" -ne 0 ]; then
   echo "socket_smoke: FAILED" >&2
   exit 1

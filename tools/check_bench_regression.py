@@ -44,11 +44,25 @@ Storage gates (PR 5): --storage-gates points at the JSON emitted by
 Like the plan gates these are ratios within one run, needing no committed
 baseline; BENCH_pr5.json records the trajectory for humans.
 
+Parallel gates (PR 6): --parallel-gates points at the JSON emitted by
+`bench_parallel_traversal --json` and asserts, from that run's
+`pr6_parallel_cases`:
+  * identical triangles / volume_bytes / messages / kernel mix across every
+    thread count of every case (bit-identity is unconditional),
+  * rmat speedup at 4 threads >= --parallel-speedup-min (1.6), skipped when
+    the recording machine had fewer than 4 hardware threads,
+  * the skewed (web) case closed at least one batch via the hub bitmap
+    kernel (the freeze-time rows exist and the dispatch reaches them).
+Like the other gates these are checks within one run, needing no committed
+baseline; BENCH_pr6.json records the trajectory for humans.
+
 Usage:
   tools/check_bench_regression.py --current bench-results [--baseline-dir .]
                                   [--threshold 3.0] [--plan-gates fig9.json]
                                   [--storage-gates storage.json]
-At least one of --current / --plan-gates / --storage-gates is required.
+                                  [--parallel-gates parallel.json]
+At least one of --current / --plan-gates / --storage-gates /
+--parallel-gates is required.
 Exit status: 0 ok, 1 regression found, 2 usage/IO error.
 """
 
@@ -216,6 +230,53 @@ def check_storage_gates(path, traversal_max, traversal_geomean, bpe_max, bpe_rat
     return failures
 
 
+def check_parallel_gates(path, speedup_min):
+    """Verify the parallel-traversal acceptance ratios in a
+    bench_parallel_traversal --json artifact.  Returns a list of failure
+    strings (empty = pass)."""
+    with open(path) as f:
+        doc = json.load(f)
+    cases = doc.get("pr6_parallel_cases")
+    if not isinstance(cases, dict) or not cases:
+        return [f"{path}: no pr6_parallel_cases object"]
+    hw_threads = doc.get("params", {}).get("hw_threads", 0)
+
+    failures = []
+    for name, case in sorted(cases.items()):
+        samples = case.get("threads", [])
+        if not samples:
+            failures.append(f"{name}: no thread samples")
+            continue
+        base = samples[0]
+        for s in samples[1:]:
+            for key in ("triangles", "volume_bytes", "messages",
+                        "bitmap_batches", "list_batches"):
+                if s.get(key) != base.get(key):
+                    failures.append(
+                        f"{name}: {key} diverged at {s.get('threads')} threads "
+                        f"({s.get(key)} vs {base.get(key)})")
+        if case.get("nobitmap_triangles") != base.get("triangles"):
+            failures.append(f"{name}: bitmap on/off changed the triangle count "
+                            f"({case.get('nobitmap_triangles')} vs "
+                            f"{base.get('triangles')})")
+        speedup = case.get("speedup_4t", 0.0)
+        print(f"parallel gate: {name}: speedup at 4 threads {speedup:.2f}x "
+              f"(needs >= {speedup_min:.2f}x on rmat; hw_threads={hw_threads})")
+        if name == "rmat":
+            if hw_threads >= 4:
+                if speedup < speedup_min:
+                    failures.append(f"rmat: 4-thread speedup {speedup:.2f}x "
+                                    f"(< {speedup_min:.2f}x)")
+            else:
+                print("parallel gate: fewer than 4 hardware threads, "
+                      "speedup gate skipped")
+        if name == "web":
+            if base.get("bitmap_batches", 0) <= 0:
+                failures.append("web: skewed case closed zero batches via the "
+                                "hub bitmap kernel")
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--current",
@@ -242,10 +303,18 @@ def main():
                         help="maximum frozen bytes per directed edge")
     parser.add_argument("--storage-bpe-ratio", type=float, default=0.75,
                         help="maximum frozen/map bytes-per-edge ratio")
+    parser.add_argument("--parallel-gates",
+                        help="bench_parallel_traversal --json artifact to check "
+                             "the parallel-traversal acceptance gates against")
+    parser.add_argument("--parallel-speedup-min", type=float, default=1.6,
+                        help="minimum rmat speedup at 4 threads (skipped on "
+                             "machines with < 4 hardware threads)")
     args = parser.parse_args()
 
-    if not args.current and not args.plan_gates and not args.storage_gates:
-        parser.error("need --current, --plan-gates and/or --storage-gates")
+    if (not args.current and not args.plan_gates and not args.storage_gates
+            and not args.parallel_gates):
+        parser.error("need --current, --plan-gates, --storage-gates and/or "
+                     "--parallel-gates")
 
     # All requested checks always run so one CI pass reports every failure
     # class; the combined exit status is the worst of them.
@@ -279,6 +348,20 @@ def main():
                 print(f"  {f}")
         else:
             print("OK: frozen-storage gates pass")
+        gate_failures += failures
+    if args.parallel_gates:
+        try:
+            failures = check_parallel_gates(args.parallel_gates,
+                                            args.parallel_speedup_min)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"error: {e}")
+            return 2
+        if failures:
+            print("\nFAIL: parallel-traversal gate(s) violated:")
+            for f in failures:
+                print(f"  {f}")
+        else:
+            print("OK: parallel-traversal gates pass")
         gate_failures += failures
     if not args.current:
         return 1 if gate_failures else 0

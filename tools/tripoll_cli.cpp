@@ -36,6 +36,8 @@
 // Options:
 //   --ordering {degree,degeneracy}   DODGr <+ vertex order (graph-building cmds)
 //   --backend {inproc,socket}        transport backend (default inproc)
+//   --threads {n}                    worker threads per rank for frozen-graph
+//                                    surveys (default TRIPOLL_THREADS env or 1)
 //
 // Backend selection: `--backend socket` runs every rank as a separate OS
 // process.  Without TRIPOLL_RANK set, the CLI forks <ranks> local processes
@@ -98,13 +100,17 @@ int usage() {
                "  --ordering <degree|degeneracy>  DODGr <+ vertex order (default degree)\n"
                "  --backend <inproc|socket>       transport backend (default inproc;\n"
                "                                  socket forks one process per rank, or\n"
-               "                                  joins a TRIPOLL_RANK rendezvous)\n");
+               "                                  joins a TRIPOLL_RANK rendezvous)\n"
+               "  --threads <n>                   worker threads per rank for frozen-graph\n"
+               "                                  surveys (default: TRIPOLL_THREADS env or 1;\n"
+               "                                  results are identical at any count)\n");
   return 2;
 }
 
 /// Flags stripped from argv before positional parsing.
 graph::ordering_policy g_ordering = graph::ordering_policy::degree;
 comm::backend_kind g_backend = comm::backend_kind::inproc;
+int g_threads = 0;  ///< 0 = TRIPOLL_THREADS env, else 1 (docs/THREADING.md)
 
 /// Strip `--flag <x>` / `--flag=<x>` style options from argv; returns false
 /// (and prints usage) on an unknown value or missing argument.
@@ -114,7 +120,7 @@ bool strip_flags(int& argc, char** argv) {
     std::string arg = argv[i];
     std::string name;
     std::string value;
-    for (const char* flag : {"--ordering", "--backend"}) {
+    for (const char* flag : {"--ordering", "--backend", "--threads"}) {
       const std::string prefix = std::string(flag) + "=";
       if (arg == flag) {
         if (i + 1 >= argc) return false;
@@ -148,6 +154,13 @@ bool strip_flags(int& argc, char** argv) {
         std::fprintf(stderr, "unknown backend '%s' (inproc|socket)\n", value.c_str());
         return false;
       }
+    } else if (name == "--threads") {
+      const int n = std::atoi(value.c_str());
+      if (n < 1) {
+        std::fprintf(stderr, "bad thread count '%s' (want >= 1)\n", value.c_str());
+        return false;
+      }
+      g_threads = n;
     }
   }
   argc = out;
@@ -440,7 +453,9 @@ int cmd_frozen(int argc, char** argv) {
     comm::counting_set<cb::closure_bin> fz_bins(c);
     cb::closure_time_context fz_ctx{&fz_bins};
     const auto fz_res =
-        cb::plan_for(fz, cb::closure_time_callback{}, fz_ctx).run({}).slice(0);
+        cb::plan_for(fz, cb::closure_time_callback{}, fz_ctx)
+            .run({tripoll::survey_mode::push_pull, g_threads})
+            .slice(0);
     fz_bins.finalize();
 
     // Projection push-down: the arenas store only the survey's projection
@@ -448,8 +463,10 @@ int cmd_frozen(int argc, char** argv) {
     auto pd = graph::freeze(g, tripoll::drop_projection{}, cb::timestamp_projection{});
     comm::counting_set<cb::closure_bin> pd_bins(c);
     cb::closure_time_context pd_ctx{&pd_bins};
-    const auto pd_res =
-        tripoll::survey(pd).add(cb::closure_time_callback{}, pd_ctx).run({}).slice(0);
+    const auto pd_res = tripoll::survey(pd)
+                            .add(cb::closure_time_callback{}, pd_ctx)
+                            .run({tripoll::survey_mode::push_pull, g_threads})
+                            .slice(0);
     pd_bins.finalize();
 
     const auto digest = [](const std::map<cb::closure_bin, std::uint64_t>& h) {
@@ -532,7 +549,8 @@ int cmd_snapshot(int argc, char** argv) {
       auto g = graph::load_snapshot<graph::none, graph::none>(c, prefix);
       const auto census = g.census();
       cb::count_context ctx;
-      const auto r = cb::plan_for(g, cb::count_callback{}, ctx).run({mode}).slice(0);
+      const auto r =
+          cb::plan_for(g, cb::count_callback{}, ctx).run({mode, g_threads}).slice(0);
       const auto triangles = ctx.global_count(c);
       if (c.rank0()) {
         std::printf("snapshot loaded %s ranks %d ordering %s mode %s\n", prefix.c_str(),
@@ -590,7 +608,8 @@ int main(int argc, char** argv) {
       return with_plain_graph_from_file(path, ranks,
                                         [mode](comm::communicator& c, auto& g) {
         cb::count_context ctx;
-        const auto r = cb::plan_for(g, cb::count_callback{}, ctx).run({mode}).slice(0);
+        const auto r =
+            cb::plan_for(g, cb::count_callback{}, ctx).run({mode, g_threads}).slice(0);
         const auto n = ctx.global_count(c);
         if (c.rank0()) {
           std::printf("triangles %llu  time %.3fs  volume %.2f MB  pulls %llu\n",
