@@ -31,6 +31,7 @@
 #include "comm/runtime.hpp"
 #include "core/callbacks.hpp"
 #include "core/survey.hpp"
+#include "serial/wire_guard.hpp"
 #include "gen/distribute.hpp"
 #include "gen/presets.hpp"
 #include "gen/rmat.hpp"
@@ -114,6 +115,7 @@ struct rich_vertex_meta {
   char name[48] = {};
 };
 static_assert(sizeof(rich_vertex_meta) == 64);
+TRIPOLL_WIRE_ASSERT(rich_vertex_meta, degree, join_time, name);
 
 /// 64-byte edge interaction record; the closure analysis reads only the
 /// 8-byte timestamp.
@@ -123,6 +125,7 @@ struct rich_edge_meta {
   char tag[48] = {};
 };
 static_assert(sizeof(rich_edge_meta) == 64);
+TRIPOLL_WIRE_ASSERT(rich_edge_meta, timestamp, weight, tag);
 
 using rich_graph = graph::dodgr<rich_vertex_meta, rich_edge_meta>;
 

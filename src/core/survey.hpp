@@ -52,6 +52,7 @@
 #include <cassert>
 #include <chrono>
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <string>
@@ -67,6 +68,7 @@
 #include "core/plan.hpp"
 #include "graph/dodgr.hpp"
 #include "graph/types.hpp"
+#include "serial/wire_guard.hpp"
 
 namespace tripoll {
 
@@ -95,6 +97,28 @@ struct wedge_candidate {
   std::uint64_t r_rank = 0;  ///< r's <+ ordering rank (degree or peel rank)
   [[no_unique_address]] EdgeMeta meta_pr{};
 
+  /// Construct with deterministic padding.  A narrow EdgeMeta (say a
+  /// uint32_t behind the two u64s) leaves alignment padding inside the
+  /// struct, and the bitwise serialize path memcpys sizeof(*this) -- so
+  /// padding bytes ship.  Zero the object representation first so they
+  /// ship as zeros, keeping payloads bit-identical run to run
+  /// (tripoll-wire-padding; see docs/STATIC_ANALYSIS.md).
+  [[nodiscard]] static wedge_candidate make(graph::vertex_id r, std::uint64_t r_rank,
+                                            const EdgeMeta& meta_pr) {
+    wedge_candidate c;
+    if constexpr (serial::detail::bitwise<wedge_candidate>) {
+      if constexpr (sizeof(wedge_candidate) >
+                    serial::packed_size_of<&wedge_candidate::r, &wedge_candidate::r_rank,
+                                           &wedge_candidate::meta_pr>) {
+        std::memset(static_cast<void*>(&c), 0, sizeof(c));
+      }
+    }
+    c.r = r;
+    c.r_rank = r_rank;
+    c.meta_pr = meta_pr;
+    return c;
+  }
+
   [[nodiscard]] graph::order_key key() const noexcept {
     return graph::make_order_key(r, r_rank);
   }
@@ -117,6 +141,23 @@ struct pulled_entry {
   graph::vertex_id r = 0;
   std::uint64_t r_rank = 0;  ///< r's <+ ordering rank (degree or peel rank)
   [[no_unique_address]] EdgeMeta meta_qr{};
+
+  /// Deterministic-padding constructor; see wedge_candidate::make.
+  [[nodiscard]] static pulled_entry make(graph::vertex_id r, std::uint64_t r_rank,
+                                         const EdgeMeta& meta_qr) {
+    pulled_entry e;
+    if constexpr (serial::detail::bitwise<pulled_entry>) {
+      if constexpr (sizeof(pulled_entry) >
+                    serial::packed_size_of<&pulled_entry::r, &pulled_entry::r_rank,
+                                           &pulled_entry::meta_qr>) {
+        std::memset(static_cast<void*>(&e), 0, sizeof(e));
+      }
+    }
+    e.r = r;
+    e.r_rank = r_rank;
+    e.meta_qr = meta_qr;
+    return e;
+  }
 
   [[nodiscard]] graph::order_key key() const noexcept {
     return graph::make_order_key(r, r_rank);
@@ -440,7 +481,7 @@ class survey_engine {
     for (std::size_t j = i + 1; j < rec.adj.size(); ++j) {
       const entry_type& e = rec.adj[j];
       candidates.push_back(
-          candidate_type{e.target, e.target_rank, em_wire(e.edge_meta, owned)});
+          candidate_type::make(e.target, e.target_rank, em_wire(e.edge_meta, owned)));
     }
     cand_ctr += candidates.size();
     ++batch_ctr;
@@ -1005,7 +1046,8 @@ class survey_engine {
     std::vector<pe_type> owned;
     if constexpr (edge_scratch_needed) owned.reserve(rec_q->adj.size());
     for (const entry_type& e : rec_q->adj) {
-      entries.push_back(pulled_type{e.target, e.target_rank, em_wire(e.edge_meta, owned)});
+      entries.push_back(
+          pulled_type::make(e.target, e.target_rank, em_wire(e.edge_meta, owned)));
     }
     decltype(auto) meta_q = pv(rec_q->meta);
     for (const int dest : ranks) {

@@ -14,6 +14,7 @@
 #include <tuple>
 
 #include "serial/hash.hpp"
+#include "serial/wire_guard.hpp"
 
 namespace tripoll::graph {
 
@@ -26,6 +27,7 @@ struct edge {
 
   friend bool operator==(const edge&, const edge&) = default;
 };
+TRIPOLL_WIRE_ASSERT(edge, u, v);
 
 /// The `<+` comparison key of a vertex: ordering rank first (degree or peel
 /// rank, depending on the builder's policy), deterministic hash to break
@@ -44,6 +46,7 @@ struct order_key {
     return std::tie(a.rank, a.hash, a.id) == std::tie(b.rank, b.hash, b.id);
   }
 };
+TRIPOLL_WIRE_ASSERT(order_key, rank, hash, id);
 
 /// Build the `<+` key for vertex `v` of ordering rank `rank`.
 [[nodiscard]] constexpr order_key make_order_key(vertex_id v, std::uint64_t rank) noexcept {

@@ -251,6 +251,8 @@ class buffer_pool {
 /// little-endian body length, 1-byte frame type, 3 reserved bytes.  The
 /// fixed 8-byte size keeps the header a single read/write and leaves the
 /// body 8-byte aligned when the header lands on an aligned boundary.
+/// The header is encoded byte-by-byte below (never memcpy'd), so its
+/// in-memory padding is irrelevant.  // tripoll-lint: not-wire
 struct frame_header {
   static constexpr std::size_t kWireSize = 8;
 

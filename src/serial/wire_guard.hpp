@@ -1,0 +1,88 @@
+// wire_guard.hpp -- compile-time layout guards for bitwise wire structs.
+//
+// Any trivially copyable type without a `tripoll_force_member_serialize`
+// opt-out reaches serialize.hpp's bitwise path and ships as a raw
+// `memcpy(&v, sizeof(T))`.  If sizeof(T) exceeds the sum of the member
+// sizes, the difference is compiler-inserted padding: indeterminate bytes
+// that leak onto the wire (and into snapshot files), breaking the
+// bit-identical-payload guarantee and, in the worst case, leaking stack
+// contents across rank boundaries.
+//
+// `TRIPOLL_WIRE_ASSERT(T, members...)` pins a struct's wire layout at
+// compile time: it fails the plain build (no lint tool required) when T
+// gains padding or stops being trivially copyable.  Place one next to every
+// concrete bitwise wire struct; `tools/tripoll-lint`'s `tripoll-wire-padding`
+// check enforces the same rule over the whole tree (including structs nobody
+// remembered to guard) and treats a TRIPOLL_WIRE_ASSERT registration as the
+// authoritative member list.  See docs/STATIC_ANALYSIS.md.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+
+namespace tripoll::serial {
+
+namespace detail {
+
+template <typename M>
+struct member_object_size;
+
+/// Size contribution of one member, named by pointer-to-member.  Empty
+/// members mirror [[no_unique_address]]: they occupy zero wire bytes (the
+/// bitwise writer memcpys sizeof(T), and an empty [[no_unique_address]]
+/// member adds nothing to sizeof(T)).
+template <typename C, typename M>
+struct member_object_size<M C::*> {
+  static constexpr std::size_t value = std::is_empty_v<M> ? 0 : sizeof(M);
+};
+
+}  // namespace detail
+
+/// Sum of the sizes of the members named by pointer-to-member, i.e. the
+/// padding-free ("packed") size of the struct's wire image.
+template <auto... Members>
+inline constexpr std::size_t packed_size_of =
+    (std::size_t{0} + ... + detail::member_object_size<decltype(Members)>::value);
+
+/// True when T either stays off the bitwise path (not trivially copyable,
+/// so it serializes member-by-member) or carries no padding.  Useful as a
+/// dependent guard inside templates whose members may or may not be bitwise.
+template <typename T, auto... Members>
+inline constexpr bool wire_layout_packed =
+    !std::is_trivially_copyable_v<T> || sizeof(T) == packed_size_of<Members...>;
+
+}  // namespace tripoll::serial
+
+// Map `m1, m2, ...` to `&T::m1, &T::m2, ...` (up to 12 members; add arms as
+// needed).  The indirection through TRIPOLL_WIRE_M_N_ forces the argument
+// count to expand before token pasting.
+#define TRIPOLL_WIRE_M_1(T, m) &T::m
+#define TRIPOLL_WIRE_M_2(T, m, ...) &T::m, TRIPOLL_WIRE_M_1(T, __VA_ARGS__)
+#define TRIPOLL_WIRE_M_3(T, m, ...) &T::m, TRIPOLL_WIRE_M_2(T, __VA_ARGS__)
+#define TRIPOLL_WIRE_M_4(T, m, ...) &T::m, TRIPOLL_WIRE_M_3(T, __VA_ARGS__)
+#define TRIPOLL_WIRE_M_5(T, m, ...) &T::m, TRIPOLL_WIRE_M_4(T, __VA_ARGS__)
+#define TRIPOLL_WIRE_M_6(T, m, ...) &T::m, TRIPOLL_WIRE_M_5(T, __VA_ARGS__)
+#define TRIPOLL_WIRE_M_7(T, m, ...) &T::m, TRIPOLL_WIRE_M_6(T, __VA_ARGS__)
+#define TRIPOLL_WIRE_M_8(T, m, ...) &T::m, TRIPOLL_WIRE_M_7(T, __VA_ARGS__)
+#define TRIPOLL_WIRE_M_9(T, m, ...) &T::m, TRIPOLL_WIRE_M_8(T, __VA_ARGS__)
+#define TRIPOLL_WIRE_M_10(T, m, ...) &T::m, TRIPOLL_WIRE_M_9(T, __VA_ARGS__)
+#define TRIPOLL_WIRE_M_11(T, m, ...) &T::m, TRIPOLL_WIRE_M_10(T, __VA_ARGS__)
+#define TRIPOLL_WIRE_M_12(T, m, ...) &T::m, TRIPOLL_WIRE_M_11(T, __VA_ARGS__)
+#define TRIPOLL_WIRE_M_N_(T, N, ...) TRIPOLL_WIRE_M_##N(T, __VA_ARGS__)
+#define TRIPOLL_WIRE_M_N(T, N, ...) TRIPOLL_WIRE_M_N_(T, N, __VA_ARGS__)
+#define TRIPOLL_WIRE_M_PICK(_1, _2, _3, _4, _5, _6, _7, _8, _9, _10, _11, _12, N, ...) N
+
+/// Pin the wire layout of a concrete bitwise wire struct: trivially
+/// copyable, and sizeof(T) equals the sum of the listed member sizes (no
+/// padding anywhere, tail included -- tail padding ships too).  List every
+/// non-static data member in declaration order.
+#define TRIPOLL_WIRE_ASSERT(T, ...)                                                      \
+  static_assert(std::is_trivially_copyable_v<T>,                                         \
+                #T ": wire structs must be trivially copyable");                         \
+  static_assert(                                                                         \
+      sizeof(T) ==                                                                       \
+          ::tripoll::serial::packed_size_of<TRIPOLL_WIRE_M_N(                            \
+              T, TRIPOLL_WIRE_M_PICK(__VA_ARGS__, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1), \
+              __VA_ARGS__)>,                                                             \
+      #T ": padding bytes would reach the wire through the bitwise serialize "           \
+         "path; reorder or explicitly pad the members (tripoll-wire-padding)")

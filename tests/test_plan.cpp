@@ -30,6 +30,7 @@
 #include "graph/dodgr.hpp"
 #include "graph/ordering.hpp"
 #include "serial/hash.hpp"
+#include "serial/wire_guard.hpp"
 
 namespace tc = tripoll::comm;
 namespace tg = tripoll::graph;
@@ -51,11 +52,13 @@ struct interaction_meta {
   std::uint64_t weight = 0;
   std::array<char, 16> tag{};
 };
+TRIPOLL_WIRE_ASSERT(interaction_meta, ts, weight, tag);
 
 struct profile_meta {
   std::uint64_t label = 0;
   std::array<char, 24> name{};
 };
+TRIPOLL_WIRE_ASSERT(profile_meta, label, name);
 
 using rich_graph = tg::dodgr<profile_meta, interaction_meta>;
 

@@ -1,0 +1,310 @@
+// compile_commands.cpp -- source discovery for tripoll-lint.
+//
+// Two entry points: collect_sources() walks explicit files/directories, and
+// sources_from_compile_commands() reads a CMake-exported
+// compile_commands.json (CMAKE_EXPORT_COMPILE_COMMANDS=ON), takes every
+// translation unit under the project root, and chases quoted #include
+// targets through each TU's -I directories so headers -- where almost all
+// of this repository lives -- are linted too.  The JSON reader below is a
+// minimal hand-rolled parser for the database's fixed shape (an array of
+// objects with string/array-of-string values); it tolerates and skips
+// anything it does not recognize.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace fs = std::filesystem;
+
+namespace tripoll::lint {
+
+namespace {
+
+[[nodiscard]] bool has_source_ext(const fs::path& p) {
+  const std::string e = p.extension().string();
+  return e == ".hpp" || e == ".h" || e == ".cpp" || e == ".cc" || e == ".cxx" ||
+         e == ".hh";
+}
+
+/// Directories the walker never descends into: build trees, VCS metadata,
+/// and lint fixtures (which are intentionally-bad snippets).
+[[nodiscard]] bool skip_dir(const fs::path& p) {
+  const std::string name = p.filename().string();
+  return name == ".git" || name == "fixtures" || name == "build" ||
+         name.rfind("build-", 0) == 0 || name == "_deps" ||
+         name == "CMakeFiles";
+}
+
+[[nodiscard]] std::string canon(const fs::path& p) {
+  std::error_code ec;
+  const fs::path c = fs::weakly_canonical(p, ec);
+  return (ec ? p.lexically_normal() : c).string();
+}
+
+// --- minimal JSON ----------------------------------------------------------
+
+struct json_cursor {
+  const std::string& s;
+  std::size_t i = 0;
+
+  void skip_ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r')) {
+      ++i;
+    }
+  }
+  [[nodiscard]] char peek() {
+    skip_ws();
+    return i < s.size() ? s[i] : '\0';
+  }
+  void expect(char c) {
+    if (peek() != c) {
+      throw std::runtime_error(std::string("tripoll-lint: malformed JSON, expected '") +
+                               c + "'");
+    }
+    ++i;
+  }
+  [[nodiscard]] std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (i < s.size() && s[i] != '"') {
+      char c = s[i++];
+      if (c == '\\' && i < s.size()) {
+        const char esc = s[i++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'u':
+            i += 4;  // keep ASCII fallback; paths here are ASCII
+            c = '?';
+            break;
+          default: c = esc; break;
+        }
+      }
+      out += c;
+    }
+    if (i < s.size()) ++i;  // closing quote
+    return out;
+  }
+  /// Skip any JSON value (used for keys we do not care about).
+  void skip_value() {
+    const char c = peek();
+    if (c == '"') {
+      (void)parse_string();
+    } else if (c == '[' || c == '{') {
+      const char open = c;
+      const char close = (c == '[') ? ']' : '}';
+      int depth = 0;
+      while (i < s.size()) {
+        if (s[i] == '"') {
+          (void)parse_string();
+          continue;
+        }
+        if (s[i] == open) ++depth;
+        if (s[i] == close && --depth == 0) {
+          ++i;
+          return;
+        }
+        ++i;
+      }
+    } else {
+      while (i < s.size() && s[i] != ',' && s[i] != '}' && s[i] != ']') ++i;
+    }
+  }
+};
+
+struct compile_entry {
+  std::string directory;
+  std::string file;
+  std::vector<std::string> args;  ///< from "arguments" or a split "command"
+};
+
+/// Split a shell-ish command string into argv, honouring quotes.
+[[nodiscard]] std::vector<std::string> split_command(const std::string& cmd) {
+  std::vector<std::string> out;
+  std::string cur;
+  char quote = '\0';
+  for (std::size_t i = 0; i < cmd.size(); ++i) {
+    const char c = cmd[i];
+    if (quote != '\0') {
+      if (c == quote) quote = '\0';
+      else if (c == '\\' && quote == '"' && i + 1 < cmd.size()) cur += cmd[++i];
+      else cur += c;
+    } else if (c == '\'' || c == '"') {
+      quote = c;
+    } else if (c == ' ' || c == '\t') {
+      if (!cur.empty()) out.push_back(std::move(cur));
+      cur.clear();
+    } else if (c == '\\' && i + 1 < cmd.size()) {
+      cur += cmd[++i];
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+[[nodiscard]] std::vector<compile_entry> parse_database(const std::string& text) {
+  json_cursor j{text};
+  std::vector<compile_entry> entries;
+  j.expect('[');
+  if (j.peek() == ']') return entries;
+  while (true) {
+    j.expect('{');
+    compile_entry e;
+    if (j.peek() != '}') {
+      while (true) {
+        const std::string key = j.parse_string();
+        j.expect(':');
+        if (key == "directory") {
+          e.directory = j.parse_string();
+        } else if (key == "file") {
+          e.file = j.parse_string();
+        } else if (key == "command") {
+          e.args = split_command(j.parse_string());
+        } else if (key == "arguments") {
+          j.expect('[');
+          if (j.peek() != ']') {
+            while (true) {
+              e.args.push_back(j.parse_string());
+              if (j.peek() != ',') break;
+              j.expect(',');
+            }
+          }
+          j.expect(']');
+        } else {
+          j.skip_value();
+        }
+        if (j.peek() != ',') break;
+        j.expect(',');
+      }
+    }
+    j.expect('}');
+    entries.push_back(std::move(e));
+    if (j.peek() != ',') break;
+    j.expect(',');
+  }
+  j.expect(']');
+  return entries;
+}
+
+/// Extract #include "..." targets without a full lex (cheap line scan).
+[[nodiscard]] std::vector<std::string> quoted_includes_of(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::vector<std::string> out;
+  if (!in) return out;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find_first_not_of(" \t");
+    if (hash == std::string::npos || line[hash] != '#') continue;
+    const std::size_t inc = line.find("include", hash);
+    if (inc == std::string::npos) continue;
+    const std::size_t q1 = line.find('"', inc);
+    if (q1 == std::string::npos) continue;
+    const std::size_t q2 = line.find('"', q1 + 1);
+    if (q2 == std::string::npos) continue;
+    out.push_back(line.substr(q1 + 1, q2 - q1 - 1));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> collect_sources(const std::vector<std::string>& paths) {
+  std::set<std::string> out;
+  for (const auto& p : paths) {
+    const fs::path path(p);
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      fs::recursive_directory_iterator it(path, fs::directory_options::skip_permission_denied, ec);
+      const fs::recursive_directory_iterator end;
+      while (!ec && it != end) {
+        if (it->is_directory(ec) && skip_dir(it->path())) {
+          it.disable_recursion_pending();
+        } else if (it->is_regular_file(ec) && has_source_ext(it->path())) {
+          out.insert(canon(it->path()));
+        }
+        it.increment(ec);
+      }
+    } else if (fs::is_regular_file(path, ec)) {
+      out.insert(canon(path));
+    } else {
+      throw std::runtime_error("tripoll-lint: no such file or directory: '" + p + "'");
+    }
+  }
+  return {out.begin(), out.end()};
+}
+
+std::vector<std::string> sources_from_compile_commands(const std::string& build_dir,
+                                                       const std::string& root) {
+  const fs::path db_path = fs::path(build_dir) / "compile_commands.json";
+  std::ifstream in(db_path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error(
+        "tripoll-lint: cannot read '" + db_path.string() +
+        "' (configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)");
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::vector<compile_entry> entries = parse_database(ss.str());
+  const std::string root_canon = canon(root) + "/";
+  const auto under_root = [&](const std::string& p) {
+    return p.compare(0, root_canon.size(), root_canon) == 0;
+  };
+
+  std::set<std::string> result;
+  std::vector<std::string> work;  // files whose includes still need chasing
+  for (const auto& e : entries) {
+    if (e.file.empty()) continue;
+    fs::path f(e.file);
+    if (f.is_relative() && !e.directory.empty()) f = fs::path(e.directory) / f;
+    const std::string cf = canon(f);
+    if (!under_root(cf) || !fs::exists(cf)) continue;
+    if (result.insert(cf).second) work.push_back(cf);
+
+    // Include dirs for this TU: -I/-isystem flags plus the TU's directory.
+    std::vector<fs::path> incdirs;
+    incdirs.emplace_back(fs::path(cf).parent_path());
+    for (std::size_t i = 0; i < e.args.size(); ++i) {
+      const std::string& a = e.args[i];
+      std::string dir;
+      if (a.rfind("-I", 0) == 0 && a.size() > 2) dir = a.substr(2);
+      else if ((a == "-I" || a == "-isystem" || a == "-iquote") && i + 1 < e.args.size()) dir = e.args[i + 1];
+      else if (a.rfind("-isystem", 0) == 0 && a.size() > 8) dir = a.substr(8);
+      if (dir.empty()) continue;
+      fs::path d(dir);
+      if (d.is_relative() && !e.directory.empty()) d = fs::path(e.directory) / d;
+      incdirs.push_back(d);
+    }
+
+    // Chase quoted includes breadth-first, staying under root.
+    while (!work.empty()) {
+      const std::string cur = work.back();
+      work.pop_back();
+      for (const auto& inc : quoted_includes_of(cur)) {
+        std::vector<fs::path> dirs = incdirs;
+        dirs.front() = fs::path(cur).parent_path();  // includer-relative first
+        for (const auto& d : dirs) {
+          const fs::path cand = d / inc;
+          std::error_code ec;
+          if (!fs::is_regular_file(cand, ec)) continue;
+          const std::string cc = canon(cand);
+          if (under_root(cc) && result.insert(cc).second) work.push_back(cc);
+          break;
+        }
+      }
+    }
+  }
+  return {result.begin(), result.end()};
+}
+
+}  // namespace tripoll::lint

@@ -1,0 +1,50 @@
+// Fixture: tripoll-callback-blocking must flag blocking constructs inside
+// *_handler operator() bodies and add_reduced lambda callbacks.
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+
+namespace fixture {
+
+struct locking_handler {
+  void operator()(communicator& c, std::uint64_t v) {
+    std::lock_guard<std::mutex> g(m_);  // EXPECT: tripoll-callback-blocking
+    total_ += v;
+    (void)c;
+  }
+  std::mutex m_;
+  std::uint64_t total_ = 0;
+};
+
+struct collective_handler {
+  void operator()(communicator& c, std::uint64_t v) {
+    c.barrier();  // EXPECT: tripoll-callback-blocking
+    sum_ = c.all_reduce_sum(v);  // EXPECT: tripoll-callback-blocking
+  }
+  std::uint64_t sum_ = 0;
+};
+
+struct io_handler {
+  void operator()(communicator& c, std::uint64_t v) {
+    std::ofstream out("trace.log");  // EXPECT: tripoll-callback-blocking
+    out << v;
+    (void)c;
+  }
+};
+
+struct sleepy_handler {
+  void operator()(communicator& c, std::uint64_t) {
+    std::this_thread::sleep_for(delay_);  // EXPECT: tripoll-callback-blocking
+    (void)c;
+  }
+  std::chrono::milliseconds delay_{1};
+};
+
+inline void wire_reductions(counting_set<std::uint64_t>& cs, std::mutex& m) {
+  cs.add_reduced(7, [&m](std::uint64_t v) {
+    std::unique_lock<std::mutex> g(m);  // EXPECT: tripoll-callback-blocking
+    consume(v);
+  });
+}
+
+}  // namespace fixture

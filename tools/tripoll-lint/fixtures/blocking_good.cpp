@@ -1,0 +1,37 @@
+// Fixture: handler bodies that tripoll-callback-blocking must accept --
+// non-blocking sends, atomics, and blocking calls outside handler scope.
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+namespace fixture {
+
+struct forwarding_handler {
+  // async() is the sanctioned follow-up mechanism: enqueue, never wait.
+  void operator()(communicator& c, std::uint64_t q, std::uint64_t v) {
+    c.async(static_cast<int>(q % 4), forwarding_handler{}, q, v + 1);
+  }
+};
+
+struct counting_handler {
+  void operator()(communicator& c, std::uint64_t v) {
+    total_.fetch_add(v, std::memory_order_relaxed);
+    (void)c;
+  }
+  std::atomic<std::uint64_t> total_{0};
+};
+
+// Blocking is fine OUTSIDE handler/callback scope: driver code owns the
+// progress loop and may use collectives and locks freely.
+inline std::uint64_t drive(communicator& c, std::mutex& m, std::uint64_t v) {
+  std::lock_guard<std::mutex> g(m);
+  c.barrier();
+  return c.all_reduce_sum(v);
+}
+
+// A functor that is not named *_handler is out of scope for the check.
+struct flush_helper {
+  void operator()(std::mutex& m) { std::lock_guard<std::mutex> g(m); }
+};
+
+}  // namespace fixture

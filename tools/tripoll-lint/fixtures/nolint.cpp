@@ -1,0 +1,36 @@
+// Fixture: clang-tidy-style suppressions.  Every violation below carries a
+// NOLINT marker, so the whole file must produce zero diagnostics.
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+
+namespace fixture {
+
+// tripoll-lint: wire-type
+struct padded_but_waived {  // NOLINT(tripoll-wire-padding)
+  std::uint8_t kind = 0;
+  std::uint64_t length = 0;
+};
+
+// tripoll-lint: wire-type
+struct view_but_waived {
+  std::uint64_t id = 0;
+  // NOLINTNEXTLINE(tripoll-bitwise-view-member)
+  std::string_view name;
+};
+
+inline std::uint32_t late() {
+  return thunk_table::instance().register_thunk(nullptr);  // NOLINT
+}
+
+struct quiet_handler {
+  void operator()(communicator& c, std::uint64_t v) {
+    std::lock_guard<std::mutex> g(m_);  // NOLINT(*)
+    total_ += v;
+    (void)c;
+  }
+  std::mutex m_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace fixture

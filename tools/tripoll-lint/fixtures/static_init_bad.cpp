@@ -1,0 +1,36 @@
+// Fixture: tripoll-handler-static-init must flag register_thunk calls
+// reached from function bodies -- those run at an arbitrary time on one
+// rank, desynchronizing the positional handler-id table.
+#include <cstdint>
+
+namespace fixture {
+
+struct late_handler {
+  void operator()(int) {}
+};
+
+// Runtime registration from a free function.
+inline std::uint32_t register_late() {
+  return thunk_table::instance().register_thunk(nullptr);  // EXPECT: tripoll-handler-static-init
+}
+
+// Runtime registration from a member function.
+class engine {
+ public:
+  void enable_extras() {
+    extra_id_ = thunk_table::instance().register_thunk(nullptr);  // EXPECT: tripoll-handler-static-init
+  }
+
+ private:
+  std::uint32_t extra_id_ = 0;
+};
+
+// Lazily-initialized function-local static: still a function body -- the
+// first caller's timing decides the id.
+inline std::uint32_t lazy_id() {
+  static const std::uint32_t id =
+      thunk_table::instance().register_thunk(nullptr);  // EXPECT: tripoll-handler-static-init
+  return id;
+}
+
+}  // namespace fixture

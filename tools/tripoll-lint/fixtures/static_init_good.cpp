@@ -1,0 +1,39 @@
+// Fixture: registration sites that tripoll-handler-static-init must accept:
+// namespace-scope static initialization (the thunk_registration idiom) and
+// the registry's own declarations.
+#include <cstdint>
+
+namespace fixture {
+
+struct echo_handler {
+  void operator()(int) {}
+};
+
+// The registry's declaration + definition of register_thunk itself must
+// not count as call sites.
+class thunk_table {
+ public:
+  static thunk_table& instance();
+  std::uint32_t register_thunk(void (*fn)(const char*, std::size_t));
+};
+
+inline std::uint32_t thunk_table::register_thunk(void (*fn)(const char*, std::size_t)) {
+  (void)fn;
+  return 0;
+}
+
+// The sanctioned idiom: a namespace-scope static member initializer runs
+// during static initialization, in deterministic declaration order.
+template <typename Handler>
+struct thunk_registration {
+  static const std::uint32_t id;
+};
+
+template <typename Handler>
+const std::uint32_t thunk_registration<Handler>::id =
+    thunk_table::instance().register_thunk(nullptr);
+
+// Namespace-scope variable initializer: also static init.
+inline const std::uint32_t echo_id = thunk_table::instance().register_thunk(nullptr);
+
+}  // namespace fixture

@@ -1,0 +1,39 @@
+// Fixture: tripoll-bitwise-view-member must flag view/pointer members of
+// anchored wire structs that lack the tripoll_force_member_serialize
+// opt-out.  Diagnostics anchor to the member name line.
+#include <cstdint>
+#include <string_view>
+
+namespace fixture {
+
+// tripoll-lint: wire-type
+struct labeled_edge {
+  std::uint64_t u = 0;
+  std::uint64_t v = 0;
+  std::string_view label;  // EXPECT: tripoll-bitwise-view-member
+};
+
+// tripoll-lint: wire-type
+struct raw_pointer_meta {
+  std::uint64_t id = 0;
+  const char* name = nullptr;  // EXPECT: tripoll-bitwise-view-member
+};
+
+// Anchored by appearing as a wire_span element elsewhere in the file.
+struct span_elem {
+  std::uint64_t id = 0;
+  std::string_view tag;  // EXPECT: tripoll-bitwise-view-member
+};
+
+inline void uses_span(const wire_span<span_elem>& batch) { (void)batch; }
+
+// Templates are checked too: a view member is wrong in every instantiation.
+// tripoll-lint: wire-type
+template <typename Meta>
+struct templated_candidate {
+  std::uint64_t r = 0;
+  std::string_view note;  // EXPECT: tripoll-bitwise-view-member
+  Meta meta{};
+};
+
+}  // namespace fixture

@@ -1,0 +1,42 @@
+// Fixture: view members that tripoll-bitwise-view-member must accept.
+#include <cstdint>
+#include <string_view>
+
+namespace fixture {
+
+// The PR-4 idiom: a view member plus the force flag routes the struct
+// through the member-wise archive path, which re-points views into the
+// received payload.  Wrong only without the flag.
+// tripoll-lint: wire-type
+struct labeled_edge {
+  static constexpr bool tripoll_force_member_serialize = true;
+  std::uint64_t u = 0;
+  std::uint64_t v = 0;
+  std::string_view label;
+};
+
+// A dependent flag (the wedge_candidate pattern) counts as an opt-out: the
+// author has made serialization conditional on the metadata type.
+// tripoll-lint: wire-type
+template <typename Meta>
+struct conditional_candidate {
+  static constexpr bool tripoll_force_member_serialize = !is_bitwise<Meta>;
+  std::uint64_t r = 0;
+  Meta meta{};
+};
+
+// Value members only: nothing to flag.
+struct packed_record {
+  std::uint64_t id = 0;
+  std::uint64_t rank = 0;
+};
+TRIPOLL_WIRE_ASSERT(packed_record, id, rank);
+
+// A view member in a struct never anchored as a wire type is fine -- it
+// does not reach the serializer.
+struct scratch_state {
+  std::string_view window;
+  std::uint64_t cursor = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,64 @@
+// Fixture: packed layouts, opt-outs and annotations that tripoll-wire-padding
+// must accept without a diagnostic.
+#include <array>
+#include <cstdint>
+
+namespace fixture {
+
+using vertex_id = std::uint64_t;
+
+// Fully packed: 8 + 8 + 16 = 32 == sizeof.
+struct packed_record {
+  vertex_id id = 0;
+  std::uint64_t rank = 0;
+  std::array<char, 16> tag{};
+};
+TRIPOLL_WIRE_ASSERT(packed_record, id, rank, tag);
+
+// Multi-declarator members, still packed.
+struct pair64 {
+  std::uint64_t u = 0, v = 0;
+};
+TRIPOLL_WIRE_ASSERT(pair64, u, v);
+
+// Narrow members ordered widest-first with an explicit trailing pad field:
+// every byte of the wire image is named and initialized.
+struct explicit_pad {
+  std::uint64_t key = 0;
+  std::uint32_t tag = 0;
+  std::uint8_t flags = 0;
+  std::array<std::uint8_t, 3> pad{};
+};
+TRIPOLL_WIRE_ASSERT(explicit_pad, key, tag, flags, pad);
+
+// Empty metadata behind [[no_unique_address]] occupies no wire bytes.
+struct none {};
+
+struct meta_free {
+  std::uint64_t r = 0;
+  std::uint64_t r_rank = 0;
+  [[no_unique_address]] none meta{};
+};
+TRIPOLL_WIRE_ASSERT(meta_free, r, r_rank, meta);
+
+// Padded, but hand-encoded byte-by-byte -- never memcpy'd.
+// tripoll-lint: not-wire
+struct framing_header {
+  std::uint8_t kind = 0;
+  std::uint64_t length = 0;
+};
+
+// Padded, but explicitly routed through the member-wise archive path.
+struct archived {
+  static constexpr bool tripoll_force_member_serialize = true;
+  std::uint8_t kind = 0;
+  std::uint64_t length = 0;
+};
+
+// Padded but never anchored as a wire type: out of scope for the check.
+struct plain_struct {
+  std::uint8_t a = 0;
+  std::uint64_t b = 0;
+};
+
+}  // namespace fixture

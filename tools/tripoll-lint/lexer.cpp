@@ -1,0 +1,187 @@
+// lexer.cpp -- the tokenizer underneath tripoll-lint.
+//
+// A deliberately small C++ lexer: identifiers, numbers, string/char
+// literals (including raw strings), multi-char punctuators, comments.
+// Comments are not tokens -- they land in file_model::comments keyed by
+// line, which is where NOLINT suppressions and `tripoll-lint:` annotations
+// come from.  Preprocessor directives are skipped as whole logical lines
+// (honouring backslash continuations), except that `#include "..."`
+// targets are recorded for the compile_commands include walk.
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace tripoll::lint {
+
+namespace {
+
+[[nodiscard]] bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+[[nodiscard]] bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Multi-character punctuators we must not split: the parser keys on `::`,
+/// `->`, `<=>`, shifts and compound assignments.  Longest match first.
+[[nodiscard]] std::size_t punct_len(const std::string& s, std::size_t i) {
+  static const char* three[] = {"<=>", "<<=", ">>=", "...", "->*"};
+  static const char* two[] = {"::", "->", "==", "!=", "<=", ">=", "&&", "||",
+                              "++", "--", "+=", "-=", "*=", "/=", "%=", "&=",
+                              "|=", "^=", "<<", ">>", ".*"};
+  for (const char* p : three) {
+    if (s.compare(i, 3, p) == 0) return 3;
+  }
+  for (const char* p : two) {
+    if (s.compare(i, 2, p) == 0) return 2;
+  }
+  return 1;
+}
+
+}  // namespace
+
+std::vector<token> lex(const std::string& text, file_model& model) {
+  std::vector<token> out;
+  const std::size_t n = text.size();
+  std::size_t i = 0;
+  int line = 1;
+  int col = 1;
+
+  const auto advance = [&](std::size_t count) {
+    for (std::size_t k = 0; k < count && i < n; ++k, ++i) {
+      if (text[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+  };
+
+  const auto record_comment = [&](int at_line, const std::string& body) {
+    auto& slot = model.comments[at_line];
+    if (!slot.empty()) slot += ' ';
+    slot += body;
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\v' || c == '\f') {
+      advance(1);
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      const int at = line;
+      std::size_t end = text.find('\n', i);
+      if (end == std::string::npos) end = n;
+      record_comment(at, text.substr(i + 2, end - i - 2));
+      advance(end - i);
+      continue;
+    }
+    // Block comment: attach to every line it covers so NOLINT works on any.
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      std::size_t end = text.find("*/", i + 2);
+      if (end == std::string::npos) end = n; else end += 2;
+      const std::string body = text.substr(i, end - i);
+      int l = line;
+      record_comment(l, body);
+      for (char bc : body) {
+        if (bc == '\n') record_comment(++l, body);
+      }
+      advance(end - i);
+      continue;
+    }
+    // Preprocessor directive: consume the logical line (with continuations).
+    if (c == '#' && (out.empty() || out.back().line != line)) {
+      std::size_t end = i;
+      while (end < n) {
+        std::size_t nl = text.find('\n', end);
+        if (nl == std::string::npos) {
+          end = n;
+          break;
+        }
+        // Backslash-continued directive line.
+        std::size_t back = nl;
+        while (back > end && (text[back - 1] == '\r')) --back;
+        if (back > end && text[back - 1] == '\\') {
+          end = nl + 1;
+          continue;
+        }
+        end = nl;
+        break;
+      }
+      const std::string directive = text.substr(i, end - i);
+      // Record quoted-include targets for the include walk.
+      std::size_t inc = directive.find("include");
+      if (directive.find('#') != std::string::npos && inc != std::string::npos) {
+        std::size_t q1 = directive.find('"', inc);
+        if (q1 != std::string::npos) {
+          std::size_t q2 = directive.find('"', q1 + 1);
+          if (q2 != std::string::npos) {
+            model.quoted_includes.push_back(directive.substr(q1 + 1, q2 - q1 - 1));
+          }
+        }
+      }
+      advance(end - i);
+      continue;
+    }
+    // Raw string literal.
+    if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+      std::size_t p = i + 2;
+      std::string delim;
+      while (p < n && text[p] != '(') delim += text[p++];
+      const std::string closer = ")" + delim + "\"";
+      std::size_t end = text.find(closer, p);
+      end = (end == std::string::npos) ? n : end + closer.size();
+      out.push_back({token::kind::str, text.substr(i, end - i), line, col});
+      advance(end - i);
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t p = i + 1;
+      while (p < n && text[p] != quote) {
+        if (text[p] == '\\' && p + 1 < n) ++p;
+        ++p;
+      }
+      if (p < n) ++p;
+      out.push_back({quote == '"' ? token::kind::str : token::kind::chr,
+                     text.substr(i, p - i), line, col});
+      advance(p - i);
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t p = i;
+      while (p < n && ident_char(text[p])) ++p;
+      out.push_back({token::kind::ident, text.substr(i, p - i), line, col});
+      advance(p - i);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      std::size_t p = i;
+      while (p < n && (ident_char(text[p]) || text[p] == '.' ||
+                       ((text[p] == '+' || text[p] == '-') && p > i &&
+                        (text[p - 1] == 'e' || text[p - 1] == 'E' ||
+                         text[p - 1] == 'p' || text[p - 1] == 'P')))) {
+      ++p;
+      }
+      out.push_back({token::kind::number, text.substr(i, p - i), line, col});
+      advance(p - i);
+      continue;
+    }
+    const std::size_t len = punct_len(text, i);
+    out.push_back({token::kind::punct, text.substr(i, len), line, col});
+    advance(len);
+  }
+  out.push_back({token::kind::eof, "", line, col});
+  return out;
+}
+
+}  // namespace tripoll::lint

@@ -1,0 +1,102 @@
+// main.cpp -- tripoll-lint CLI.
+//
+//   tripoll-lint [options] <paths...>        lint files/directories
+//   tripoll-lint -p <build-dir> [--root D]   lint every TU (and reachable
+//                                            project header) recorded in
+//                                            <build-dir>/compile_commands.json
+//
+// Options:
+//   --checks=<spec>   comma list of check names; '-name' disables, '*' is
+//                     everything (clang-tidy style, full names only)
+//   --list-checks     print the check names and exit
+//   -q, --quiet       suppress the summary line on stderr
+//
+// Exit status: 0 clean, 1 diagnostics emitted, 2 usage or I/O error.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--checks=<spec>] [--list-checks] [-q] "
+               "(-p <build-dir> [--root <dir>] | <paths...>)\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tripoll::lint;
+  std::vector<std::string> paths;
+  std::string build_dir;
+  std::string root = ".";
+  std::string checks_spec;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--list-checks") {
+      for (const auto& c : all_checks()) std::puts(c.c_str());
+      return 0;
+    }
+    if (a == "-q" || a == "--quiet") {
+      quiet = true;
+    } else if (a == "-p") {
+      if (++i >= argc) return usage(argv[0]);
+      build_dir = argv[i];
+    } else if (a.rfind("-p", 0) == 0 && a.size() > 2) {
+      build_dir = a.substr(2);
+    } else if (a == "--root") {
+      if (++i >= argc) return usage(argv[0]);
+      root = argv[i];
+    } else if (a.rfind("--root=", 0) == 0) {
+      root = a.substr(7);
+    } else if (a.rfind("--checks=", 0) == 0) {
+      checks_spec = a.substr(9);
+    } else if (a == "--checks") {
+      if (++i >= argc) return usage(argv[0]);
+      checks_spec = argv[i];
+    } else if (a == "-h" || a == "--help") {
+      usage(argv[0]);
+      return 0;
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "tripoll-lint: unknown option '%s'\n", a.c_str());
+      return usage(argv[0]);
+    } else {
+      paths.push_back(a);
+    }
+  }
+  if (build_dir.empty() && paths.empty()) return usage(argv[0]);
+
+  try {
+    std::vector<std::string> sources;
+    if (!build_dir.empty()) {
+      sources = sources_from_compile_commands(build_dir, root);
+    }
+    if (!paths.empty()) {
+      for (auto& s : collect_sources(paths)) sources.push_back(std::move(s));
+    }
+    std::vector<file_model> models;
+    models.reserve(sources.size());
+    for (const auto& s : sources) models.push_back(parse_file(s));
+
+    const options opts = options::from_spec(checks_spec);
+    const std::vector<diagnostic> diags = run_checks(models, opts);
+    for (const auto& d : diags) std::puts(format_diagnostic(d).c_str());
+    if (!quiet) {
+      std::fprintf(stderr, "tripoll-lint: %zu file(s), %zu warning(s)\n",
+                   models.size(), diags.size());
+    }
+    return diags.empty() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+}
