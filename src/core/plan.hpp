@@ -72,6 +72,12 @@ struct survey_options {
   /// volume_bytes, messages, per-callback fire counts -- are bit-identical
   /// across thread counts; see docs/THREADING.md.
   int threads = 0;
+  /// Pin the engine's threads round-robin over hardware threads (NUMA
+  /// locality for the arena-chunk scans).  false additionally consults the
+  /// TRIPOLL_PIN environment variable (unset/"0" means unpinned); a no-op
+  /// on platforms without thread affinity.  The owning (calling) thread is
+  /// never pinned -- only spawned workers.  See docs/THREADING.md.
+  bool pin_threads = false;
 };
 
 /// How an `add_reduced` context is combined at the end of a run.
@@ -215,6 +221,8 @@ bool dispatch_callback(Callback& callback, comm::communicator& c, const View& vi
 template <typename Callback, typename Context>
 struct callback_entry {
   static constexpr bool reduced = false;
+  using callback_type = Callback;
+  using context_type = Context;
   Callback callback;
   Context* context;
 
@@ -258,6 +266,64 @@ struct reduced_callback_entry {
     }
   }
 };
+
+/// A callback's self-declared minimal projections (core/callbacks.hpp's
+/// `using vertex_projection = ...` convention).  Callbacks that declare
+/// nothing conservatively require identity (ship everything).
+template <typename Callback, typename = void>
+struct declared_vertex_projection {
+  using type = identity_projection;
+};
+template <typename Callback>
+struct declared_vertex_projection<Callback, std::void_t<typename Callback::vertex_projection>> {
+  using type = typename Callback::vertex_projection;
+};
+template <typename Callback, typename = void>
+struct declared_edge_projection {
+  using type = identity_projection;
+};
+template <typename Callback>
+struct declared_edge_projection<Callback, std::void_t<typename Callback::edge_projection>> {
+  using type = typename Callback::edge_projection;
+};
+
+/// Least-upper-bound of two declared projections for a FUSED traversal: the
+/// wire must carry enough for both callbacks.  Equal demands collapse; drop
+/// (needs nothing) defers to the other side; two distinct non-trivial
+/// demands widen to identity -- there is one wire type per metadata kind,
+/// so the only projection satisfying both is the full value.
+template <typename A, typename B>
+struct proj_union {
+  using type = identity_projection;
+};
+template <typename A>
+struct proj_union<A, A> {
+  using type = A;
+};
+template <typename A>
+struct proj_union<drop_projection, A> {
+  using type = A;
+};
+template <typename A>
+struct proj_union<A, drop_projection> {
+  using type = A;
+};
+template <>
+struct proj_union<drop_projection, drop_projection> {
+  using type = drop_projection;
+};
+
+/// Fold proj_union over every callback of a plan.
+template <typename... Ps>
+struct proj_fold {
+  using type = drop_projection;  // no callbacks: nothing demanded
+};
+template <typename P>
+struct proj_fold<P> {
+  using type = P;
+};
+template <typename A, typename B, typename... Rest>
+struct proj_fold<A, B, Rest...> : proj_fold<typename proj_union<A, B>::type, Rest...> {};
 
 /// Is this entry eligible to fire on worker threads for triangle views of
 /// type View?  Plain `.add()` entries never are (no declared reduction);
@@ -341,6 +407,28 @@ class survey_plan {
   [[nodiscard]] auto project_edge(F fn) const {
     return survey_plan<Graph, VProj, F, Entries...>(*graph_, vproj_, std::move(fn),
                                                     entries_);
+  }
+
+  /// What the registered callbacks jointly demand on the wire: the
+  /// proj_union fold of every callback's declared vertex/edge projection
+  /// (core/callbacks.hpp convention; undeclared counts as identity).
+  using inferred_vertex_projection = typename core::detail::proj_fold<
+      typename core::detail::declared_vertex_projection<
+          typename Entries::callback_type>::type...>::type;
+  using inferred_edge_projection = typename core::detail::proj_fold<
+      typename core::detail::declared_edge_projection<
+          typename Entries::callback_type>::type...>::type;
+
+  /// Replace both projections with the union of what the registered
+  /// callbacks declare they need: equal demands collapse, drop defers,
+  /// distinct non-trivial demands widen to identity.  Call AFTER the last
+  /// `.add()`; explicit `.project_*()` calls afterwards still override.
+  /// Opt-in (never applied implicitly by run()) so a plan's wire volume
+  /// only changes when the caller asks for inference.
+  [[nodiscard]] auto infer_projections() const {
+    using VP = inferred_vertex_projection;
+    using EP = inferred_edge_projection;
+    return survey_plan<Graph, VP, EP, Entries...>(*graph_, VP{}, EP{}, entries_);
   }
 
   /// Register one (callback, context) pair.  The callback is stored by

@@ -254,7 +254,11 @@ class survey_engine {
     comm_->barrier();
     reset_counters();
     threads_ = 1;
-    if constexpr (frozen_graph) threads_ = core::resolve_threads(opts.threads);
+    pin_ = false;
+    if constexpr (frozen_graph) {
+      threads_ = core::resolve_threads(opts.threads);
+      pin_ = core::resolve_pinning(opts.pin_threads);
+    }
     const auto t_start = core::detail::clock::now();
 
     plan_result<num_callbacks> out;
@@ -585,7 +589,10 @@ class survey_engine {
         ctxs_.push_back(std::make_unique<worker_ctx>(transport, rank, nranks));
       }
       for (int w = 0; w < eng_.threads_; ++w) {
-        threads_.emplace_back([this, w, &transport, stage]() mutable {
+        threads_.emplace_back([this, w, rank, &transport, stage]() mutable {
+          // Rank-strided pin slots keep co-located ranks (inproc backend,
+          // several socket ranks on one host) off each other's cores.
+          if (eng_.pin_) core::pin_current_thread(rank * eng_.threads_ + w);
           worker_ctx& wc = *ctxs_[static_cast<std::size_t>(w)];
           try {
             stage(wc);
@@ -907,11 +914,14 @@ class survey_engine {
       }
     };
     std::vector<std::thread> workers;
+    const int rank = comm_->rank();
     for (int w = 1; w < threads_; ++w) {
-      workers.emplace_back(scan, std::ref(partial[static_cast<std::size_t>(w)]),
-                           std::ref(errors[static_cast<std::size_t>(w)]));
+      workers.emplace_back([this, &scan, &partial, &errors, rank, w] {
+        if (pin_) core::pin_current_thread(rank * threads_ + w);
+        scan(partial[static_cast<std::size_t>(w)], errors[static_cast<std::size_t>(w)]);
+      });
     }
-    scan(partial[0], errors[0]);  // the owning thread participates (comm-free)
+    scan(partial[0], errors[0]);  // the owning thread participates (comm-free, unpinned)
     for (auto& w : workers) w.join();
     for (const auto& err : errors) {
       if (err) std::rethrow_exception(err);
@@ -1097,6 +1107,7 @@ class survey_engine {
   std::unordered_map<graph::vertex_id, std::vector<int>> pull_grants_;
 
   int threads_ = 1;
+  bool pin_ = false;  ///< resolved survey_options::pin_threads / TRIPOLL_PIN
   bool tasks_enabled_ = false;  ///< read/written on the owning thread only
   std::atomic<int> senders_active_{0};
   core::task_queue<task_fn> tasks_;

@@ -51,6 +51,7 @@
 #include "comm/communicator.hpp"
 #include "comm/key_hash.hpp"
 #include "core/intersect.hpp"  // core::bitmap_view (dependency-free kernel header)
+#include "core/parallel.hpp"   // chunked fork-join for the parallel freeze fill
 #include "graph/dodgr.hpp"
 #include "graph/ordering.hpp"
 #include "graph/types.hpp"
@@ -71,6 +72,11 @@ struct freeze_options {
   std::uint64_t hub_degree_threshold = 64;
   std::uint64_t hub_bitmap_max_bytes_per_edge = 2;
   bool build_hub_bitmaps = true;
+  /// Worker threads for the rank-local column fill (0 = TRIPOLL_THREADS
+  /// from the environment, defaulting to 1).  The arenas are SoA and every
+  /// cell is written exactly once from its vertex's chunk, so the frozen
+  /// bytes are identical at every thread count; only the wall time changes.
+  int threads = 0;
 };
 
 /// One contiguous frozen column: either owned storage (freeze) or a view
@@ -531,11 +537,20 @@ template <typename VMeta, typename EMeta, typename VProj, typename EProj>
             [](const auto& a, const auto& b) { return a.first < b.first; });
 
   const std::size_t n = order.size();
-  std::size_t m = 0;
-  for (const auto& item : order) m += item.second->adj.size();
+  const int threads = core::resolve_threads(opts.threads);
+
+  // CSR offsets first (serial size scan + prefix sum): they are both a
+  // snapshot column and the partition that lets the fill below run over
+  // disjoint vertex chunks with no cross-thread writes.
+  std::vector<std::uint64_t> offset(n + 1);
+  offset[0] = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    offset[i + 1] = offset[i] + order[i].second->adj.size();
+  }
+  const std::size_t m = offset[n];
 
   std::vector<vertex_id> vid(n);
-  std::vector<std::uint64_t> degree(n), order_rank(n), offset(n + 1);
+  std::vector<std::uint64_t> degree(n), order_rank(n);
   std::vector<PV> vmeta;
   std::vector<vertex_id> target(m);
   std::vector<std::uint64_t> target_rank(m), target_outdeg(m);
@@ -547,59 +562,99 @@ template <typename VMeta, typename EMeta, typename VProj, typename EProj>
   }
   if constexpr (!std::is_empty_v<PE>) emeta.resize(m);
 
-  std::size_t e = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto& [key, rec] = order[i];
-    vid[i] = key.id;
-    degree[i] = rec->degree;
-    order_rank[i] = rec->order_rank;
-    offset[i] = e;
-    if constexpr (!std::is_empty_v<PV>) vmeta[i] = vproj(rec->meta);
-    for (const auto& entry : rec->adj) {
-      target[e] = entry.target;
-      target_rank[e] = entry.target_rank;
-      target_outdeg[e] = entry.target_out_degree;
-      if constexpr (!std::is_empty_v<PE>) emeta[e] = eproj(entry.edge_meta);
-      if constexpr (!std::is_empty_v<PV>) tvmeta[e] = vproj(entry.target_meta);
-      ++e;
-    }
+  // Column fill over self-scheduled vertex chunks.  Every cell is written
+  // exactly once, from the chunk owning its vertex, so the arenas come out
+  // byte-identical at every thread count (projections are const-invoked and
+  // must be thread-safe; the stateless norm trivially is).
+  {
+    core::chunk_queue chunks(n, core::chunk_size_for(n, threads));
+    core::fork_join(threads, [&](int) {
+      std::size_t first = 0, last = 0;
+      while (chunks.next(first, last)) {
+        for (std::size_t i = first; i < last; ++i) {
+          const auto& [key, rec] = order[i];
+          vid[i] = key.id;
+          degree[i] = rec->degree;
+          order_rank[i] = rec->order_rank;
+          if constexpr (!std::is_empty_v<PV>) vmeta[i] = vproj(rec->meta);
+          std::size_t e = offset[i];
+          for (const auto& entry : rec->adj) {
+            target[e] = entry.target;
+            target_rank[e] = entry.target_rank;
+            target_outdeg[e] = entry.target_out_degree;
+            if constexpr (!std::is_empty_v<PE>) emeta[e] = eproj(entry.edge_meta);
+            if constexpr (!std::is_empty_v<PV>) tvmeta[e] = vproj(entry.target_meta);
+            ++e;
+          }
+        }
+      }
+    });
   }
-  offset[n] = e;
 
   // Hub bitmap rows (counting-shape freezes only: both projected metadata
   // types empty, see freeze_options).  Built over raw target ids -- the
   // adjacency is sorted by <+ order key, not id, so each row's base/span
-  // comes from a min/max scan of the slice.
+  // comes from a min/max scan of the slice.  Two passes around a serial
+  // prefix sum: a parallel admission pass decides each vertex's row size,
+  // the prefix sum lays the rows out in vertex order (exactly where the
+  // serial appender put them), and a parallel fill pass sets the bits of
+  // disjoint rows.
   std::vector<std::uint64_t> bm_offset, bm_base, bm_words;
   if constexpr (std::is_empty_v<PV> && std::is_empty_v<PE>) {
     if (opts.build_hub_bitmaps) {
       bm_offset.assign(n + 1, 0);
       bm_base.assign(n, 0);
+      std::vector<std::uint64_t> row_words(n, 0), row_lo(n, 0);
+      core::chunk_queue admit(n, core::chunk_size_for(n, threads));
+      core::fork_join(threads, [&](int) {
+        std::size_t first = 0, last = 0;
+        while (admit.next(first, last)) {
+          for (std::size_t i = first; i < last; ++i) {
+            const std::uint64_t off = offset[i];
+            const std::uint64_t d = offset[i + 1] - off;
+            if (d == 0 || d < opts.hub_degree_threshold) continue;
+            std::uint64_t lo = target[off];
+            std::uint64_t hi = target[off];
+            for (std::uint64_t k = 1; k < d; ++k) {
+              lo = std::min(lo, target[off + k]);
+              hi = std::max(hi, target[off + k]);
+            }
+            const std::uint64_t words = ((hi - lo) >> 6) + 1;
+            if (words * 8 > opts.hub_bitmap_max_bytes_per_edge * d) continue;  // too sparse
+            row_words[i] = words;
+            row_lo[i] = lo;
+          }
+        }
+      });
+      std::uint64_t total = 0;
       for (std::size_t i = 0; i < n; ++i) {
-        bm_offset[i] = bm_words.size();
-        const std::uint64_t first = offset[i];
-        const std::uint64_t d = offset[i + 1] - first;
-        if (d == 0 || d < opts.hub_degree_threshold) continue;
-        std::uint64_t lo = target[first];
-        std::uint64_t hi = target[first];
-        for (std::uint64_t k = 1; k < d; ++k) {
-          lo = std::min(lo, target[first + k]);
-          hi = std::max(hi, target[first + k]);
-        }
-        const std::uint64_t words = ((hi - lo) >> 6) + 1;
-        if (words * 8 > opts.hub_bitmap_max_bytes_per_edge * d) continue;  // too sparse
-        bm_base[i] = lo;
-        const std::size_t row = bm_words.size();
-        bm_words.resize(row + words, 0);
-        for (std::uint64_t k = 0; k < d; ++k) {
-          const std::uint64_t off = target[first + k] - lo;
-          bm_words[row + (off >> 6)] |= std::uint64_t{1} << (off & 63U);
-        }
+        bm_offset[i] = total;
+        if (row_words[i] > 0) bm_base[i] = row_lo[i];
+        total += row_words[i];
       }
-      bm_offset[n] = bm_words.size();
-      if (bm_words.empty()) {  // no row survived: store nothing at all
+      bm_offset[n] = total;
+      if (total == 0) {  // no row survived: store nothing at all
         bm_offset.clear();
         bm_base.clear();
+      } else {
+        bm_words.assign(total, 0);
+        core::chunk_queue fill(n, core::chunk_size_for(n, threads));
+        core::fork_join(threads, [&](int) {
+          std::size_t first = 0, last = 0;
+          while (fill.next(first, last)) {
+            for (std::size_t i = first; i < last; ++i) {
+              if (row_words[i] == 0) continue;
+              const std::uint64_t off = offset[i];
+              const std::uint64_t d = offset[i + 1] - off;
+              const std::uint64_t lo = row_lo[i];
+              const std::uint64_t row = bm_offset[i];
+              for (std::uint64_t k = 0; k < d; ++k) {
+                const std::uint64_t bit = target[off + k] - lo;
+                bm_words[row + (bit >> 6)] |= std::uint64_t{1} << (bit & 63U);
+              }
+            }
+          }
+        });
       }
     }
   }

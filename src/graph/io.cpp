@@ -5,6 +5,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <charconv>
 #include <cstdio>
@@ -12,6 +13,8 @@
 #include <cstring>
 #include <stdexcept>
 #include <vector>
+
+#include "core/parallel.hpp"
 
 namespace tripoll::graph {
 
@@ -129,100 +132,255 @@ std::optional<parsed_edge> parse_edge_line(std::string_view line, bool* malforme
   return e;
 }
 
-ingest_stats read_edge_list(const comm::communicator& c, const std::string& path,
-                            const std::function<void(const parsed_edge&)>& sink) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    throw std::runtime_error("read_edge_list: cannot open '" + path +
-                             "': " + std::strerror(errno));
+bool resolve_direct_io(bool requested) {
+  if (requested) return true;
+  if (const char* env = std::getenv("TRIPOLL_DIRECT_IO")) {
+    return env[0] != '\0' && env[0] != '0';
   }
-  std::fseek(f, 0, SEEK_END);
-  const auto file_size = static_cast<std::uint64_t>(std::ftell(f));
+  return false;
+}
 
-  const auto rank = static_cast<std::uint64_t>(c.rank());
-  const auto nranks = static_cast<std::uint64_t>(c.size());
-  std::uint64_t begin = file_size * rank / nranks;
-  const std::uint64_t nominal_end = file_size * (rank + 1) / nranks;
+namespace {
 
+/// Sequential reader over one file.  With `direct` it opens O_DIRECT and
+/// reads at kDirectAlign-aligned file offsets into an aligned staging
+/// buffer (page-cache bypass); where the filesystem rejects O_DIRECT --
+/// at open() or on the first pread() -- it degrades to plain buffered
+/// reads of the same bytes.  Each parser thread owns one instance, so no
+/// shared file position exists (all reads are pread at explicit offsets).
+class file_reader {
+ public:
+  // O_DIRECT wants the offset, length and buffer address aligned; 4096
+  // covers every mainstream block size (512-byte devices accept it too).
+  static constexpr std::size_t kDirectAlign = 4096;
+  static constexpr std::size_t kBufBytes = 1 << 18;
+
+  file_reader(const std::string& path, bool direct) : path_(path), direct_(direct) {
+#if defined(O_DIRECT)
+    if (direct_) {
+      fd_ = ::open(path.c_str(), O_RDONLY | O_DIRECT);
+      if (fd_ < 0) direct_ = false;  // tmpfs & friends: EINVAL/ENOTSUP
+    }
+#else
+    direct_ = false;
+#endif
+    if (fd_ < 0) {
+      fd_ = ::open(path.c_str(), O_RDONLY);
+      if (fd_ < 0) {
+        throw std::runtime_error("read_edge_list: cannot open '" + path +
+                                 "': " + std::strerror(errno));
+      }
+    }
+    if (::posix_memalign(&buf_, kDirectAlign, kBufBytes) != 0) {
+      ::close(fd_);
+      throw std::runtime_error("read_edge_list: out of memory reading '" + path + "'");
+    }
+  }
+
+  ~file_reader() {
+    std::free(buf_);
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  file_reader(const file_reader&) = delete;
+  file_reader& operator=(const file_reader&) = delete;
+
+  void seek(std::uint64_t offset) noexcept {
+    offset_ = offset;
+    avail_ = 0;
+    consumed_ = 0;
+  }
+
+  /// Copy up to `n` bytes at the current offset into dst; returns the count
+  /// (0 only at EOF).  Throws std::runtime_error on a read error -- an
+  /// error must never masquerade as EOF, or one thread's share of the
+  /// lines would silently vanish.
+  std::size_t read(void* dst, std::size_t n) {
+    if (consumed_ == avail_ && !refill()) return 0;
+    const std::size_t take = std::min(n, avail_ - consumed_);
+    std::memcpy(dst, static_cast<const char*>(buf_) + consumed_, take);
+    consumed_ += take;
+    offset_ += take;
+    return take;
+  }
+
+ private:
+  [[nodiscard]] bool refill() {
+    for (;;) {
+      const std::uint64_t phys = direct_ ? offset_ / kDirectAlign * kDirectAlign : offset_;
+      const ssize_t got = ::pread(fd_, buf_, kBufBytes, static_cast<off_t>(phys));
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        if (direct_ && errno == EINVAL) {
+          // Filesystems that accept O_DIRECT at open() but reject the read
+          // geometry: drop to buffered reads for the rest of this slice.
+          direct_ = false;
+          const int plain = ::open(path_.c_str(), O_RDONLY);
+          if (plain >= 0) {
+            ::close(fd_);
+            fd_ = plain;
+            continue;
+          }
+        }
+        throw std::runtime_error("read_edge_list: read error on '" + path_ + "'");
+      }
+      const std::uint64_t skip = offset_ - phys;
+      if (static_cast<std::uint64_t>(got) <= skip) return false;  // EOF
+      consumed_ = static_cast<std::size_t>(skip);
+      avail_ = static_cast<std::size_t>(got);
+      return true;
+    }
+  }
+
+  std::string path_;
+  bool direct_ = false;
+  int fd_ = -1;
+  void* buf_ = nullptr;
+  std::uint64_t offset_ = 0;   ///< logical file offset of the next read()
+  std::size_t avail_ = 0;      ///< valid bytes in buf_
+  std::size_t consumed_ = 0;   ///< bytes of buf_ already handed out
+};
+
+/// Parse the lines STARTING in [nominal_begin, nominal_end), the ownership
+/// rule shared by ranks and threads: the start is aligned forward to the
+/// next line boundary, the final line runs past nominal_end to wherever it
+/// ends.  This is the one parse loop behind both the serial and the
+/// parallel ingest paths, so their per-line behavior cannot drift.
+template <typename EdgeSink>
+ingest_stats parse_slice(const std::string& path, bool direct, std::uint64_t nominal_begin,
+                         std::uint64_t nominal_end, const EdgeSink& sink) {
   ingest_stats stats;
+  file_reader src(path, direct);
 
   // Align the start forward to the next line boundary: the owner of a byte
   // range parses only lines that *start* inside it, so every line is parsed
-  // by exactly one rank.  When the previous byte is already a newline, the
+  // by exactly one owner.  When the previous byte is already a newline, the
   // slice begins exactly at a line start and no alignment is needed.
+  std::uint64_t begin = nominal_begin;
   if (begin > 0) {
-    std::fseek(f, static_cast<long>(begin - 1), SEEK_SET);
+    src.seek(begin - 1);
     std::uint64_t pos = begin - 1;  // position of the byte just read
-    int ch = std::fgetc(f);
-    while (ch != EOF && ch != '\n') {
-      ch = std::fgetc(f);
+    char ch = 0;
+    std::size_t got = src.read(&ch, 1);
+    while (got == 1 && ch != '\n') {
+      got = src.read(&ch, 1);
       ++pos;
     }
     begin = pos + 1;  // first byte after the newline (== begin when the
                       // previous byte already was one)
   }
 
-  if (begin < file_size) {
-    std::fseek(f, static_cast<long>(begin), SEEK_SET);
-    std::uint64_t pos = begin;
-    std::string line;
-    line.reserve(128);
-    std::vector<char> buf(1 << 16);
-    bool stop = false;
-    while (!stop) {
-      const std::size_t got = std::fread(buf.data(), 1, buf.size(), f);
-      if (got == 0) {
-        // A read error must not masquerade as EOF: silently truncating the
-        // slice would drop edges from exactly one rank's share.
-        if (std::ferror(f) != 0) {
-          std::fclose(f);
-          throw std::runtime_error("read_edge_list: read error on '" + path + "'");
-        }
+  src.seek(begin);
+  std::uint64_t pos = begin;
+  std::string line;
+  line.reserve(128);
+  std::vector<char> buf(1 << 16);
+  bool stop = false;
+  while (!stop) {
+    const std::size_t got = src.read(buf.data(), buf.size());
+    if (got == 0) break;
+    for (std::size_t i = 0; i < got && !stop; ++i) {
+      const char ch = buf[i];
+      ++pos;
+      if (ch != '\n') {
+        line.push_back(ch);
+        continue;
+      }
+      // A line belongs to this owner iff it started before nominal_end.
+      const std::uint64_t line_start = pos - line.size() - 1;
+      if (line_start >= nominal_end) {
+        stop = true;
         break;
       }
-      for (std::size_t i = 0; i < got && !stop; ++i) {
-        const char ch = buf[i];
-        ++pos;
-        if (ch != '\n') {
-          line.push_back(ch);
-          continue;
-        }
-        // A line belongs to this rank iff it started before nominal_end.
-        const std::uint64_t line_start = pos - line.size() - 1;
-        if (line_start >= nominal_end) {
-          stop = true;
-          break;
-        }
-        ++stats.lines;
-        bool malformed = false;
-        if (const auto e = parse_edge_line(line, &malformed)) {
-          ++stats.edges;
-          sink(*e);
-        } else if (malformed) {
-          ++stats.malformed;
-        }
-        stats.bytes += line.size() + 1;
-        line.clear();
+      ++stats.lines;
+      bool malformed = false;
+      if (const auto e = parse_edge_line(line, &malformed)) {
+        ++stats.edges;
+        sink(*e);
+      } else if (malformed) {
+        ++stats.malformed;
       }
-    }
-    // Trailing line without newline at EOF.
-    if (!stop && !line.empty()) {
-      const std::uint64_t line_start = pos - line.size();
-      if (line_start < nominal_end) {
-        ++stats.lines;
-        bool malformed = false;
-        if (const auto e = parse_edge_line(line, &malformed)) {
-          ++stats.edges;
-          sink(*e);
-        } else if (malformed) {
-          ++stats.malformed;
-        }
-        stats.bytes += line.size();
-      }
+      stats.bytes += line.size() + 1;
+      line.clear();
     }
   }
-  std::fclose(f);
+  // Trailing line without newline at EOF.
+  if (!stop && !line.empty()) {
+    const std::uint64_t line_start = pos - line.size();
+    if (line_start < nominal_end) {
+      ++stats.lines;
+      bool malformed = false;
+      if (const auto e = parse_edge_line(line, &malformed)) {
+        ++stats.edges;
+        sink(*e);
+      } else if (malformed) {
+        ++stats.malformed;
+      }
+      stats.bytes += line.size();
+    }
+  }
   return stats;
+}
+
+}  // namespace
+
+ingest_stats read_edge_list(const comm::communicator& c, const std::string& path,
+                            const std::function<void(const parsed_edge&)>& sink) {
+  return read_edge_list(c, path, sink, ingest_options{1, false});
+}
+
+ingest_stats read_edge_list(const comm::communicator& c, const std::string& path,
+                            const std::function<void(const parsed_edge&)>& sink,
+                            const ingest_options& opts) {
+  struct stat st {};
+  if (::stat(path.c_str(), &st) != 0) {
+    throw std::runtime_error("read_edge_list: cannot open '" + path +
+                             "': " + std::strerror(errno));
+  }
+  const auto file_size = static_cast<std::uint64_t>(st.st_size);
+  const bool direct = resolve_direct_io(opts.direct_io);
+
+  const auto rank = static_cast<std::uint64_t>(c.rank());
+  const auto nranks = static_cast<std::uint64_t>(c.size());
+  const std::uint64_t r_begin = file_size * rank / nranks;
+  const std::uint64_t r_end = file_size * (rank + 1) / nranks;
+
+  const int threads = core::resolve_threads(opts.threads);
+  if (threads == 1 || r_end - r_begin < 2) {
+    return parse_slice(path, direct, r_begin, r_end, sink);
+  }
+
+  // Split this rank's nominal byte range over the threads with the same
+  // line-ownership rule ranks use; each thread parses its sub-slice into a
+  // private shard.  Draining the shards in thread index order reproduces
+  // the serial edge sequence bit for bit (lines are owned by ascending
+  // start offset in both decompositions).
+  struct shard {
+    std::vector<parsed_edge> edges;
+    ingest_stats stats;
+  };
+  const auto T = static_cast<std::uint64_t>(threads);
+  const std::uint64_t span = r_end - r_begin;
+  std::vector<shard> shards(static_cast<std::size_t>(threads));
+  core::fork_join(threads, [&](int w) {
+    const auto tw = static_cast<std::uint64_t>(w);
+    const std::uint64_t t_begin = r_begin + span * tw / T;
+    const std::uint64_t t_end = r_begin + span * (tw + 1) / T;
+    if (t_begin == t_end) return;
+    shard& out = shards[static_cast<std::size_t>(w)];
+    out.stats = parse_slice(path, direct, t_begin, t_end,
+                            [&out](const parsed_edge& e) { out.edges.push_back(e); });
+  });
+
+  ingest_stats total;
+  for (const auto& sh : shards) {
+    for (const auto& e : sh.edges) sink(e);
+    total.lines += sh.stats.lines;
+    total.edges += sh.stats.edges;
+    total.malformed += sh.stats.malformed;
+    total.bytes += sh.stats.bytes;
+  }
+  return total;
 }
 
 edge_list_writer::edge_list_writer(const std::string& path)

@@ -70,12 +70,40 @@ struct ingest_stats {
 [[nodiscard]] std::optional<parsed_edge> parse_edge_line(std::string_view line,
                                                          bool* malformed);
 
+/// Knobs for this rank's share of an ingestion.
+struct ingest_options {
+  /// Parser threads for this rank's byte slice.  0 = TRIPOLL_THREADS from
+  /// the environment, defaulting to 1 (core::resolve_threads).  The slice
+  /// splits into per-thread sub-ranges aligned to line boundaries (the same
+  /// ownership rule ranks use, applied recursively), each thread parses its
+  /// share into a private shard, and shards drain into the sink in thread
+  /// index order -- the edge SEQUENCE is bit-identical to a serial read at
+  /// every thread count.
+  int threads = 0;
+  /// Read through O_DIRECT with aligned staging buffers (page-cache bypass
+  /// for cold ingests larger than RAM).  false additionally consults the
+  /// TRIPOLL_DIRECT_IO environment variable; where the filesystem rejects
+  /// O_DIRECT (tmpfs, many CI runners) reads fall back to the buffered path
+  /// transparently -- the parsed bytes are identical either way.
+  bool direct_io = false;
+};
+
+/// Resolve an options-level direct-IO request: explicit true wins, false
+/// consults TRIPOLL_DIRECT_IO (unset/"0" means buffered).
+[[nodiscard]] bool resolve_direct_io(bool requested);
+
 /// Collective: read `path`, with rank r of P claiming the r-th byte slice
 /// (aligned forward to newline boundaries so each line is parsed exactly
 /// once), invoking `sink(parsed_edge)` per edge.  Returns this rank's
 /// stats.  Throws std::runtime_error when the file cannot be opened.
 ingest_stats read_edge_list(const comm::communicator& c, const std::string& path,
                             const std::function<void(const parsed_edge&)>& sink);
+
+/// As above, with explicit ingestion options (parallel parse, O_DIRECT).
+/// The three-argument overload is equivalent to `{.threads = 1}`.
+ingest_stats read_edge_list(const comm::communicator& c, const std::string& path,
+                            const std::function<void(const parsed_edge&)>& sink,
+                            const ingest_options& opts);
 
 /// Rank-0 helper: write an edge list (one "u v [w]" line per call).
 class edge_list_writer {

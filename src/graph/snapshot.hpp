@@ -1,14 +1,14 @@
 // snapshot.hpp -- binary snapshots of frozen CSR graphs.
 //
 // `save_snapshot` writes each rank's frozen arenas to its own file
-// (`<prefix>.r<k>.tpsnap`); `load_snapshot` mmaps them back as borrowed
-// arena views.  A reload therefore skips the entire construction pipeline:
-// no edge shuffle, no P4 metadata exchange, and -- because ordering ranks
-// are columns of the snapshot -- no degeneracy re-peel.  The paper's
+// (`<prefix>.r<k>.tpsnap`); `load_snapshot` maps them back as arena views.
+// A reload therefore skips the entire construction pipeline: no edge
+// shuffle, no P4 metadata exchange, and -- because ordering ranks are
+// columns of the snapshot -- no degeneracy re-peel.  The paper's
 // real-dataset workloads (Reddit, common-crawl) amortize one build across
 // arbitrarily many survey sessions this way.
 //
-// File layout (little-endian, 64-byte-aligned sections):
+// Raw file layout (versions 1-2; little-endian, 64-byte-aligned sections):
 //
 //   [128-byte header]  magic, version, nranks, rank, ordering, n, m,
 //                      vmeta/emeta element sizes, file size, bitmap words
@@ -21,6 +21,22 @@
 // freeze_options) so reloads keep the bitmap intersection kernels without
 // rebuilding rows; version-1 files still load, with empty bitmap arenas
 // (the survey falls back to the list kernels).
+//
+// Version 3 (`save_snapshot(..., snapshot_codec::compressed)`) keeps the
+// header and section walk but tags every section with a column codec:
+//
+//   [128-byte header]  words 0-10 as v2; word 11 = FNV-1a of the table
+//   [section table]    13 x { codec, stored_bytes, checksum } u64 triples
+//   [aligned sections] each section's STORED bytes (varint streams shrink)
+//
+// Column codecs: u64 columns delta-encode (ZigZag, the adjacency is sorted
+// by the <+ order key so deltas take either sign) then varint-pack; the
+// monotonic offset columns store first-value-plus-gaps; the target column
+// restarts its delta chain at every CSR vertex slice (short in-slice
+// deltas, no cross-vertex noise); metadata arenas and bitmap words stay
+// raw, still served zero-copy from the mapping.  Every section carries an
+// FNV-1a checksum, verified on load, and v1/v2 files load unchanged --
+// the codec tags are what keeps the format extensible.
 //
 // Empty metadata (graph::none, dropped projections) occupies zero bytes on
 // disk, mirroring its zero-byte arena.  Only bitwise-serializable metadata
@@ -35,15 +51,19 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <stdexcept>
 #include <string>
 #include <type_traits>
+#include <vector>
 
 #include "comm/communicator.hpp"
+#include "core/parallel.hpp"
 #include "graph/frozen.hpp"
 #include "graph/io.hpp"
 #include "graph/ordering.hpp"
@@ -52,13 +72,32 @@
 
 namespace tripoll::graph {
 
+/// How save_snapshot lays a file out: raw (v2, every section mmap-viewable
+/// verbatim) or compressed (v3, per-section varint/delta codecs).
+enum class snapshot_codec {
+  raw,
+  compressed,
+};
+
 namespace snapshot_detail {
 
 inline constexpr std::uint64_t kMagic = 0x54504C4C534E4150ull;  // "TPLLSNAP"
-inline constexpr std::uint64_t kVersion = 2;       // writes v2; loads v1 and v2
+inline constexpr std::uint64_t kVersionRaw = 2;         ///< snapshot_codec::raw writes
+inline constexpr std::uint64_t kVersionCompressed = 3;  ///< snapshot_codec::compressed
 inline constexpr std::uint64_t kMinVersion = 1;
+inline constexpr std::uint64_t kMaxVersion = 3;
 inline constexpr std::size_t kAlign = 64;
 inline constexpr std::size_t kHeaderBytes = 128;  // 16 u64 words
+inline constexpr std::size_t kNumSections = 13;
+inline constexpr std::size_t kTableBytes = kNumSections * 3 * 8;  // v3 section table
+
+/// Per-section column codec tag (the wire values of the v3 section table).
+enum class column_codec : std::uint64_t {
+  raw = 0,                  ///< verbatim bytes, mmap-viewable
+  varint_delta = 1,         ///< zigzag(v[i] - v[i-1]) varints, v[-1] = 0
+  varint_gap = 2,           ///< v[i] - v[i-1] varints (monotonic columns)
+  varint_vertex_delta = 3,  ///< varint_delta restarted at each CSR slice
+};
 
 template <typename T>
 inline constexpr bool snapshot_compatible =
@@ -73,8 +112,20 @@ template <typename T>
   return (n + kAlign - 1) / kAlign * kAlign;
 }
 
+/// FNV-1a over a byte range: the snapshot integrity checksum.  Not
+/// cryptographic -- it catches torn writes, truncation and bit rot, which
+/// is the failure model for files this layer itself wrote.
+[[nodiscard]] inline std::uint64_t fnv1a(const std::byte* p, std::size_t n) noexcept {
+  std::uint64_t h = 14695981039346656037ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<std::uint8_t>(p[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
 struct header {
-  std::uint64_t version = kVersion;
+  std::uint64_t version = kVersionRaw;
   std::uint64_t nranks = 0;
   std::uint64_t rank = 0;
   std::uint64_t ordering = 0;
@@ -84,13 +135,14 @@ struct header {
   std::uint64_t emeta_size = 0;
   std::uint64_t file_size = 0;
   std::uint64_t bm_words = 0;  ///< total hub-bitmap words W (0: no bitmap sections)
+  std::uint64_t table_checksum = 0;  ///< v3: FNV-1a of the section table
 
   void encode(std::byte out[kHeaderBytes]) const noexcept {
     std::memset(out, 0, kHeaderBytes);
-    const std::uint64_t words[11] = {kMagic,     kVersion,   nranks,    rank,
-                                     ordering,   n,          m,         vmeta_size,
-                                     emeta_size, file_size,  bm_words};
-    for (std::size_t i = 0; i < 11; ++i) serial::store_u64_le(out + 8 * i, words[i]);
+    const std::uint64_t words[12] = {kMagic,     version,   nranks,    rank,
+                                     ordering,   n,         m,         vmeta_size,
+                                     emeta_size, file_size, bm_words,  table_checksum};
+    for (std::size_t i = 0; i < 12; ++i) serial::store_u64_le(out + 8 * i, words[i]);
   }
 
   [[nodiscard]] static header decode(const std::byte in[kHeaderBytes],
@@ -99,7 +151,7 @@ struct header {
       throw std::runtime_error("load_snapshot: '" + path + "' is not a TriPoll snapshot");
     }
     const std::uint64_t version = serial::load_u64_le(in + 8);
-    if (version < kMinVersion || version > kVersion) {
+    if (version < kMinVersion || version > kMaxVersion) {
       throw std::runtime_error("load_snapshot: '" + path +
                                "' has unsupported snapshot version " +
                                std::to_string(version));
@@ -115,15 +167,18 @@ struct header {
     h.emeta_size = serial::load_u64_le(in + 64);
     h.file_size = serial::load_u64_le(in + 72);
     h.bm_words = version >= 2 ? serial::load_u64_le(in + 80) : 0;
+    h.table_checksum = version >= 3 ? serial::load_u64_le(in + 88) : 0;
     return h;
   }
 };
 
-/// Section sizes, in file order.  Version 2 appends three bitmap sections
-/// (zero-sized when W == 0); version-1 files have exactly the first 10 --
-/// `num_sections(h)` bounds every walk, because even a zero-sized trailing
-/// section affects the file size through its alignment padding.
-[[nodiscard]] inline std::array<std::uint64_t, 13> section_bytes(const header& h) {
+/// Logical (decoded) section sizes, in file order.  Version 2+ appends
+/// three bitmap sections (zero-sized when W == 0); version-1 files have
+/// exactly the first 10 -- `num_sections(h)` bounds every walk, because
+/// even a zero-sized trailing section affects the file size through its
+/// alignment padding.
+[[nodiscard]] inline std::array<std::uint64_t, kNumSections> section_bytes(
+    const header& h) {
   const std::uint64_t bm_off = h.bm_words > 0 ? (h.n + 1) * 8 : 0;
   const std::uint64_t bm_base = h.bm_words > 0 ? h.n * 8 : 0;
   return {h.n * 8,          h.n * 8, h.n * 8, (h.n + 1) * 8, h.n * h.vmeta_size,
@@ -132,16 +187,121 @@ struct header {
 }
 
 [[nodiscard]] inline std::size_t num_sections(const header& h) noexcept {
-  return h.version >= 2 ? 13 : 10;
+  return h.version >= 2 ? kNumSections : 10;
 }
 
-/// Header + aligned sections for a fully-populated header (version-aware).
+/// Header + aligned sections for a fully-populated RAW (v1/v2) header.
 [[nodiscard]] inline std::uint64_t file_bytes_for(const header& h) {
   std::uint64_t size = kHeaderBytes;
   const auto sizes = section_bytes(h);
   for (std::size_t i = 0; i < num_sections(h); ++i) size = align_up(size) + sizes[i];
   return size;
 }
+
+// --- column codecs ----------------------------------------------------------
+
+inline void append_varint(std::vector<std::byte>& out, std::uint64_t v) {
+  std::byte tmp[serial::kMaxVarintBytes];
+  out.insert(out.end(), tmp, tmp + serial::varint_encode(tmp, v));
+}
+
+/// zigzag(v[i] - v[i-1]) varint stream; v[-1] = 0.
+[[nodiscard]] inline std::vector<std::byte> encode_delta(const std::uint64_t* v,
+                                                         std::size_t n) {
+  std::vector<std::byte> out;
+  out.reserve(n * 2 + 16);
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    append_varint(out, serial::zigzag_encode(static_cast<std::int64_t>(v[i] - prev)));
+    prev = v[i];
+  }
+  return out;
+}
+
+/// Gap varint stream for monotonically non-decreasing columns (offsets).
+[[nodiscard]] inline std::vector<std::byte> encode_gap(const std::uint64_t* v,
+                                                       std::size_t n) {
+  std::vector<std::byte> out;
+  out.reserve(n + 16);
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    append_varint(out, v[i] - prev);
+    prev = v[i];
+  }
+  return out;
+}
+
+/// Per-vertex delta chains over the CSR target column: the zigzag delta
+/// restarts (against 0) at every slice boundary, so one vertex's sorted
+/// neighbourhood compresses on its own locality.
+[[nodiscard]] inline std::vector<std::byte> encode_vertex_delta(
+    const std::uint64_t* v, const std::uint64_t* offset, std::size_t n) {
+  std::vector<std::byte> out;
+  const std::size_t m = n > 0 ? static_cast<std::size_t>(offset[n]) : 0;
+  out.reserve(m * 2 + 16);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t prev = 0;
+    for (std::uint64_t k = offset[i]; k < offset[i + 1]; ++k) {
+      append_varint(out, serial::zigzag_encode(static_cast<std::int64_t>(v[k] - prev)));
+      prev = v[k];
+    }
+  }
+  return out;
+}
+
+[[noreturn]] inline void throw_corrupt(const std::string& path) {
+  throw std::runtime_error("load_snapshot: '" + path + "' is truncated or corrupt");
+}
+
+inline void decode_delta(const std::byte* p, const std::byte* end, std::uint64_t* out,
+                         std::size_t n, const std::string& path) {
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    prev += static_cast<std::uint64_t>(serial::zigzag_decode(serial::varint_decode(p, end)));
+    out[i] = prev;
+  }
+  if (p != end) throw_corrupt(path);  // trailing garbage after the last value
+}
+
+inline void decode_gap(const std::byte* p, const std::byte* end, std::uint64_t* out,
+                       std::size_t n, const std::string& path) {
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    prev += serial::varint_decode(p, end);
+    out[i] = prev;
+  }
+  if (p != end) throw_corrupt(path);
+}
+
+inline void decode_vertex_delta(const std::byte* p, const std::byte* end,
+                                std::uint64_t* out, const std::uint64_t* offset,
+                                std::size_t n, const std::string& path) {
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t prev = 0;
+    for (std::uint64_t k = offset[i]; k < offset[i + 1]; ++k) {
+      prev += static_cast<std::uint64_t>(
+          serial::zigzag_decode(serial::varint_decode(p, end)));
+      out[k] = prev;
+    }
+  }
+  if (p != end) throw_corrupt(path);
+}
+
+/// One section staged for a v3 write: either a view of the arena bytes
+/// (raw) or an owned encoded stream.
+struct staged_section {
+  column_codec codec = column_codec::raw;
+  const std::byte* raw_data = nullptr;
+  std::uint64_t raw_bytes = 0;
+  std::vector<std::byte> enc;
+
+  [[nodiscard]] const std::byte* data() const noexcept {
+    return codec == column_codec::raw ? raw_data : enc.data();
+  }
+  [[nodiscard]] std::uint64_t stored_bytes() const noexcept {
+    return codec == column_codec::raw ? raw_bytes : enc.size();
+  }
+};
 
 class file_writer {
  public:
@@ -191,8 +351,9 @@ class file_writer {
 
 }  // namespace snapshot_detail
 
-/// Total file size a rank's snapshot will occupy (header + aligned
+/// Total file size a rank's RAW snapshot will occupy (header + aligned
 /// sections).  `bm_words` is the hub-bitmap word count (0 for none / v1).
+/// Compressed (v3) file sizes are data-dependent; read them off the file.
 [[nodiscard]] inline std::uint64_t snapshot_file_bytes(std::uint64_t n, std::uint64_t m,
                                                        std::uint64_t vmeta_size,
                                                        std::uint64_t emeta_size,
@@ -207,11 +368,62 @@ class file_writer {
   return sd::file_bytes_for(h);
 }
 
+/// On-disk layout of one snapshot section (introspection for tests and the
+/// snapshot-IO bench): where the stored bytes sit, how many there are, and
+/// which column codec produced them (always 0/raw for v1/v2 files).
+struct snapshot_section_info {
+  std::uint64_t offset = 0;        ///< first stored byte within the file
+  std::uint64_t stored_bytes = 0;  ///< bytes on disk (== logical for raw)
+  std::uint64_t codec = 0;         ///< column codec tag
+};
+
+/// Read the section layout of one rank's snapshot file (any version).
+/// Validates only as much as the layout needs; load_snapshot remains the
+/// full integrity check.
+[[nodiscard]] inline std::vector<snapshot_section_info> snapshot_sections(
+    const std::string& path) {
+  namespace sd = snapshot_detail;
+  const auto file = mapped_file::map(path);
+  if (file->size() < sd::kHeaderBytes) {
+    throw std::runtime_error("snapshot_sections: '" + path + "' is truncated");
+  }
+  const auto h = sd::header::decode(file->data(), path);
+  std::vector<snapshot_section_info> out(sd::num_sections(h));
+  if (h.version >= 3) {
+    if (file->size() < sd::kHeaderBytes + sd::kTableBytes) {
+      throw std::runtime_error("snapshot_sections: '" + path + "' is truncated");
+    }
+    std::uint64_t running = sd::kHeaderBytes + sd::kTableBytes;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      const std::byte* row = file->data() + sd::kHeaderBytes + i * 24;
+      out[i].codec = serial::load_u64_le(row);
+      out[i].stored_bytes = serial::load_u64_le(row + 8);
+      running = sd::align_up(running);
+      out[i].offset = running;
+      running += out[i].stored_bytes;
+    }
+  } else {
+    const auto sizes = sd::section_bytes(h);
+    std::uint64_t running = sd::kHeaderBytes;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      running = sd::align_up(running);
+      out[i].offset = running;
+      out[i].stored_bytes = sizes[i];
+      running += sizes[i];
+    }
+  }
+  return out;
+}
+
 /// Collective: write every rank's frozen arenas under `prefix` (one file per
 /// rank, `snapshot_rank_path(prefix, r)`).  Returns this rank's file size.
 /// The trailing barrier guarantees all files exist once any rank returns.
+/// `codec` picks the file layout: raw (v2, mmap-ready verbatim sections) or
+/// compressed (v3, per-section varint/delta streams -- the structural
+/// columns shrink severalfold; metadata stays raw).
 template <typename VMeta, typename EMeta>
-std::uint64_t save_snapshot(frozen_dodgr<VMeta, EMeta>& g, const std::string& prefix) {
+std::uint64_t save_snapshot(frozen_dodgr<VMeta, EMeta>& g, const std::string& prefix,
+                            snapshot_codec codec) {
   namespace sd = snapshot_detail;
   static_assert(sd::snapshot_compatible<VMeta> && sd::snapshot_compatible<EMeta>,
                 "snapshots require bitwise-serializable (or empty) metadata; "
@@ -228,32 +440,108 @@ std::uint64_t save_snapshot(frozen_dodgr<VMeta, EMeta>& g, const std::string& pr
   h.vmeta_size = sd::element_size<VMeta>();
   h.emeta_size = sd::element_size<EMeta>();
   h.bm_words = ar.bm_words.size();
-  h.file_size = snapshot_file_bytes(h.n, h.m, h.vmeta_size, h.emeta_size, h.bm_words);
+
+  if (codec == snapshot_codec::raw) {
+    h.version = sd::kVersionRaw;
+    h.file_size = snapshot_file_bytes(h.n, h.m, h.vmeta_size, h.emeta_size, h.bm_words);
+
+    sd::file_writer out(snapshot_rank_path(prefix, c.rank()));
+    std::byte hdr[sd::kHeaderBytes];
+    h.encode(hdr);
+    out.write(hdr, sizeof(hdr));
+
+    const auto write_section = [&](const void* data, std::uint64_t bytes) {
+      out.pad_to_alignment();
+      out.write(data, bytes);
+    };
+    write_section(ar.vid.data(), ar.vid.bytes());
+    write_section(ar.degree.data(), ar.degree.bytes());
+    write_section(ar.order_rank.data(), ar.order_rank.bytes());
+    write_section(ar.offset.data(), ar.offset.bytes());
+    write_section(ar.vmeta.data(), ar.vmeta.bytes());
+    write_section(ar.target.data(), ar.target.bytes());
+    write_section(ar.target_rank.data(), ar.target_rank.bytes());
+    write_section(ar.target_out_degree.data(), ar.target_out_degree.bytes());
+    write_section(ar.emeta.data(), ar.emeta.bytes());
+    write_section(ar.target_vmeta.data(), ar.target_vmeta.bytes());
+    // v2 bitmap sections are always present in the walk; with no bitmap rows
+    // they are zero-sized and contribute only their alignment padding.
+    write_section(ar.bm_offset.data(), ar.bm_offset.bytes());
+    write_section(ar.bm_base.data(), ar.bm_base.bytes());
+    write_section(ar.bm_words.data(), ar.bm_words.bytes());
+    if (out.offset() != h.file_size) {
+      throw std::runtime_error("save_snapshot: internal size mismatch (wrote " +
+                               std::to_string(out.offset()) + ", expected " +
+                               std::to_string(h.file_size) + ")");
+    }
+    out.close();
+    c.barrier();
+    return h.file_size;
+  }
+
+  // --- compressed (v3) -------------------------------------------------------
+  h.version = sd::kVersionCompressed;
+
+  const auto raw_of = [](const auto& column) {
+    sd::staged_section s;
+    s.codec = sd::column_codec::raw;
+    s.raw_data = reinterpret_cast<const std::byte*>(column.data());
+    s.raw_bytes = column.bytes();
+    return s;
+  };
+  std::array<sd::staged_section, sd::kNumSections> secs;
+  secs[4] = raw_of(ar.vmeta);
+  secs[8] = raw_of(ar.emeta);
+  secs[9] = raw_of(ar.target_vmeta);
+  secs[12] = raw_of(ar.bm_words);
+
+  // Structural columns encode independently; fan the encoders out over the
+  // freeze thread pool sizing (the encode wall is one pass per column).
+  const auto stage = [&](std::size_t idx, sd::column_codec cc,
+                         std::function<std::vector<std::byte>()> enc) {
+    secs[idx].codec = cc;
+    secs[idx].enc = enc();
+  };
+  using cc = sd::column_codec;
+  const std::uint64_t* off64 = ar.offset.data();
+  stage(0, cc::varint_delta, [&] { return sd::encode_delta(ar.vid.data(), h.n); });
+  stage(1, cc::varint_delta, [&] { return sd::encode_delta(ar.degree.data(), h.n); });
+  stage(2, cc::varint_delta,
+        [&] { return sd::encode_delta(ar.order_rank.data(), h.n); });
+  stage(3, cc::varint_gap, [&] { return sd::encode_gap(off64, h.n + 1); });
+  stage(5, cc::varint_vertex_delta,
+        [&] { return sd::encode_vertex_delta(ar.target.data(), off64, h.n); });
+  stage(6, cc::varint_delta,
+        [&] { return sd::encode_delta(ar.target_rank.data(), h.m); });
+  stage(7, cc::varint_delta,
+        [&] { return sd::encode_delta(ar.target_out_degree.data(), h.m); });
+  stage(10, cc::varint_gap,
+        [&] { return sd::encode_gap(ar.bm_offset.data(), ar.bm_offset.size()); });
+  stage(11, cc::varint_delta,
+        [&] { return sd::encode_delta(ar.bm_base.data(), ar.bm_base.size()); });
+
+  // Section table + file size.
+  std::byte table[sd::kTableBytes];
+  std::uint64_t running = sd::kHeaderBytes + sd::kTableBytes;
+  for (std::size_t i = 0; i < sd::kNumSections; ++i) {
+    std::byte* row = table + i * 24;
+    serial::store_u64_le(row, static_cast<std::uint64_t>(secs[i].codec));
+    serial::store_u64_le(row + 8, secs[i].stored_bytes());
+    serial::store_u64_le(row + 16, sd::fnv1a(secs[i].data(), secs[i].stored_bytes()));
+    running = sd::align_up(running) + secs[i].stored_bytes();
+  }
+  h.file_size = running;
+  h.table_checksum = sd::fnv1a(table, sd::kTableBytes);
 
   sd::file_writer out(snapshot_rank_path(prefix, c.rank()));
   std::byte hdr[sd::kHeaderBytes];
   h.encode(hdr);
   out.write(hdr, sizeof(hdr));
-
-  const auto write_section = [&](const void* data, std::uint64_t bytes) {
+  out.write(table, sizeof(table));
+  for (const auto& s : secs) {
     out.pad_to_alignment();
-    out.write(data, bytes);
-  };
-  write_section(ar.vid.data(), ar.vid.bytes());
-  write_section(ar.degree.data(), ar.degree.bytes());
-  write_section(ar.order_rank.data(), ar.order_rank.bytes());
-  write_section(ar.offset.data(), ar.offset.bytes());
-  write_section(ar.vmeta.data(), ar.vmeta.bytes());
-  write_section(ar.target.data(), ar.target.bytes());
-  write_section(ar.target_rank.data(), ar.target_rank.bytes());
-  write_section(ar.target_out_degree.data(), ar.target_out_degree.bytes());
-  write_section(ar.emeta.data(), ar.emeta.bytes());
-  write_section(ar.target_vmeta.data(), ar.target_vmeta.bytes());
-  // v2 bitmap sections are always present in the walk; with no bitmap rows
-  // they are zero-sized and contribute only their alignment padding.
-  write_section(ar.bm_offset.data(), ar.bm_offset.bytes());
-  write_section(ar.bm_base.data(), ar.bm_base.bytes());
-  write_section(ar.bm_words.data(), ar.bm_words.bytes());
+    out.write(s.data(), s.stored_bytes());
+  }
   if (out.offset() != h.file_size) {
     throw std::runtime_error("save_snapshot: internal size mismatch (wrote " +
                              std::to_string(out.offset()) + ", expected " +
@@ -264,10 +552,19 @@ std::uint64_t save_snapshot(frozen_dodgr<VMeta, EMeta>& g, const std::string& pr
   return h.file_size;
 }
 
-/// Collective: reload a frozen graph saved by `save_snapshot`, mmap'ing this
-/// rank's file and pointing the arenas into the mapping (zero copy; the
-/// mapping stays pinned for the graph's lifetime).  The rank count must
-/// match the saving run's.  Throws std::runtime_error on any mismatch.
+/// Raw (v2) save -- the historical default layout.
+template <typename VMeta, typename EMeta>
+std::uint64_t save_snapshot(frozen_dodgr<VMeta, EMeta>& g, const std::string& prefix) {
+  return save_snapshot(g, prefix, snapshot_codec::raw);
+}
+
+/// Collective: reload a frozen graph saved by `save_snapshot`.  Raw (v1/v2)
+/// sections -- and the raw sections of a v3 file -- are zero-copy views
+/// into the mapping, pinned for the graph's lifetime; compressed v3
+/// sections decode section-by-section (in parallel, TRIPOLL_THREADS) into
+/// owned arenas after their checksums verify.  The rank count must match
+/// the saving run's.  Throws std::runtime_error on any mismatch, on
+/// sections that overrun the file, and on checksum failures.
 template <typename VMeta, typename EMeta>
 [[nodiscard]] frozen_dodgr<VMeta, EMeta> load_snapshot(comm::communicator& c,
                                                        const std::string& prefix) {
@@ -299,54 +596,240 @@ template <typename VMeta, typename EMeta>
         std::to_string(sd::element_size<VMeta>()) + "/" +
         std::to_string(sd::element_size<EMeta>()) + " bytes)");
   }
-  if (h.file_size != file->size() || h.file_size != sd::file_bytes_for(h)) {
-    throw std::runtime_error("load_snapshot: '" + path + "' is truncated or corrupt");
+  // Element counts are untrusted until proven in-bounds: every vertex and
+  // edge occupies at least one stored byte in some section (8 for raw), so
+  // counts beyond the file size mean a corrupt or hostile header -- and,
+  // unchecked, they would overflow the size arithmetic below into section
+  // views pointing past the mapping.
+  if (h.n > file->size() || h.m > file->size() || h.bm_words > file->size()) {
+    sd::throw_corrupt(path);
   }
-
-  // Walk the aligned sections, handing out views pinned by the mapping.
-  std::size_t offset = sd::kHeaderBytes;
-  const auto sizes = sd::section_bytes(h);
-  std::array<const std::byte*, 13> base{};
-  for (std::size_t i = 0; i < sd::num_sections(h); ++i) {
-    offset = sd::align_up(offset);
-    base[i] = file->data() + offset;
-    offset += sizes[i];
-  }
+  if (h.file_size != file->size()) sd::throw_corrupt(path);
 
   const std::shared_ptr<const void> keep = file;
-  const auto u64_view = [&](std::size_t sec, std::uint64_t count) {
-    return arena<std::uint64_t>(reinterpret_cast<const std::uint64_t*>(base[sec]),
-                                count, keep);
+  frozen_arenas<VMeta, EMeta> ar;
+
+  if (h.version < 3) {
+    if (h.file_size != sd::file_bytes_for(h)) sd::throw_corrupt(path);
+
+    // Walk the aligned sections, handing out views pinned by the mapping.
+    std::size_t offset = sd::kHeaderBytes;
+    const auto sizes = sd::section_bytes(h);
+    std::array<const std::byte*, sd::kNumSections> base{};
+    for (std::size_t i = 0; i < sd::num_sections(h); ++i) {
+      offset = sd::align_up(offset);
+      base[i] = file->data() + offset;
+      offset += sizes[i];
+    }
+
+    const auto u64_view = [&](std::size_t sec, std::uint64_t count) {
+      return arena<std::uint64_t>(reinterpret_cast<const std::uint64_t*>(base[sec]),
+                                  count, keep);
+    };
+    const auto vid_view = [&](std::size_t sec, std::uint64_t count) {
+      return arena<vertex_id>(reinterpret_cast<const vertex_id*>(base[sec]), count,
+                              keep);
+    };
+
+    ar.vid = vid_view(0, h.n);
+    ar.degree = u64_view(1, h.n);
+    ar.order_rank = u64_view(2, h.n);
+    ar.offset = u64_view(3, h.n + 1);
+    if constexpr (std::is_empty_v<VMeta>) {
+      ar.vmeta = meta_column<VMeta>(h.n);
+      ar.target_vmeta = meta_column<VMeta>(h.m);
+    } else {
+      ar.vmeta = meta_column<VMeta>(reinterpret_cast<const VMeta*>(base[4]), h.n, keep);
+      ar.target_vmeta =
+          meta_column<VMeta>(reinterpret_cast<const VMeta*>(base[9]), h.m, keep);
+    }
+    ar.target = vid_view(5, h.m);
+    ar.target_rank = u64_view(6, h.m);
+    ar.target_out_degree = u64_view(7, h.m);
+    if constexpr (std::is_empty_v<EMeta>) {
+      ar.emeta = meta_column<EMeta>(h.m);
+    } else {
+      ar.emeta = meta_column<EMeta>(reinterpret_cast<const EMeta*>(base[8]), h.m, keep);
+    }
+    if (h.bm_words > 0) {  // v1 files and bitmap-free v2 files: arenas stay empty
+      ar.bm_offset = u64_view(10, h.n + 1);
+      ar.bm_base = u64_view(11, h.n);
+      ar.bm_words = u64_view(12, h.bm_words);
+    }
+    return frozen_dodgr<VMeta, EMeta>(c, std::move(ar),
+                                      static_cast<ordering_policy>(h.ordering));
+  }
+
+  // --- version 3: codec-tagged sections --------------------------------------
+  if (file->size() < sd::kHeaderBytes + sd::kTableBytes) sd::throw_corrupt(path);
+  const std::byte* table = file->data() + sd::kHeaderBytes;
+  if (sd::fnv1a(table, sd::kTableBytes) != h.table_checksum) sd::throw_corrupt(path);
+
+  struct section_ref {
+    sd::column_codec codec = sd::column_codec::raw;
+    std::uint64_t stored = 0;
+    std::uint64_t checksum = 0;
+    const std::byte* data = nullptr;
   };
-  const auto vid_view = [&](std::size_t sec, std::uint64_t count) {
-    return arena<vertex_id>(reinterpret_cast<const vertex_id*>(base[sec]), count, keep);
+  std::array<section_ref, sd::kNumSections> secs;
+  std::uint64_t running = sd::kHeaderBytes + sd::kTableBytes;
+  for (std::size_t i = 0; i < sd::kNumSections; ++i) {
+    const std::byte* row = table + i * 24;
+    const std::uint64_t codec_tag = serial::load_u64_le(row);
+    if (codec_tag > static_cast<std::uint64_t>(sd::column_codec::varint_vertex_delta)) {
+      throw std::runtime_error("load_snapshot: '" + path +
+                               "' uses an unknown section codec " +
+                               std::to_string(codec_tag));
+    }
+    secs[i].codec = static_cast<sd::column_codec>(codec_tag);
+    secs[i].stored = serial::load_u64_le(row + 8);
+    secs[i].checksum = serial::load_u64_le(row + 16);
+    running = sd::align_up(running);
+    // Checked walk: a stored length may never run past the mapping.
+    if (running > file->size() || secs[i].stored > file->size() - running) {
+      sd::throw_corrupt(path);
+    }
+    secs[i].data = file->data() + running;
+    running += secs[i].stored;
+  }
+  if (running != h.file_size) sd::throw_corrupt(path);
+
+  const auto logical = sd::section_bytes(h);
+  const std::array<std::uint64_t, sd::kNumSections> counts = {
+      h.n, h.n, h.n, h.n + 1, h.n,
+      h.m, h.m, h.m, h.m,     h.m,
+      h.bm_words > 0 ? h.n + 1 : 0, h.bm_words > 0 ? h.n : 0, h.bm_words};
+  for (std::size_t i = 0; i < sd::kNumSections; ++i) {
+    if (secs[i].codec == sd::column_codec::raw) {
+      // Raw sections are served straight from the mapping; their stored
+      // size must equal the logical column size.
+      if (secs[i].stored != logical[i]) sd::throw_corrupt(path);
+    } else {
+      // A varint stream holds at least one byte per value: a smaller
+      // section can only be truncation, caught before allocating counts.
+      if (counts[i] > secs[i].stored) sd::throw_corrupt(path);
+    }
+  }
+
+  // Decode the offset column first (the target column's slice boundaries),
+  // then the remaining sections in parallel: checksum verify + decode per
+  // section, raw sections verify only and stay zero-copy.
+  const auto verify = [&](std::size_t i) {
+    if (sd::fnv1a(secs[i].data, secs[i].stored) != secs[i].checksum) {
+      sd::throw_corrupt(path);
+    }
+  };
+  const auto decode_u64 = [&](std::size_t i, std::vector<std::uint64_t>& out) {
+    out.resize(counts[i]);
+    const std::byte* p = secs[i].data;
+    const std::byte* end = p + secs[i].stored;
+    switch (secs[i].codec) {
+      case sd::column_codec::varint_delta:
+        sd::decode_delta(p, end, out.data(), out.size(), path);
+        break;
+      case sd::column_codec::varint_gap:
+        sd::decode_gap(p, end, out.data(), out.size(), path);
+        break;
+      default:
+        sd::throw_corrupt(path);  // vertex_delta is valid only for section 5
+    }
   };
 
-  frozen_arenas<VMeta, EMeta> ar;
-  ar.vid = vid_view(0, h.n);
-  ar.degree = u64_view(1, h.n);
-  ar.order_rank = u64_view(2, h.n);
-  ar.offset = u64_view(3, h.n + 1);
+  verify(3);
+  std::vector<std::uint64_t> offset_col;
+  if (secs[3].codec == sd::column_codec::raw) {
+    offset_col.assign(reinterpret_cast<const std::uint64_t*>(secs[3].data),
+                      reinterpret_cast<const std::uint64_t*>(secs[3].data) + h.n + 1);
+  } else {
+    decode_u64(3, offset_col);
+  }
+  // The CSR invariants double as decode bounds for the vertex-delta codec.
+  if (offset_col.empty() || offset_col.front() != 0 || offset_col.back() != h.m) {
+    sd::throw_corrupt(path);
+  }
+
+  std::vector<std::uint64_t> vid_col, degree_col, rank_col, target_col, trank_col,
+      toutdeg_col, bmoff_col, bmbase_col;
+  struct decode_task {
+    std::size_t sec;
+    std::vector<std::uint64_t>* out;  ///< nullptr: verify checksum only
+  };
+  std::vector<decode_task> tasks;
+  const auto plan = [&](std::size_t sec, std::vector<std::uint64_t>* out) {
+    tasks.push_back({sec, secs[sec].codec == sd::column_codec::raw ? nullptr : out});
+  };
+  plan(0, &vid_col);
+  plan(1, &degree_col);
+  plan(2, &rank_col);
+  plan(5, &target_col);
+  plan(6, &trank_col);
+  plan(7, &toutdeg_col);
+  plan(10, &bmoff_col);
+  plan(11, &bmbase_col);
+  tasks.push_back({4, nullptr});
+  tasks.push_back({8, nullptr});
+  tasks.push_back({9, nullptr});
+  tasks.push_back({12, nullptr});
+
+  const int threads = core::resolve_threads(0);
+  std::atomic<std::size_t> cursor{0};
+  core::fork_join(threads, [&](int) {
+    for (;;) {
+      const std::size_t t = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (t >= tasks.size()) break;
+      const auto& task = tasks[t];
+      verify(task.sec);
+      if (task.out == nullptr) continue;
+      if (task.sec == 5 &&
+          secs[5].codec == sd::column_codec::varint_vertex_delta) {
+        task.out->resize(h.m);
+        sd::decode_vertex_delta(secs[5].data, secs[5].data + secs[5].stored,
+                                task.out->data(), offset_col.data(),
+                                static_cast<std::size_t>(h.n), path);
+      } else {
+        decode_u64(task.sec, *task.out);
+      }
+    }
+  });
+  if (bmoff_col.size() == h.n + 1 &&
+      (bmoff_col.front() != 0 || bmoff_col.back() != h.bm_words)) {
+    sd::throw_corrupt(path);
+  }
+
+  const auto u64_arena = [&](std::size_t sec, std::vector<std::uint64_t>&& col) {
+    if (secs[sec].codec == sd::column_codec::raw) {
+      return arena<std::uint64_t>(reinterpret_cast<const std::uint64_t*>(secs[sec].data),
+                                  counts[sec], keep);
+    }
+    return arena<std::uint64_t>(std::move(col));
+  };
+  ar.vid = u64_arena(0, std::move(vid_col));
+  ar.degree = u64_arena(1, std::move(degree_col));
+  ar.order_rank = u64_arena(2, std::move(rank_col));
+  ar.offset = arena<std::uint64_t>(std::move(offset_col));
   if constexpr (std::is_empty_v<VMeta>) {
     ar.vmeta = meta_column<VMeta>(h.n);
     ar.target_vmeta = meta_column<VMeta>(h.m);
   } else {
-    ar.vmeta = meta_column<VMeta>(reinterpret_cast<const VMeta*>(base[4]), h.n, keep);
+    ar.vmeta =
+        meta_column<VMeta>(reinterpret_cast<const VMeta*>(secs[4].data), h.n, keep);
     ar.target_vmeta =
-        meta_column<VMeta>(reinterpret_cast<const VMeta*>(base[9]), h.m, keep);
+        meta_column<VMeta>(reinterpret_cast<const VMeta*>(secs[9].data), h.m, keep);
   }
-  ar.target = vid_view(5, h.m);
-  ar.target_rank = u64_view(6, h.m);
-  ar.target_out_degree = u64_view(7, h.m);
+  ar.target = u64_arena(5, std::move(target_col));
+  ar.target_rank = u64_arena(6, std::move(trank_col));
+  ar.target_out_degree = u64_arena(7, std::move(toutdeg_col));
   if constexpr (std::is_empty_v<EMeta>) {
     ar.emeta = meta_column<EMeta>(h.m);
   } else {
-    ar.emeta = meta_column<EMeta>(reinterpret_cast<const EMeta*>(base[8]), h.m, keep);
+    ar.emeta =
+        meta_column<EMeta>(reinterpret_cast<const EMeta*>(secs[8].data), h.m, keep);
   }
-  if (h.bm_words > 0) {  // v1 files and bitmap-free v2 files: arenas stay empty
-    ar.bm_offset = u64_view(10, h.n + 1);
-    ar.bm_base = u64_view(11, h.n);
-    ar.bm_words = u64_view(12, h.bm_words);
+  if (h.bm_words > 0) {
+    ar.bm_offset = u64_arena(10, std::move(bmoff_col));
+    ar.bm_base = u64_arena(11, std::move(bmbase_col));
+    ar.bm_words = arena<std::uint64_t>(
+        reinterpret_cast<const std::uint64_t*>(secs[12].data), h.bm_words, keep);
   }
   return frozen_dodgr<VMeta, EMeta>(c, std::move(ar),
                                     static_cast<ordering_policy>(h.ordering));

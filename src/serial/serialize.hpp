@@ -42,6 +42,54 @@ namespace tripoll::serial {
 class writer;
 class reader;
 
+/// Upper bound of one encoded varint: 64 bits / 7 bits-per-byte, rounded up.
+inline constexpr std::size_t kMaxVarintBytes = 10;
+
+/// Encode `v` as LEB128 into `out` (which must hold kMaxVarintBytes);
+/// returns the number of bytes written.  The raw-buffer twin of
+/// writer::write_varint, shared with the snapshot column codecs
+/// (graph/snapshot.hpp) that encode outside an archive.
+[[nodiscard]] inline std::size_t varint_encode(std::byte* out, std::uint64_t v) noexcept {
+  std::size_t n = 0;
+  while (v >= 0x80) {
+    out[n++] = static_cast<std::byte>((v & 0x7F) | 0x80);
+    v >>= 7;
+  }
+  out[n++] = static_cast<std::byte>(v);
+  return n;
+}
+
+/// Decode one LEB128 varint from [p, end), advancing `p` past it.  Throws
+/// deserialize_error on truncation or a continuation chain past 64 bits.
+[[nodiscard]] inline std::uint64_t varint_decode(const std::byte*& p, const std::byte* end) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  const std::byte* q = p;
+  while (q != end) {
+    const auto byte = static_cast<std::uint8_t>(*q++);
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      p = q;
+      return v;
+    }
+    shift += 7;
+    if (shift >= 64) throw deserialize_error("varint too long");
+  }
+  throw deserialize_error("varint: read past end of buffer");
+}
+
+/// ZigZag-map a signed delta onto the unsigned varint domain so small
+/// negative values stay short (-1 -> 1, 1 -> 2, ...).  Columns sorted by
+/// the <+ order key -- not by raw id -- produce deltas of either sign, so
+/// the snapshot delta codecs always go through this mapping.
+[[nodiscard]] constexpr std::uint64_t zigzag_encode(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^ static_cast<std::uint64_t>(v >> 63);
+}
+
+[[nodiscard]] constexpr std::int64_t zigzag_decode(std::uint64_t v) noexcept {
+  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
+}
+
 namespace detail {
 
 /// Opt-out marker: a trivially copyable type whose wire format must go
@@ -152,14 +200,8 @@ class writer {
   /// Bytes are stored straight into the sink through prepare()/commit():
   /// one capacity check per varint, no intermediate copies.
   void write_varint(std::uint64_t v) {
-    std::byte* out = sink_->prepare(10);  // 64 bits / 7 bits-per-byte, rounded up
-    std::size_t n = 0;
-    while (v >= 0x80) {
-      out[n++] = static_cast<std::byte>((v & 0x7F) | 0x80);
-      v >>= 7;
-    }
-    out[n++] = static_cast<std::byte>(v);
-    sink_->commit(n);
+    std::byte* out = sink_->prepare(kMaxVarintBytes);
+    sink_->commit(varint_encode(out, v));
   }
 
   void write_raw(const void* data, std::size_t n) { sink_->append(data, n); }
@@ -187,21 +229,10 @@ class reader {
   /// bytes remaining instead of a checked single-byte read per byte.
   [[nodiscard]] std::uint64_t read_varint() {
     const std::byte* p = source_->cursor();
-    const std::size_t limit = source_->remaining();
-    std::uint64_t v = 0;
-    int shift = 0;
-    std::size_t i = 0;
-    while (i < limit) {
-      const auto byte = static_cast<std::uint8_t>(p[i++]);
-      v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
-      if ((byte & 0x80) == 0) {
-        source_->advance(i);
-        return v;
-      }
-      shift += 7;
-      if (shift >= 64) throw deserialize_error("varint too long");
-    }
-    throw deserialize_error("buffer_reader: read past end of buffer");
+    const std::byte* const begin = p;
+    const std::uint64_t v = varint_decode(p, begin + source_->remaining());
+    source_->advance(static_cast<std::size_t>(p - begin));
+    return v;
   }
 
   void read_raw(void* dst, std::size_t n) { source_->read(dst, n); }

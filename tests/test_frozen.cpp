@@ -451,6 +451,258 @@ TEST(Snapshot, SocketRanksSaveAndLoadAcrossBackends) {
   remove_snapshot(prefix, 3);
 }
 
+// --- parallel freeze --------------------------------------------------------
+
+namespace {
+
+/// Byte-compare every column of two arena bundles.
+template <typename Arenas>
+void expect_arenas_identical(const Arenas& a, const Arenas& b, const char* tag) {
+  const auto col = [&](const auto& x, const auto& y, const char* name) {
+    ASSERT_EQ(x.size(), y.size()) << tag << " " << name;
+    if (x.bytes() > 0) {
+      EXPECT_EQ(std::memcmp(x.data(), y.data(), x.bytes()), 0) << tag << " " << name;
+    }
+  };
+  col(a.vid, b.vid, "vid");
+  col(a.degree, b.degree, "degree");
+  col(a.order_rank, b.order_rank, "order_rank");
+  col(a.offset, b.offset, "offset");
+  col(a.vmeta, b.vmeta, "vmeta");
+  col(a.target, b.target, "target");
+  col(a.target_rank, b.target_rank, "target_rank");
+  col(a.target_out_degree, b.target_out_degree, "target_out_degree");
+  col(a.emeta, b.emeta, "emeta");
+  col(a.target_vmeta, b.target_vmeta, "target_vmeta");
+  col(a.bm_offset, b.bm_offset, "bm_offset");
+  col(a.bm_base, b.bm_base, "bm_base");
+  col(a.bm_words, b.bm_words, "bm_words");
+}
+
+}  // namespace
+
+TEST(ParallelFreeze, ByteIdenticalArenasAcrossThreadCounts) {
+  tc::runtime::run(2, [](tc::communicator& c) {
+    meta_graph g(c);
+    build_meta_graph(c, g, tg::ordering_policy::degeneracy);
+    tg::freeze_options serial_opts;
+    serial_opts.threads = 1;
+    auto base = tg::freeze(g, serial_opts);
+    for (const int threads : {2, 4, 8}) {
+      tg::freeze_options o;
+      o.threads = threads;
+      auto fz = tg::freeze(g, o);
+      expect_arenas_identical(base.arenas(), fz.arenas(),
+                              ("threads=" + std::to_string(threads)).c_str());
+    }
+  });
+}
+
+TEST(ParallelFreeze, HubBitmapRowsIdenticalAcrossThreadCounts) {
+  // Counting-shape freeze (empty metadata) with a low hub threshold so the
+  // bitmap sections are non-empty; the two-pass parallel builder must place
+  // every row exactly where the serial appender did.
+  tc::runtime::run(2, [](tc::communicator& c) {
+    tg::dodgr<tg::none, tg::none> g(c);
+    tg::graph_builder<tg::none, tg::none> builder(c, tg::ordering_policy::degree);
+    tripoll::gen::erdos_renyi_generator er(120, 1500, 77);
+    for (std::uint64_t k = static_cast<std::uint64_t>(c.rank()); k < er.num_edges();
+         k += static_cast<std::uint64_t>(c.size())) {
+      const auto e = er.edge_at(k);
+      if (e.u != e.v) builder.add_edge(e.u, e.v);
+    }
+    builder.build_into(g);
+    tg::freeze_options serial_opts;
+    serial_opts.hub_degree_threshold = 4;
+    serial_opts.threads = 1;
+    auto base = tg::freeze(g, serial_opts);
+    ASSERT_GT(base.arenas().bm_words.size(), 0u) << "test graph grew no bitmap rows";
+    for (const int threads : {2, 4, 8}) {
+      tg::freeze_options o = serial_opts;
+      o.threads = threads;
+      auto fz = tg::freeze(g, o);
+      expect_arenas_identical(base.arenas(), fz.arenas(),
+                              ("bm threads=" + std::to_string(threads)).c_str());
+    }
+  });
+}
+
+// --- compressed snapshots (format v3) ---------------------------------------
+
+TEST(Snapshot, CompressedRoundTripMatchesRawAndShrinks) {
+  const std::string praw = fresh_prefix("v3_raw");
+  const std::string pcmp = fresh_prefix("v3_cmp");
+  tc::runtime::run(2, [&](tc::communicator& c) {
+    meta_graph g(c);
+    build_meta_graph(c, g, tg::ordering_policy::degeneracy);
+    auto fz = tg::freeze(g);
+    const auto raw_bytes = tg::save_snapshot(fz, praw);
+    const auto cmp_bytes =
+        tg::save_snapshot(fz, pcmp, tg::snapshot_codec::compressed);
+    EXPECT_LT(cmp_bytes, raw_bytes);
+
+    auto from_raw = tg::load_snapshot<std::uint64_t, std::uint64_t>(c, praw);
+    auto from_cmp = tg::load_snapshot<std::uint64_t, std::uint64_t>(c, pcmp);
+    expect_arenas_identical(from_raw.arenas(), from_cmp.arenas(), "raw-vs-v3");
+
+    hist a, b;
+    auto ra = tripoll::survey(from_raw).add(closure_cb{}, a).run({});
+    auto rb = tripoll::survey(from_cmp).add(closure_cb{}, b).run({});
+    EXPECT_EQ(ra.total.triangles_found, rb.total.triangles_found);
+    EXPECT_EQ(ra.total.total.volume_bytes, rb.total.total.volume_bytes);
+    EXPECT_EQ(ra.total.total.messages, rb.total.total.messages);
+    EXPECT_EQ(c.all_reduce_sum(hist_digest(a)), c.all_reduce_sum(hist_digest(b)));
+  });
+  remove_snapshot(praw, 2);
+  remove_snapshot(pcmp, 2);
+}
+
+TEST(Snapshot, CompressedBitmapSectionsRoundTrip) {
+  const std::string praw = fresh_prefix("v3_bm_raw");
+  const std::string pcmp = fresh_prefix("v3_bm_cmp");
+  tc::runtime::run(1, [&](tc::communicator& c) {
+    tg::dodgr<tg::none, tg::none> g(c);
+    tg::graph_builder<tg::none, tg::none> builder(c, tg::ordering_policy::degree);
+    tripoll::gen::erdos_renyi_generator er(120, 1500, 78);
+    for (std::uint64_t k = 0; k < er.num_edges(); ++k) {
+      const auto e = er.edge_at(k);
+      if (e.u != e.v) builder.add_edge(e.u, e.v);
+    }
+    builder.build_into(g);
+    tg::freeze_options o;
+    o.hub_degree_threshold = 4;
+    auto fz = tg::freeze(g, o);
+    ASSERT_GT(fz.arenas().bm_words.size(), 0u);
+    (void)tg::save_snapshot(fz, praw);
+    (void)tg::save_snapshot(fz, pcmp, tg::snapshot_codec::compressed);
+    auto from_raw = tg::load_snapshot<tg::none, tg::none>(c, praw);
+    auto from_cmp = tg::load_snapshot<tg::none, tg::none>(c, pcmp);
+    expect_arenas_identical(from_raw.arenas(), from_cmp.arenas(), "bm raw-vs-v3");
+  });
+  remove_snapshot(praw, 1);
+  remove_snapshot(pcmp, 1);
+}
+
+TEST(Snapshot, SectionTableReportsCodecs) {
+  const std::string praw = fresh_prefix("sect_raw");
+  const std::string pcmp = fresh_prefix("sect_cmp");
+  tc::runtime::run(1, [&](tc::communicator& c) {
+    meta_graph g(c);
+    build_meta_graph(c, g, tg::ordering_policy::degree);
+    auto fz = tg::freeze(g);
+    (void)tg::save_snapshot(fz, praw);
+    (void)tg::save_snapshot(fz, pcmp, tg::snapshot_codec::compressed);
+  });
+  const auto raw = tg::snapshot_sections(tg::snapshot_rank_path(praw, 0));
+  ASSERT_EQ(raw.size(), 13u);
+  for (const auto& s : raw) EXPECT_EQ(s.codec, 0u);  // v2: everything raw
+
+  const auto cmp = tg::snapshot_sections(tg::snapshot_rank_path(pcmp, 0));
+  ASSERT_EQ(cmp.size(), 13u);
+  // Structural u64 columns are varint-packed, metadata stays raw.
+  const std::vector<std::uint64_t> want_codec = {1, 1, 1, 2, 0, 3, 1, 1, 0, 0, 2, 1, 0};
+  for (std::size_t i = 0; i < cmp.size(); ++i) {
+    EXPECT_EQ(cmp[i].codec, want_codec[i]) << "section " << i;
+    if (cmp[i].codec != 0) {
+      EXPECT_LE(cmp[i].stored_bytes, raw[i].stored_bytes);
+    }
+  }
+  remove_snapshot(praw, 1);
+  remove_snapshot(pcmp, 1);
+}
+
+// --- corruption rejection ----------------------------------------------------
+
+namespace {
+
+/// Write `bytes` over the file at `path`.
+void rewrite_file(const std::string& path, const std::vector<char>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  if (!bytes.empty()) {
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  }
+  ASSERT_EQ(std::fclose(f), 0);
+}
+
+[[nodiscard]] std::vector<char> slurp_file(const std::string& path) {
+  const auto mapped = tg::mapped_file::map(path);
+  return {reinterpret_cast<const char*>(mapped->data()),
+          reinterpret_cast<const char*>(mapped->data()) + mapped->size()};
+}
+
+void expect_load_rejected(const std::string& prefix, const char* what) {
+  tc::runtime::run(1, [&](tc::communicator& c) {
+    EXPECT_THROW(((void)tg::load_snapshot<std::uint64_t, std::uint64_t>(c, prefix)),
+                 std::runtime_error)
+        << what;
+  });
+}
+
+}  // namespace
+
+TEST(Snapshot, TruncationSweepAtEverySectionBoundaryIsRejected) {
+  // Both layouts: a file cut at any section start (or mid-header) must be
+  // refused -- load_snapshot may never trust a section length into reading
+  // past the mapping.
+  for (const auto codec : {tg::snapshot_codec::raw, tg::snapshot_codec::compressed}) {
+    const std::string prefix =
+        fresh_prefix(codec == tg::snapshot_codec::raw ? "trunc_raw" : "trunc_v3");
+    tc::runtime::run(1, [&](tc::communicator& c) {
+      meta_graph g(c);
+      build_meta_graph(c, g, tg::ordering_policy::degree);
+      auto fz = tg::freeze(g);
+      (void)tg::save_snapshot(fz, prefix, codec);
+    });
+    const std::string path = tg::snapshot_rank_path(prefix, 0);
+    const auto pristine = slurp_file(path);
+    const auto sections = tg::snapshot_sections(path);
+    std::vector<std::size_t> cuts = {0, 8, 64, 127};
+    for (const auto& s : sections) cuts.push_back(static_cast<std::size_t>(s.offset));
+    for (const std::size_t cut : cuts) {
+      // Zero-sized trailing sections can sit exactly at the file end; a
+      // "cut" there is the whole file, not a truncation.
+      if (cut >= pristine.size()) continue;
+      rewrite_file(path, {pristine.begin(), pristine.begin() + cut});
+      expect_load_rejected(prefix, ("truncated at " + std::to_string(cut)).c_str());
+    }
+    rewrite_file(path, pristine);
+    tc::runtime::run(1, [&](tc::communicator& c) {  // restored file loads again
+      EXPECT_NO_THROW(((void)tg::load_snapshot<std::uint64_t, std::uint64_t>(c, prefix)));
+    });
+    remove_snapshot(prefix, 1);
+  }
+}
+
+TEST(Snapshot, CompressedFlipSweepAtEverySectionIsRejected) {
+  // v3 checksums every section (including raw metadata), so flipping the
+  // first byte of ANY non-empty section -- or of the section table -- must
+  // be caught, and the magic/version words are checked in both layouts.
+  const std::string prefix = fresh_prefix("flip_v3");
+  tc::runtime::run(1, [&](tc::communicator& c) {
+    meta_graph g(c);
+    build_meta_graph(c, g, tg::ordering_policy::degree);
+    auto fz = tg::freeze(g);
+    (void)tg::save_snapshot(fz, prefix, tg::snapshot_codec::compressed);
+  });
+  const std::string path = tg::snapshot_rank_path(prefix, 0);
+  const auto pristine = slurp_file(path);
+  const auto sections = tg::snapshot_sections(path);
+  std::vector<std::size_t> flip_at = {0, 8, 128};  // magic, version, section table
+  for (const auto& s : sections) {
+    if (s.stored_bytes > 0) flip_at.push_back(static_cast<std::size_t>(s.offset));
+  }
+  for (const std::size_t at : flip_at) {
+    ASSERT_LT(at, pristine.size());
+    auto corrupt = pristine;
+    corrupt[at] = static_cast<char>(corrupt[at] ^ 0x5A);
+    rewrite_file(path, corrupt);
+    expect_load_rejected(prefix, ("flipped byte " + std::to_string(at)).c_str());
+  }
+  rewrite_file(path, pristine);
+  remove_snapshot(prefix, 1);
+}
+
 // --- analytics over frozen storage ---------------------------------------------------
 
 TEST(Frozen, AnalyticsRunOnFrozenGraphs) {

@@ -266,6 +266,133 @@ TEST(ReadEdgeList, EndToEndGraphFromFile) {
   });
 }
 
+// --- parallel ingest --------------------------------------------------------
+
+namespace {
+
+using edge_seq = std::vector<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>>;
+
+/// Parse `path` under `nranks` ranks with `opts`, returning each rank's
+/// ORDERED edge sequence (weights folded in; absent weight recorded as a
+/// sentinel so "1 2" and "1 2 0" stay distinguishable) plus summed stats.
+std::vector<edge_seq> ingest_sequences(const std::string& path, int nranks,
+                                       const tg::ingest_options& opts,
+                                       tg::ingest_stats* agg = nullptr) {
+  std::vector<edge_seq> out(static_cast<std::size_t>(nranks));
+  std::mutex mutex;
+  tg::ingest_stats total;
+  tc::runtime::run(nranks, [&](tc::communicator& c) {
+    auto& mine = out[static_cast<std::size_t>(c.rank())];
+    const auto stats = tg::read_edge_list(
+        c, path,
+        [&](const tg::parsed_edge& e) {
+          mine.emplace_back(e.u, e.v, e.weight.value_or(~0ull));
+        },
+        opts);
+    const std::lock_guard lock(mutex);
+    total.lines += stats.lines;
+    total.edges += stats.edges;
+    total.malformed += stats.malformed;
+    total.bytes += stats.bytes;
+  });
+  if (agg != nullptr) *agg = total;
+  return out;
+}
+
+}  // namespace
+
+/// The tentpole contract: at every thread count each rank's edge SEQUENCE
+/// (not just multiset) is bit-identical to the serial read, across the
+/// line-ending and boundary shapes that stress the sub-slice ownership
+/// rule.
+TEST(ParallelIngest, BitIdenticalSequencesAcrossThreadCounts) {
+  struct ingest_case {
+    const char* name;
+    std::string contents;
+  };
+  std::string crlf, bare, mixed;
+  for (std::uint64_t i = 0; i < 160; ++i) {
+    crlf += std::to_string(i * 37 % 1000) + " " + std::to_string(i) + "\r\n";
+    bare += std::to_string(i) + "\t" + std::to_string(i * i % 777) + " " +
+            std::to_string(i * 13) + "\n";
+    mixed += (i % 9 == 4 ? std::string("bogus line ") + std::to_string(i)
+                         : std::to_string(i) + " " + std::to_string(i + 1)) +
+             "\n";
+  }
+  bare.pop_back();  // final line unterminated
+  const std::vector<ingest_case> cases = {
+      {"crlf", crlf},
+      {"no_trailing_newline", bare},
+      {"malformed_lines", mixed},
+      {"smaller_than_thread_count", "1 2\n"},
+      {"empty", ""},
+  };
+  for (const auto& tcase : cases) {
+    const TempFile file(tcase.contents);
+    for (const int nranks : {1, 3}) {
+      tg::ingest_stats serial_stats;
+      const auto serial =
+          ingest_sequences(file.path(), nranks, tg::ingest_options{1, false},
+                           &serial_stats);
+      for (const int threads : {2, 4, 8}) {
+        tg::ingest_stats par_stats;
+        const auto par = ingest_sequences(
+            file.path(), nranks, tg::ingest_options{threads, false}, &par_stats);
+        EXPECT_EQ(par, serial) << tcase.name << " nranks=" << nranks
+                               << " threads=" << threads;
+        EXPECT_EQ(par_stats.lines, serial_stats.lines) << tcase.name;
+        EXPECT_EQ(par_stats.edges, serial_stats.edges) << tcase.name;
+        EXPECT_EQ(par_stats.malformed, serial_stats.malformed) << tcase.name;
+        EXPECT_EQ(par_stats.bytes, serial_stats.bytes) << tcase.name;
+      }
+    }
+  }
+}
+
+TEST(ParallelIngest, ThreadCountFromEnvironment) {
+  // opts.threads == 0 defers to TRIPOLL_THREADS; the sequence contract
+  // holds regardless of where the count came from.
+  std::string contents;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    contents += std::to_string(i) + " " + std::to_string(i + 1) + "\n";
+  }
+  const TempFile file(contents);
+  const auto serial = ingest_sequences(file.path(), 1, tg::ingest_options{1, false});
+  ::setenv("TRIPOLL_THREADS", "4", 1);
+  const auto par = ingest_sequences(file.path(), 1, tg::ingest_options{0, false});
+  ::unsetenv("TRIPOLL_THREADS");
+  EXPECT_EQ(par, serial);
+}
+
+TEST(ParallelIngest, DirectIoFallsBackWhereUnsupported) {
+  // temp_directory_path is tmpfs on most CI runners, which rejects
+  // O_DIRECT: the reader must fall back to buffered reads and produce the
+  // identical sequence (and identical stats) either way.
+  std::string contents = "# direct-io probe\n";
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    contents += std::to_string(i * 7 % 500) + " " + std::to_string(i) + "\n";
+  }
+  const TempFile file(contents);
+  tg::ingest_stats buffered_stats, direct_stats;
+  const auto buffered = ingest_sequences(file.path(), 2, tg::ingest_options{2, false},
+                                         &buffered_stats);
+  const auto direct =
+      ingest_sequences(file.path(), 2, tg::ingest_options{2, true}, &direct_stats);
+  EXPECT_EQ(direct, buffered);
+  EXPECT_EQ(direct_stats.edges, buffered_stats.edges);
+  EXPECT_EQ(direct_stats.bytes, buffered_stats.bytes);
+}
+
+TEST(ParallelIngest, DirectIoEnvironmentOptIn) {
+  EXPECT_FALSE(tg::resolve_direct_io(false));
+  EXPECT_TRUE(tg::resolve_direct_io(true));
+  ::setenv("TRIPOLL_DIRECT_IO", "1", 1);
+  EXPECT_TRUE(tg::resolve_direct_io(false));
+  ::setenv("TRIPOLL_DIRECT_IO", "0", 1);
+  EXPECT_FALSE(tg::resolve_direct_io(false));
+  ::unsetenv("TRIPOLL_DIRECT_IO");
+}
+
 TEST(EdgeListWriter, RoundTripsThroughReader) {
   const auto path = (std::filesystem::temp_directory_path() /
                      ("tripoll_writer_test_" + std::to_string(::getpid()) + ".txt"))

@@ -428,3 +428,139 @@ TEST(Analytics, FusedClusteringAndSupportMatchesSeparateRuns) {
     EXPECT_EQ(support_fused.gather_all(), support_sep.gather_all());
   });
 }
+
+// --- projection inference ------------------------------------------------------------
+
+namespace {
+
+/// u64/u64 metadata graph matching what the library callbacks project
+/// (timestamp_projection needs a uint64-convertible edge meta).
+using scalar_graph = tg::dodgr<std::uint64_t, std::uint64_t>;
+
+void build_scalar(tc::communicator& c, scalar_graph& g) {
+  tg::graph_builder<std::uint64_t, std::uint64_t> builder(c,
+                                                          tg::ordering_policy::degree);
+  const auto add = [&](tg::vertex_id u, tg::vertex_id v) {
+    builder.add_edge(u, v, edge_ts(u, v));
+  };
+  if (c.rank0()) {
+    for (tg::vertex_id u = 0; u < 8; ++u) {
+      for (tg::vertex_id v = u + 1; v < 8; ++v) add(u, v);
+    }
+  }
+  tripoll::gen::erdos_renyi_generator er(80, 500, 321);
+  for (std::uint64_t k = static_cast<std::uint64_t>(c.rank()); k < er.num_edges();
+       k += static_cast<std::uint64_t>(c.size())) {
+    const auto e = er.edge_at(k);
+    if (e.u == e.v) continue;
+    add(e.u + 100, e.v + 100);
+  }
+  builder.build_into(g);
+  g.for_all_local([](const tg::vertex_id& v, auto& rec) {
+    rec.meta = vertex_label(v);
+    for (auto& e : rec.adj) e.target_meta = vertex_label(e.target);
+  });
+}
+
+}  // namespace
+
+TEST(PlanInference, UnionOfDeclaredProjectionTypes) {
+  tc::runtime::run(1, [](tc::communicator& c) {
+    scalar_graph g(c);
+    build_scalar(c, g);
+    cb::count_context cnt;
+    tc::counting_set<cb::closure_bin> bins(c);
+    cb::closure_time_context closure{&bins};
+    cb::degree_triple_context degrees;
+    cb::max_edge_label_context<std::uint64_t> labels;
+
+    // drop ∪ drop stays drop.
+    using only_count = decltype(tripoll::survey(g).add(cb::count_callback{}, cnt));
+    static_assert(std::is_same_v<only_count::inferred_vertex_projection,
+                                 tripoll::drop_projection>);
+    static_assert(std::is_same_v<only_count::inferred_edge_projection,
+                                 tripoll::drop_projection>);
+
+    // drop defers to the non-trivial demand on either side.
+    using count_closure = decltype(tripoll::survey(g)
+                                       .add(cb::count_callback{}, cnt)
+                                       .add(cb::closure_time_callback{}, closure));
+    static_assert(std::is_same_v<count_closure::inferred_vertex_projection,
+                                 tripoll::drop_projection>);
+    static_assert(std::is_same_v<count_closure::inferred_edge_projection,
+                                 cb::timestamp_projection>);
+
+    using closure_degrees = decltype(tripoll::survey(g)
+                                         .add(cb::closure_time_callback{}, closure)
+                                         .add(cb::degree_triple_callback{}, degrees));
+    static_assert(std::is_same_v<closure_degrees::inferred_vertex_projection,
+                                 cb::degree_projection>);
+    static_assert(std::is_same_v<closure_degrees::inferred_edge_projection,
+                                 cb::timestamp_projection>);
+
+    // Two distinct non-trivial demands widen to identity.
+    using mixed = decltype(tripoll::survey(g)
+                               .add(cb::closure_time_callback{}, closure)
+                               .add(cb::max_edge_label_callback{}, labels));
+    static_assert(std::is_same_v<mixed::inferred_vertex_projection,
+                                 tripoll::identity_projection>);
+    static_assert(std::is_same_v<mixed::inferred_edge_projection,
+                                 tripoll::identity_projection>);
+    SUCCEED();
+  });
+}
+
+TEST(PlanInference, InferredRunEquivalentToExplicitProjections) {
+  tc::runtime::run(3, [](tc::communicator& c) {
+    scalar_graph g(c);
+    build_scalar(c, g);
+
+    const auto run_once = [&](auto plan, cb::count_context& cnt,
+                              tc::counting_set<cb::closure_bin>& bins) {
+      auto res = plan.run({});
+      bins.finalize();
+      (void)cnt;
+      return res;
+    };
+
+    cb::count_context c1, c2, c3;
+    tc::counting_set<cb::closure_bin> b1(c), b2(c), b3(c);
+    cb::closure_time_context cl1{&b1}, cl2{&b2}, cl3{&b3};
+
+    auto inferred = run_once(tripoll::survey(g)
+                                 .add(cb::count_callback{}, c1)
+                                 .add(cb::closure_time_callback{}, cl1)
+                                 .infer_projections(),
+                             c1, b1);
+    auto explicit_ = run_once(tripoll::survey(g)
+                                  .project_vertex(tripoll::drop_projection{})
+                                  .project_edge(cb::timestamp_projection{})
+                                  .add(cb::count_callback{}, c2)
+                                  .add(cb::closure_time_callback{}, cl2),
+                              c2, b2);
+    auto identity = run_once(tripoll::survey(g)
+                                 .add(cb::count_callback{}, c3)
+                                 .add(cb::closure_time_callback{}, cl3),
+                             c3, b3);
+
+    // Inferred == explicitly projected, bit for bit (traffic included).
+    require(inferred.total.triangles_found == explicit_.total.triangles_found,
+            "inference changed the triangle count");
+    require(inferred.total.total.volume_bytes == explicit_.total.total.volume_bytes,
+            "inference changed the wire volume");
+    require(inferred.total.total.messages == explicit_.total.total.messages,
+            "inference changed the message count");
+    require(inferred.invocations == explicit_.invocations,
+            "inference changed callback fire counts");
+    require(b1.gather_all() == b2.gather_all(),
+            "inference changed the closure histogram");
+
+    // ...and cheaper than the identity-projection run (vertex meta dropped).
+    require(identity.total.triangles_found == inferred.total.triangles_found,
+            "identity run found different triangles");
+    require(inferred.total.total.volume_bytes < identity.total.total.volume_bytes,
+            "inferred projections did not shrink the wire volume");
+    require(b1.gather_all() == b3.gather_all(),
+            "projection changed the closure histogram");
+  });
+}

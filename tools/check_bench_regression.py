@@ -56,13 +56,28 @@ Parallel gates (PR 6): --parallel-gates points at the JSON emitted by
 Like the other gates these are checks within one run, needing no committed
 baseline; BENCH_pr6.json records the trajectory for humans.
 
+IO gates (PR 8): --io-gates points at the JSON emitted by
+`bench_snapshot_io --json` and asserts, from that run's `pr8_io_cases`:
+  * identical triangle counts between the raw (v2) and compressed (v3)
+    snapshot loads of every case (bit-identity is unconditional),
+  * raw/compressed snapshot byte ratio >= --io-compression-min (1.7) per
+    case (the delta/varint codecs must actually shrink the file),
+  * compressed/raw load wall ratio <= --io-load-max (1.15) per case (the
+    parallel per-section decode must stay near the mmap hot-cache path),
+  * combined (ingest+freeze) 1-thread/4-thread speedup >=
+    --io-speedup-min (1.6) on rmat, skipped when the recording machine
+    had fewer than 4 hardware threads.
+Like the other gates these are checks within one run, needing no committed
+baseline; BENCH_pr8.json records the trajectory for humans.
+
 Usage:
   tools/check_bench_regression.py --current bench-results [--baseline-dir .]
                                   [--threshold 3.0] [--plan-gates fig9.json]
                                   [--storage-gates storage.json]
                                   [--parallel-gates parallel.json]
+                                  [--io-gates io.json]
 At least one of --current / --plan-gates / --storage-gates /
---parallel-gates is required.
+--parallel-gates / --io-gates is required.
 Exit status: 0 ok, 1 regression found, 2 usage/IO error.
 """
 
@@ -277,6 +292,55 @@ def check_parallel_gates(path, speedup_min):
     return failures
 
 
+def check_io_gates(path, compression_min, load_max, speedup_min):
+    """Verify the ingest/snapshot acceptance ratios in a bench_snapshot_io
+    --json artifact.  Returns a list of failure strings (empty = pass)."""
+    with open(path) as f:
+        doc = json.load(f)
+    cases = doc.get("pr8_io_cases")
+    if not isinstance(cases, dict) or not cases:
+        return [f"{path}: no pr8_io_cases object"]
+    hw_threads = doc.get("params", {}).get("hw_threads", 0)
+
+    failures = []
+    for name, case in sorted(cases.items()):
+        if case.get("triangles_raw") != case.get("triangles_compressed"):
+            failures.append(f"{name}: triangle counts diverge across snapshot "
+                            f"codecs ({case.get('triangles_raw')} raw vs "
+                            f"{case.get('triangles_compressed')} compressed)")
+        raw_b = case.get("snapshot_bytes_raw", 0)
+        cmp_b = case.get("snapshot_bytes_compressed", 0)
+        compression = raw_b / cmp_b if cmp_b > 0 else 0.0
+        raw_s = case.get("load_seconds_raw", 0.0)
+        cmp_s = case.get("load_seconds_compressed", 0.0)
+        load_ratio = cmp_s / raw_s if raw_s > 0 else float("inf")
+        serial_s = (case.get("ingest_seconds_1t", 0.0)
+                    + case.get("freeze_seconds_1t", 0.0))
+        par_s = (case.get("ingest_seconds_4t", 0.0)
+                 + case.get("freeze_seconds_4t", 0.0))
+        speedup = serial_s / par_s if par_s > 0 else 0.0
+        print(f"io gate: {name}: compression {compression:.2f}x "
+              f"(needs >= {compression_min:.2f}x), load {load_ratio:.3f}x of "
+              f"mmap (needs <= {load_max:.2f}x), pipeline speedup "
+              f"{speedup:.2f}x (needs >= {speedup_min:.2f}x on rmat; "
+              f"hw_threads={hw_threads})")
+        if compression < compression_min:
+            failures.append(f"{name}: compressed snapshot only {compression:.2f}x "
+                            f"smaller than raw (< {compression_min:.2f}x)")
+        if load_ratio > load_max:
+            failures.append(f"{name}: compressed load {load_ratio:.3f}x of the "
+                            f"mmap path (> {load_max:.2f}x)")
+        if name == "rmat":
+            if hw_threads >= 4:
+                if speedup < speedup_min:
+                    failures.append(f"rmat: ingest+freeze 4-thread speedup "
+                                    f"{speedup:.2f}x (< {speedup_min:.2f}x)")
+            else:
+                print("io gate: fewer than 4 hardware threads, "
+                      "speedup gate skipped")
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--current",
@@ -309,12 +373,22 @@ def main():
     parser.add_argument("--parallel-speedup-min", type=float, default=1.6,
                         help="minimum rmat speedup at 4 threads (skipped on "
                              "machines with < 4 hardware threads)")
+    parser.add_argument("--io-gates",
+                        help="bench_snapshot_io --json artifact to check the "
+                             "ingest/snapshot acceptance gates against")
+    parser.add_argument("--io-compression-min", type=float, default=1.7,
+                        help="minimum raw/compressed snapshot byte ratio")
+    parser.add_argument("--io-load-max", type=float, default=1.15,
+                        help="maximum compressed/raw snapshot load wall ratio")
+    parser.add_argument("--io-speedup-min", type=float, default=1.6,
+                        help="minimum rmat ingest+freeze speedup at 4 threads "
+                             "(skipped on machines with < 4 hardware threads)")
     args = parser.parse_args()
 
     if (not args.current and not args.plan_gates and not args.storage_gates
-            and not args.parallel_gates):
-        parser.error("need --current, --plan-gates, --storage-gates and/or "
-                     "--parallel-gates")
+            and not args.parallel_gates and not args.io_gates):
+        parser.error("need --current, --plan-gates, --storage-gates, "
+                     "--parallel-gates and/or --io-gates")
 
     # All requested checks always run so one CI pass reports every failure
     # class; the combined exit status is the worst of them.
@@ -362,6 +436,20 @@ def main():
                 print(f"  {f}")
         else:
             print("OK: parallel-traversal gates pass")
+        gate_failures += failures
+    if args.io_gates:
+        try:
+            failures = check_io_gates(args.io_gates, args.io_compression_min,
+                                      args.io_load_max, args.io_speedup_min)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"error: {e}")
+            return 2
+        if failures:
+            print("\nFAIL: ingest/snapshot gate(s) violated:")
+            for f in failures:
+                print(f"  {f}")
+        else:
+            print("OK: ingest/snapshot gates pass")
         gate_failures += failures
     if not args.current:
         return 1 if gate_failures else 0

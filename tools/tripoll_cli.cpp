@@ -28,6 +28,7 @@
 //   snapshot save <edges.txt> <prefix> [ranks]
 //                                       build + freeze a graph from a file and
 //                                       write per-rank CSR snapshot files
+//                                       (--compress: delta/varint v3 layout)
 //   snapshot load <prefix> [ranks] [push_pull|push_only]
 //                                       mmap the snapshot (skipping edge
 //                                       shuffle and ordering peel) and run the
@@ -102,8 +103,11 @@ int usage() {
                "                                  socket forks one process per rank, or\n"
                "                                  joins a TRIPOLL_RANK rendezvous)\n"
                "  --threads <n>                   worker threads per rank for frozen-graph\n"
-               "                                  surveys (default: TRIPOLL_THREADS env or 1;\n"
-               "                                  results are identical at any count)\n");
+               "                                  surveys, parallel ingest and freeze\n"
+               "                                  (default: TRIPOLL_THREADS env or 1;\n"
+               "                                  results are identical at any count)\n"
+               "  --compress                      snapshot save: write the v3 compressed\n"
+               "                                  layout (delta/varint-packed columns)\n");
   return 2;
 }
 
@@ -111,6 +115,7 @@ int usage() {
 graph::ordering_policy g_ordering = graph::ordering_policy::degree;
 comm::backend_kind g_backend = comm::backend_kind::inproc;
 int g_threads = 0;  ///< 0 = TRIPOLL_THREADS env, else 1 (docs/THREADING.md)
+bool g_compress = false;  ///< snapshot save: v3 compressed layout
 
 /// Strip `--flag <x>` / `--flag=<x>` style options from argv; returns false
 /// (and prints usage) on an unknown value or missing argument.
@@ -118,6 +123,10 @@ bool strip_flags(int& argc, char** argv) {
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
+    if (arg == "--compress") {
+      g_compress = true;
+      continue;
+    }
     std::string name;
     std::string value;
     for (const char* flag : {"--ordering", "--backend", "--threads"}) {
@@ -516,13 +525,19 @@ int cmd_snapshot(int argc, char** argv) {
     const int ranks = argc > 5 ? std::atoi(argv[5]) : 4;
     run_spmd(ranks, [&](comm::communicator& c) {
       graph::graph_builder<graph::none, graph::none> builder(c, g_ordering);
-      graph::read_edge_list(c, path, [&](const graph::parsed_edge& e) {
-        builder.add_edge(e.u, e.v);
-      });
+      graph::ingest_options in;
+      in.threads = g_threads;
+      graph::read_edge_list(
+          c, path, [&](const graph::parsed_edge& e) { builder.add_edge(e.u, e.v); }, in);
       graph::dodgr<graph::none, graph::none> g(c);
       builder.build_into(g);
-      auto fz = graph::freeze(g);
-      const auto bytes = fz.comm().all_reduce_sum(tripoll::graph::save_snapshot(fz, prefix));
+      graph::freeze_options fo;
+      fo.threads = g_threads;
+      auto fz = graph::freeze(g, fo);
+      const auto codec = g_compress ? tripoll::graph::snapshot_codec::compressed
+                                    : tripoll::graph::snapshot_codec::raw;
+      const auto bytes =
+          fz.comm().all_reduce_sum(tripoll::graph::save_snapshot(fz, prefix, codec));
       const auto census = fz.census();
       if (c.rank0()) {
         std::printf("snapshot saved %s ranks %d ordering %s\n", prefix.c_str(), ranks,
