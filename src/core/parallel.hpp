@@ -99,13 +99,21 @@ void fork_join(int threads, Fn&& fn) {
   std::vector<std::thread> workers;
   workers.reserve(static_cast<std::size_t>(threads - 1));
   for (int w = 1; w < threads; ++w) {
-    workers.emplace_back([&fn, &errors, w] {
-      try {
-        fn(w);
-      } catch (...) {
-        errors[static_cast<std::size_t>(w)] = std::current_exception();
-      }
-    });
+    try {
+      workers.emplace_back([&fn, &errors, w] {
+        try {
+          fn(w);
+        } catch (...) {
+          errors[static_cast<std::size_t>(w)] = std::current_exception();
+        }
+      });
+    } catch (...) {
+      // Thread spawn failed (resource exhaustion): join the workers already
+      // running before rethrowing -- destroying a joinable std::thread
+      // calls std::terminate.
+      for (auto& t : workers) t.join();
+      throw;
+    }
   }
   try {
     fn(0);

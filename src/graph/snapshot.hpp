@@ -253,6 +253,22 @@ inline void append_varint(std::vector<std::byte>& out, std::uint64_t v) {
   throw std::runtime_error("load_snapshot: '" + path + "' is truncated or corrupt");
 }
 
+/// Validate an offset column end to end: front 0, back == total, and
+/// non-decreasing throughout (which, with back == total, bounds every
+/// interior value by total).  The decoded values are untrusted input that
+/// downstream code uses as slice bounds -- for writes during the
+/// vertex-delta decode and for reads in the survey bitmap kernels -- so a
+/// front/back spot check is not enough: a crafted file can tag the section
+/// raw (arbitrary interior values) or wrap the gap sum past 2^64.
+[[nodiscard]] inline bool valid_offsets(const std::uint64_t* v, std::size_t n,
+                                        std::uint64_t total) noexcept {
+  if (n == 0 || v[0] != 0 || v[n - 1] != total) return false;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (v[i] < v[i - 1]) return false;
+  }
+  return true;
+}
+
 inline void decode_delta(const std::byte* p, const std::byte* end, std::uint64_t* out,
                          std::size_t n, const std::string& path) {
   std::uint64_t prev = 0;
@@ -496,29 +512,39 @@ std::uint64_t save_snapshot(frozen_dodgr<VMeta, EMeta>& g, const std::string& pr
   secs[12] = raw_of(ar.bm_words);
 
   // Structural columns encode independently; fan the encoders out over the
-  // freeze thread pool sizing (the encode wall is one pass per column).
-  const auto stage = [&](std::size_t idx, sd::column_codec cc,
-                         std::function<std::vector<std::byte>()> enc) {
-    secs[idx].codec = cc;
-    secs[idx].enc = enc();
-  };
+  // freeze thread pool sizing (the encode wall is one pass per column, so
+  // the slowest column -- targets -- bounds the stage).
   using cc = sd::column_codec;
   const std::uint64_t* off64 = ar.offset.data();
-  stage(0, cc::varint_delta, [&] { return sd::encode_delta(ar.vid.data(), h.n); });
-  stage(1, cc::varint_delta, [&] { return sd::encode_delta(ar.degree.data(), h.n); });
-  stage(2, cc::varint_delta,
-        [&] { return sd::encode_delta(ar.order_rank.data(), h.n); });
-  stage(3, cc::varint_gap, [&] { return sd::encode_gap(off64, h.n + 1); });
-  stage(5, cc::varint_vertex_delta,
-        [&] { return sd::encode_vertex_delta(ar.target.data(), off64, h.n); });
-  stage(6, cc::varint_delta,
-        [&] { return sd::encode_delta(ar.target_rank.data(), h.m); });
-  stage(7, cc::varint_delta,
-        [&] { return sd::encode_delta(ar.target_out_degree.data(), h.m); });
-  stage(10, cc::varint_gap,
-        [&] { return sd::encode_gap(ar.bm_offset.data(), ar.bm_offset.size()); });
-  stage(11, cc::varint_delta,
-        [&] { return sd::encode_delta(ar.bm_base.data(), ar.bm_base.size()); });
+  struct encode_job {
+    std::size_t idx;
+    cc codec;
+    std::function<std::vector<std::byte>()> enc;
+  };
+  const std::vector<encode_job> jobs = {
+      {5, cc::varint_vertex_delta,
+       [&] { return sd::encode_vertex_delta(ar.target.data(), off64, h.n); }},
+      {6, cc::varint_delta, [&] { return sd::encode_delta(ar.target_rank.data(), h.m); }},
+      {7, cc::varint_delta,
+       [&] { return sd::encode_delta(ar.target_out_degree.data(), h.m); }},
+      {0, cc::varint_delta, [&] { return sd::encode_delta(ar.vid.data(), h.n); }},
+      {1, cc::varint_delta, [&] { return sd::encode_delta(ar.degree.data(), h.n); }},
+      {2, cc::varint_delta, [&] { return sd::encode_delta(ar.order_rank.data(), h.n); }},
+      {3, cc::varint_gap, [&] { return sd::encode_gap(off64, h.n + 1); }},
+      {10, cc::varint_gap,
+       [&] { return sd::encode_gap(ar.bm_offset.data(), ar.bm_offset.size()); }},
+      {11, cc::varint_delta,
+       [&] { return sd::encode_delta(ar.bm_base.data(), ar.bm_base.size()); }},
+  };
+  std::atomic<std::size_t> enc_cursor{0};
+  core::fork_join(core::resolve_threads(0), [&](int) {
+    for (;;) {
+      const std::size_t j = enc_cursor.fetch_add(1, std::memory_order_relaxed);
+      if (j >= jobs.size()) break;
+      secs[jobs[j].idx].codec = jobs[j].codec;
+      secs[jobs[j].idx].enc = jobs[j].enc();
+    }
+  });
 
   // Section table + file size.
   std::byte table[sd::kTableBytes];
@@ -700,6 +726,11 @@ template <typename VMeta, typename EMeta>
       h.m, h.m, h.m, h.m,     h.m,
       h.bm_words > 0 ? h.n + 1 : 0, h.bm_words > 0 ? h.n : 0, h.bm_words};
   for (std::size_t i = 0; i < sd::kNumSections; ++i) {
+    // Sections consumed as zero-copy views (metadata arenas and bitmap
+    // words) are only ever written raw; any other tag would make the view
+    // below cover logical[i] bytes of a shorter stored region.
+    const bool view_only = i == 4 || i == 8 || i == 9 || i == 12;
+    if (view_only && secs[i].codec != sd::column_codec::raw) sd::throw_corrupt(path);
     if (secs[i].codec == sd::column_codec::raw) {
       // Raw sections are served straight from the mapping; their stored
       // size must equal the logical column size.
@@ -743,8 +774,10 @@ template <typename VMeta, typename EMeta>
   } else {
     decode_u64(3, offset_col);
   }
-  // The CSR invariants double as decode bounds for the vertex-delta codec.
-  if (offset_col.empty() || offset_col.front() != 0 || offset_col.back() != h.m) {
+  // The CSR invariants double as decode bounds for the vertex-delta codec:
+  // offset[i]..offset[i+1] become write indices into an h.m-sized buffer,
+  // so every value -- not just front/back -- must be proven in range.
+  if (!sd::valid_offsets(offset_col.data(), offset_col.size(), h.m)) {
     sd::throw_corrupt(path);
   }
 
@@ -791,9 +824,16 @@ template <typename VMeta, typename EMeta>
       }
     }
   });
-  if (bmoff_col.size() == h.n + 1 &&
-      (bmoff_col.front() != 0 || bmoff_col.back() != h.bm_words)) {
-    sd::throw_corrupt(path);
+  // bm_offset feeds the survey bitmap kernels as indices into bm_words, so
+  // it gets the same full monotonicity check as the CSR offsets -- whether
+  // it was gap-decoded or is served raw from the mapping.
+  if (h.bm_words > 0) {
+    const std::uint64_t* bm_off = secs[10].codec == sd::column_codec::raw
+                                      ? reinterpret_cast<const std::uint64_t*>(secs[10].data)
+                                      : bmoff_col.data();
+    if (!sd::valid_offsets(bm_off, static_cast<std::size_t>(h.n) + 1, h.bm_words)) {
+      sd::throw_corrupt(path);
+    }
   }
 
   const auto u64_arena = [&](std::size_t sec, std::vector<std::uint64_t>&& col) {

@@ -703,6 +703,247 @@ TEST(Snapshot, CompressedFlipSweepAtEverySectionIsRejected) {
   remove_snapshot(prefix, 1);
 }
 
+// --- crafted (checksum-valid) hostile files ----------------------------------
+
+namespace {
+
+constexpr std::size_t kV3NumSections = 13;
+constexpr std::size_t kV3TableOffset = 128;
+
+std::uint64_t test_fnv1a(const char* p, std::size_t n) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<std::uint8_t>(p[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t read_u64(const std::vector<char>& b, std::size_t off) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(b[off + i])) << (8 * i);
+  }
+  return v;
+}
+
+void store_u64(std::vector<char>& b, std::size_t off, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) b[off + i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+}
+
+void put_u64(std::vector<char>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void put_varint(std::vector<char>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+/// Dense metadata-free ER slab: hub bitmaps only materialize for
+/// counting-shape freezes (both projected metadata types empty), so the
+/// bitmap-section tests need this graph, not meta_graph.
+using plain_graph = tg::dodgr<tg::none, tg::none>;
+void build_dense_plain_graph(tc::communicator& c, plain_graph& g) {
+  tg::graph_builder<tg::none, tg::none> builder(c, tg::ordering_policy::degree);
+  tripoll::gen::erdos_renyi_generator er(120, 1500, 78);
+  for (std::uint64_t k = 0; k < er.num_edges(); ++k) {
+    const auto e = er.edge_at(k);
+    if (e.u != e.v) builder.add_edge(e.u, e.v);
+  }
+  builder.build_into(g);
+}
+
+void expect_load_rejected_plain(const std::string& prefix, const char* what) {
+  tc::runtime::run(1, [&](tc::communicator& c) {
+    EXPECT_THROW(((void)tg::load_snapshot<tg::none, tg::none>(c, prefix)),
+                 std::runtime_error)
+        << what;
+  });
+}
+
+/// Rebuild a v3 snapshot with section `idx` replaced by `bytes` under codec
+/// tag `codec`, recomputing the section checksum, the table checksum and
+/// the header file size.  The result is a well-formed hostile file -- every
+/// integrity check passes, so only semantic validation can reject it.
+void rewrite_v3_section(const std::string& path, std::size_t idx, std::uint64_t codec,
+                        std::vector<char> bytes) {
+  const auto pristine = slurp_file(path);
+  const auto sections = tg::snapshot_sections(path);
+  ASSERT_EQ(sections.size(), kV3NumSections);
+  std::vector<std::vector<char>> stored(kV3NumSections);
+  std::vector<std::uint64_t> codecs(kV3NumSections);
+  for (std::size_t i = 0; i < kV3NumSections; ++i) {
+    const auto& s = sections[i];
+    stored[i].assign(pristine.begin() + static_cast<std::ptrdiff_t>(s.offset),
+                     pristine.begin() + static_cast<std::ptrdiff_t>(s.offset + s.stored_bytes));
+    codecs[i] = s.codec;
+  }
+  stored[idx] = std::move(bytes);
+  codecs[idx] = codec;
+
+  std::vector<char> out(pristine.begin(), pristine.begin() + kV3TableOffset);
+  out.resize(kV3TableOffset + kV3NumSections * 24, 0);
+  for (std::size_t i = 0; i < kV3NumSections; ++i) {
+    store_u64(out, kV3TableOffset + i * 24, codecs[i]);
+    store_u64(out, kV3TableOffset + i * 24 + 8, stored[i].size());
+    store_u64(out, kV3TableOffset + i * 24 + 16,
+              test_fnv1a(stored[i].data(), stored[i].size()));
+  }
+  store_u64(out, 88, test_fnv1a(out.data() + kV3TableOffset, kV3NumSections * 24));
+  for (std::size_t i = 0; i < kV3NumSections; ++i) {
+    out.resize((out.size() + 63) / 64 * 64, 0);
+    out.insert(out.end(), stored[i].begin(), stored[i].end());
+  }
+  store_u64(out, 72, out.size());
+  rewrite_file(path, out);
+}
+
+}  // namespace
+
+TEST(Snapshot, CraftedOffsetColumnsAreRejected) {
+  // A crafted v3 file carries valid checksums over hostile offset values --
+  // a raw-tagged section with arbitrary interiors, or varint gaps whose
+  // running sum wraps past 2^64 back to m.  The decoded offsets become
+  // WRITE bounds for the vertex-delta target decode, so interior values
+  // must be validated, not just front/back.
+  const std::string prefix = fresh_prefix("evil_offsets");
+  std::vector<std::uint64_t> good_offsets;
+  tc::runtime::run(1, [&](tc::communicator& c) {
+    meta_graph g(c);
+    build_meta_graph(c, g, tg::ordering_policy::degree);
+    auto fz = tg::freeze(g);
+    (void)tg::save_snapshot(fz, prefix, tg::snapshot_codec::compressed);
+    good_offsets.assign(fz.arenas().offset.data(),
+                        fz.arenas().offset.data() + fz.arenas().offset.size());
+  });
+  const std::string path = tg::snapshot_rank_path(prefix, 0);
+  const auto pristine = slurp_file(path);
+  const std::uint64_t n = read_u64(pristine, 40);
+  const std::uint64_t m = read_u64(pristine, 48);
+  ASSERT_GE(n, 2u);
+  ASSERT_EQ(good_offsets.size(), n + 1);
+
+  // Sanity for the rewrite helper itself: a raw-tagged section 3 holding
+  // the TRUE offsets must load (else the rejections below prove nothing).
+  std::vector<char> raw_good;
+  for (const auto v : good_offsets) put_u64(raw_good, v);
+  rewrite_v3_section(path, 3, 0, raw_good);
+  tc::runtime::run(1, [&](tc::communicator& c) {
+    EXPECT_NO_THROW(((void)tg::load_snapshot<std::uint64_t, std::uint64_t>(c, prefix)));
+  });
+
+  // Raw-tagged offsets: front/back pass the spot check, interiors point
+  // past m (would drive an out-of-bounds heap write while decoding targets).
+  std::vector<char> raw_evil;
+  put_u64(raw_evil, 0);
+  for (std::uint64_t i = 1; i < n; ++i) put_u64(raw_evil, m + 1000);
+  put_u64(raw_evil, m);
+  rewrite_file(path, pristine);
+  rewrite_v3_section(path, 3, 0, raw_evil);
+  expect_load_rejected(prefix, "raw offsets past m");
+
+  // Gap-coded offsets wrapping 2^64: 0, 2^64-1, then +m+1 wraps back to m.
+  std::vector<char> gap_evil;
+  put_varint(gap_evil, 0);
+  put_varint(gap_evil, ~std::uint64_t{0});
+  put_varint(gap_evil, m + 1);
+  for (std::uint64_t i = 3; i <= n; ++i) put_varint(gap_evil, 0);
+  rewrite_file(path, pristine);
+  rewrite_v3_section(path, 3, 2, gap_evil);
+  expect_load_rejected(prefix, "gap sum wraps past 2^64");
+
+  remove_snapshot(prefix, 1);
+}
+
+TEST(Snapshot, NonRawCodecOnViewServedSectionsIsRejected) {
+  // Metadata arenas (sections 4, 8, 9) and bitmap words (12) are served as
+  // zero-copy views of their logical size; a crafted file tagging them with
+  // a varint codec would make the view read past the stored bytes.
+  const std::string prefix = fresh_prefix("evil_viewtag");
+  tc::runtime::run(1, [&](tc::communicator& c) {
+    meta_graph g(c);
+    build_meta_graph(c, g, tg::ordering_policy::degree);
+    auto fz = tg::freeze(g);
+    (void)tg::save_snapshot(fz, prefix, tg::snapshot_codec::compressed);
+  });
+  {
+    const std::string path = tg::snapshot_rank_path(prefix, 0);
+    const auto pristine = slurp_file(path);
+    const auto sections = tg::snapshot_sections(path);
+    for (const std::size_t sec : {std::size_t{4}, std::size_t{8}, std::size_t{9}}) {
+      ASSERT_GT(sections[sec].stored_bytes, 0u) << "section " << sec;
+      std::vector<char> same(
+          pristine.begin() + static_cast<std::ptrdiff_t>(sections[sec].offset),
+          pristine.begin() + static_cast<std::ptrdiff_t>(sections[sec].offset +
+                                                         sections[sec].stored_bytes));
+      rewrite_file(path, pristine);
+      rewrite_v3_section(path, sec, 1 /* varint_delta */, std::move(same));
+      expect_load_rejected(prefix,
+                           ("non-raw tag on section " + std::to_string(sec)).c_str());
+    }
+  }
+  remove_snapshot(prefix, 1);
+
+  // Section 12 (bm_words) needs a counting-shape graph with bitmap rows.
+  const std::string pbm = fresh_prefix("evil_viewtag_bm");
+  tc::runtime::run(1, [&](tc::communicator& c) {
+    plain_graph g(c);
+    build_dense_plain_graph(c, g);
+    tg::freeze_options o;
+    o.hub_degree_threshold = 4;
+    auto fz = tg::freeze(g, o);
+    ASSERT_GT(fz.arenas().bm_words.size(), 0u);
+    (void)tg::save_snapshot(fz, pbm, tg::snapshot_codec::compressed);
+  });
+  {
+    const std::string path = tg::snapshot_rank_path(pbm, 0);
+    const auto pristine = slurp_file(path);
+    const auto sections = tg::snapshot_sections(path);
+    ASSERT_GT(sections[12].stored_bytes, 0u);
+    std::vector<char> same(
+        pristine.begin() + static_cast<std::ptrdiff_t>(sections[12].offset),
+        pristine.begin() +
+            static_cast<std::ptrdiff_t>(sections[12].offset + sections[12].stored_bytes));
+    rewrite_v3_section(path, 12, 1 /* varint_delta */, std::move(same));
+    expect_load_rejected_plain(pbm, "non-raw tag on section 12");
+  }
+  remove_snapshot(pbm, 1);
+}
+
+TEST(Snapshot, CraftedBmOffsetColumnIsRejected) {
+  // bm_offset values index into bm_words inside the survey bitmap kernels;
+  // hostile interiors must be rejected at load time even when the section
+  // is raw-tagged (where no decode would otherwise touch the values).
+  const std::string prefix = fresh_prefix("evil_bmoff");
+  tc::runtime::run(1, [&](tc::communicator& c) {
+    plain_graph g(c);
+    build_dense_plain_graph(c, g);
+    tg::freeze_options o;
+    o.hub_degree_threshold = 4;
+    auto fz = tg::freeze(g, o);
+    ASSERT_GT(fz.arenas().bm_words.size(), 0u);
+    (void)tg::save_snapshot(fz, prefix, tg::snapshot_codec::compressed);
+  });
+  const std::string path = tg::snapshot_rank_path(prefix, 0);
+  const auto pristine = slurp_file(path);
+  const std::uint64_t n = read_u64(pristine, 40);
+  const std::uint64_t bm_words = read_u64(pristine, 80);
+  ASSERT_GE(n, 2u);
+  ASSERT_GT(bm_words, 0u);
+
+  std::vector<char> raw_evil;
+  put_u64(raw_evil, 0);
+  for (std::uint64_t i = 1; i < n; ++i) put_u64(raw_evil, bm_words + 100);
+  put_u64(raw_evil, bm_words);
+  rewrite_v3_section(path, 10, 0, raw_evil);
+  expect_load_rejected_plain(prefix, "raw bm_offset past bm_words");
+  remove_snapshot(prefix, 1);
+}
+
 // --- analytics over frozen storage ---------------------------------------------------
 
 TEST(Frozen, AnalyticsRunOnFrozenGraphs) {
