@@ -1,0 +1,128 @@
+// service_client.cpp -- blocking frame I/O against the survey daemon.
+
+#include "comm/service_client.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "serial/buffer.hpp"
+#include "serial/serialize.hpp"
+
+namespace tripoll::comm {
+
+namespace {
+
+void write_all(int fd, const std::byte* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (w > 0) {
+      off += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    throw std::runtime_error(std::string("service_client: send: ") +
+                             std::strerror(errno));
+  }
+}
+
+void read_all(int fd, std::byte* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t r = ::recv(fd, data + off, n - off, 0);
+    if (r > 0) {
+      off += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    if (r == 0) {
+      throw std::runtime_error("service_client: daemon closed the connection");
+    }
+    throw std::runtime_error(std::string("service_client: recv: ") +
+                             std::strerror(errno));
+  }
+}
+
+}  // namespace
+
+service_client::service_client(const std::string& endpoint_spec,
+                               double timeout_seconds) {
+  fd_ = service::dial_endpoint(service::endpoint::parse(endpoint_spec),
+                               timeout_seconds);
+}
+
+service_client::~service_client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+service_client::service_client(service_client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+std::vector<std::byte> service_client::round_trip(service::frame_type send,
+                                                  service::frame_type expect,
+                                                  const std::byte* body,
+                                                  std::size_t n) {
+  serial::frame_header hdr;
+  hdr.body_len = static_cast<std::uint32_t>(n);
+  hdr.type = static_cast<std::uint8_t>(send);
+  std::byte wire[serial::frame_header::kWireSize];
+  hdr.encode(wire);
+  write_all(fd_, wire, sizeof(wire));
+  if (n > 0) write_all(fd_, body, n);
+
+  std::byte reply_wire[serial::frame_header::kWireSize];
+  read_all(fd_, reply_wire, sizeof(reply_wire));
+  const auto reply = serial::frame_header::decode(reply_wire);
+  if (reply.body_len > service::kMaxBodyBytes) {
+    throw std::runtime_error("service_client: oversized reply frame");
+  }
+  std::vector<std::byte> reply_body(reply.body_len);
+  if (reply.body_len > 0) read_all(fd_, reply_body.data(), reply_body.size());
+
+  if (reply.type == static_cast<std::uint8_t>(service::frame_type::error)) {
+    service::error_reply err;
+    serial::buffer_reader r(reply_body.data(), reply_body.size());
+    serial::unpack(r, err);
+    throw service_error(static_cast<service::error_code>(err.code), err.message);
+  }
+  if (reply.type != static_cast<std::uint8_t>(expect)) {
+    throw std::runtime_error("service_client: unexpected reply frame type " +
+                             std::to_string(reply.type));
+  }
+  return reply_body;
+}
+
+std::vector<std::byte> service_client::submit_raw(const service::plan_request& req) {
+  serial::byte_buffer buf;
+  serial::pack(buf, req);
+  return round_trip(service::frame_type::submit_plan, service::frame_type::result,
+                    buf.data(), buf.size());
+}
+
+service::plan_response service_client::submit(const service::plan_request& req) {
+  const auto body = submit_raw(req);
+  service::plan_response resp;
+  serial::buffer_reader r(body.data(), body.size());
+  serial::unpack(r, resp);
+  return resp;
+}
+
+service::service_stats service_client::stats() {
+  const auto body = round_trip(service::frame_type::stats,
+                               service::frame_type::stats, nullptr, 0);
+  service::service_stats s;
+  serial::buffer_reader r(body.data(), body.size());
+  serial::unpack(r, s);
+  return s;
+}
+
+void service_client::shutdown() {
+  (void)round_trip(service::frame_type::shutdown, service::frame_type::shutdown,
+                   nullptr, 0);
+}
+
+}  // namespace tripoll::comm

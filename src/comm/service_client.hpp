@@ -1,0 +1,73 @@
+// service_client.hpp -- blocking client of the resident survey service.
+//
+// One connection, one request in flight at a time: every call writes one
+// frame and reads exactly one reply frame.  `submit_raw` returns the RESULT
+// body bytes untouched -- the byte-identity tests diff these across cache
+// hits, fused batches and backends -- while `submit` deserializes them.
+//
+// ERROR replies surface as `service_error` carrying the daemon's reason
+// code, so callers can distinguish shutting_down (retry elsewhere) from
+// bad_request (fix the plan).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "service/endpoint.hpp"
+#include "service/protocol.hpp"
+
+namespace tripoll::comm {
+
+/// Thrown when the daemon answers with an ERROR frame.
+class service_error : public std::runtime_error {
+ public:
+  service_error(service::error_code code, const std::string& message)
+      : std::runtime_error(std::string(service::error_code_name(code)) + ": " +
+                           message),
+        code_(code) {}
+
+  [[nodiscard]] service::error_code code() const noexcept { return code_; }
+
+ private:
+  service::error_code code_;
+};
+
+class service_client {
+ public:
+  /// Dial the daemon, retrying until `timeout_seconds` (it may still be
+  /// loading its snapshot).  Throws std::runtime_error on timeout.
+  explicit service_client(const std::string& endpoint_spec,
+                          double timeout_seconds = 10.0);
+  ~service_client();
+  service_client(service_client&& other) noexcept;
+  service_client& operator=(service_client&&) = delete;
+  service_client(const service_client&) = delete;
+  service_client& operator=(const service_client&) = delete;
+
+  /// Submit a plan; return the raw RESULT body bytes.
+  /// Throws service_error on an ERROR reply.
+  [[nodiscard]] std::vector<std::byte> submit_raw(const service::plan_request& req);
+
+  /// Submit a plan; return the deserialized response.
+  [[nodiscard]] service::plan_response submit(const service::plan_request& req);
+
+  /// Fetch the daemon's counters.
+  [[nodiscard]] service::service_stats stats();
+
+  /// Ask the daemon to shut down gracefully; returns once acknowledged.
+  void shutdown();
+
+ private:
+  /// Write one frame; read one reply.  ERROR replies throw service_error;
+  /// a reply of a type other than `expect` throws std::runtime_error.
+  std::vector<std::byte> round_trip(service::frame_type send,
+                                    service::frame_type expect,
+                                    const std::byte* body, std::size_t n);
+
+  int fd_ = -1;
+};
+
+}  // namespace tripoll::comm

@@ -157,6 +157,36 @@ class meta_column<T, true> {
   std::size_t n_ = 0;
 };
 
+namespace detail {
+
+/// Incremental FNV-1a accumulator (same constants as the snapshot-layer
+/// checksum): the building block of the snapshot content id.  Lives here
+/// rather than in snapshot.hpp because the include direction runs
+/// snapshot.hpp -> frozen.hpp and the id is a property of the arenas, not
+/// of any particular file that stores them.
+struct fnv1a_accumulator {
+  std::uint64_t h = 14695981039346656037ull;
+
+  void mix_bytes(const void* p, std::size_t n) noexcept {
+    const auto* b = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= b[i];
+      h *= 1099511628211ull;
+    }
+  }
+
+  /// Mix a u64 as its little-endian byte image (endianness-stable, matching
+  /// the snapshot wire format).
+  void mix_u64(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) {
+      h ^= static_cast<unsigned char>(v >> (8 * i));
+      h *= 1099511628211ull;
+    }
+  }
+};
+
+}  // namespace detail
+
 /// The raw column bundle of one rank's frozen graph.  freeze() fills it
 /// from the mutable map; load_snapshot() fills it with views into a mapped
 /// file.  Public so the snapshot layer and white-box tests can reach the
@@ -438,6 +468,54 @@ class frozen_dodgr {
 
   [[nodiscard]] const arenas_type& arenas() const noexcept { return ar_; }
 
+  /// Rank-local content id: FNV-1a over the graph's identity fields
+  /// (nranks, rank, ordering, n, m, metadata element sizes) followed by the
+  /// logical bytes of every stored column in file order.  Codec- and
+  /// storage-independent: a freeze(), a raw (v2) reload and a compressed
+  /// (v3) reload of the same graph all report the same id, because v3
+  /// sections decode back to the exact arena bytes.  Never 0 (0 is the
+  /// "absent" wire value in snapshot headers); not cryptographic -- this is
+  /// a cache key and an operator diffing aid, with the same failure model
+  /// as the snapshot checksums.  Computed lazily and cached; save_snapshot
+  /// stamps it into v3 headers and load_snapshot adopts the stamped value,
+  /// so a v3 reload pays no hash pass.
+  [[nodiscard]] std::uint64_t snapshot_id() const {
+    if (snapshot_id_ != 0) return snapshot_id_;
+    detail::fnv1a_accumulator acc;
+    acc.mix_u64(static_cast<std::uint64_t>(comm_->size()));
+    acc.mix_u64(static_cast<std::uint64_t>(comm_->rank()));
+    acc.mix_u64(static_cast<std::uint64_t>(ordering_));
+    acc.mix_u64(ar_.vid.size());
+    acc.mix_u64(ar_.target.size());
+    acc.mix_u64(meta_column<VMeta>::element_size);
+    acc.mix_u64(meta_column<EMeta>::element_size);
+    const auto mix_column = [&acc](const auto& col) {
+      if (col.bytes() > 0) acc.mix_bytes(col.data(), col.bytes());
+    };
+    mix_column(ar_.vid);
+    mix_column(ar_.degree);
+    mix_column(ar_.order_rank);
+    mix_column(ar_.offset);
+    mix_column(ar_.vmeta);
+    mix_column(ar_.target);
+    mix_column(ar_.target_rank);
+    mix_column(ar_.target_out_degree);
+    mix_column(ar_.emeta);
+    mix_column(ar_.target_vmeta);
+    mix_column(ar_.bm_offset);
+    mix_column(ar_.bm_base);
+    mix_column(ar_.bm_words);
+    snapshot_id_ = acc.h != 0 ? acc.h : 1;
+    return snapshot_id_;
+  }
+
+  /// Adopt a content id stamped in a snapshot header (v3 saves).  0 means
+  /// "absent" (v1/v2 files, pre-id v3 files) and is ignored, leaving the
+  /// compute-on-demand path of snapshot_id().
+  void adopt_snapshot_id(std::uint64_t id) noexcept {
+    if (id != 0) snapshot_id_ = id;
+  }
+
   /// Rank-local arena footprint (exact for the columns; the id->slot index
   /// is estimated at one bucket pointer plus one packed node per vertex).
   [[nodiscard]] frozen_storage_stats local_storage_stats() const noexcept {
@@ -487,6 +565,7 @@ class frozen_dodgr {
   ordering_policy ordering_ = ordering_policy::degree;
   graph_census census_{};
   bool census_valid_ = false;
+  mutable std::uint64_t snapshot_id_ = 0;  ///< 0: not yet computed/adopted
 };
 
 namespace detail {

@@ -136,13 +136,15 @@ struct header {
   std::uint64_t file_size = 0;
   std::uint64_t bm_words = 0;  ///< total hub-bitmap words W (0: no bitmap sections)
   std::uint64_t table_checksum = 0;  ///< v3: FNV-1a of the section table
+  std::uint64_t content_id = 0;  ///< v3: frozen_dodgr::snapshot_id() (0: absent)
 
   void encode(std::byte out[kHeaderBytes]) const noexcept {
     std::memset(out, 0, kHeaderBytes);
-    const std::uint64_t words[12] = {kMagic,     version,   nranks,    rank,
+    const std::uint64_t words[13] = {kMagic,     version,   nranks,    rank,
                                      ordering,   n,         m,         vmeta_size,
-                                     emeta_size, file_size, bm_words,  table_checksum};
-    for (std::size_t i = 0; i < 12; ++i) serial::store_u64_le(out + 8 * i, words[i]);
+                                     emeta_size, file_size, bm_words,  table_checksum,
+                                     content_id};
+    for (std::size_t i = 0; i < 13; ++i) serial::store_u64_le(out + 8 * i, words[i]);
   }
 
   [[nodiscard]] static header decode(const std::byte in[kHeaderBytes],
@@ -168,6 +170,7 @@ struct header {
     h.file_size = serial::load_u64_le(in + 72);
     h.bm_words = version >= 2 ? serial::load_u64_le(in + 80) : 0;
     h.table_checksum = version >= 3 ? serial::load_u64_le(in + 88) : 0;
+    h.content_id = version >= 3 ? serial::load_u64_le(in + 96) : 0;
     return h;
   }
 };
@@ -497,6 +500,10 @@ std::uint64_t save_snapshot(frozen_dodgr<VMeta, EMeta>& g, const std::string& pr
 
   // --- compressed (v3) -------------------------------------------------------
   h.version = sd::kVersionCompressed;
+  // v3 carries the content id in header word 12 so reloads (and operators
+  // inspecting files) get it without re-hashing the arenas.  v2 keeps word
+  // 12 zeroed: its byte layout predates the id and stays bit-identical.
+  h.content_id = g.snapshot_id();
 
   const auto raw_of = [](const auto& column) {
     sd::staged_section s;
@@ -871,8 +878,37 @@ template <typename VMeta, typename EMeta>
     ar.bm_words = arena<std::uint64_t>(
         reinterpret_cast<const std::uint64_t*>(secs[12].data), h.bm_words, keep);
   }
-  return frozen_dodgr<VMeta, EMeta>(c, std::move(ar),
-                                    static_cast<ordering_policy>(h.ordering));
+  frozen_dodgr<VMeta, EMeta> out(c, std::move(ar),
+                                 static_cast<ordering_policy>(h.ordering));
+  out.adopt_snapshot_id(h.content_id);
+  return out;
+}
+
+/// Header fields of one rank's snapshot file, without loading (or even
+/// walking) the sections.  What a process needs before committing to a
+/// graph type: the CLI dispatches `serve` on the metadata element sizes,
+/// and operators diff `content_id` across snapshot generations.
+struct snapshot_peek {
+  std::uint64_t version = 0;
+  std::uint64_t nranks = 0;
+  std::uint64_t rank = 0;
+  std::uint64_t ordering = 0;
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;
+  std::uint64_t vmeta_size = 0;
+  std::uint64_t emeta_size = 0;
+  std::uint64_t content_id = 0;  ///< 0 for v1/v2 files (compute on load)
+};
+
+[[nodiscard]] inline snapshot_peek peek_snapshot(const std::string& path) {
+  namespace sd = snapshot_detail;
+  const auto file = mapped_file::map(path);
+  if (file->size() < sd::kHeaderBytes) {
+    throw std::runtime_error("peek_snapshot: '" + path + "' is truncated");
+  }
+  const auto h = sd::header::decode(file->data(), path);
+  return snapshot_peek{h.version, h.nranks,     h.rank,       h.ordering, h.n,
+                       h.m,       h.vmeta_size, h.emeta_size, h.content_id};
 }
 
 }  // namespace tripoll::graph

@@ -1,0 +1,38 @@
+// endpoint.hpp -- service socket endpoint parsing and dialing.
+//
+// The resident survey service and its clients address each other with one
+// string:
+//
+//   "unix:/tmp/tripoll.sock"   Unix-domain stream socket at that path
+//   "tcp:host:port"            TCP stream socket (host resolved via DNS)
+//   "/tmp/tripoll.sock"        bare strings are Unix paths
+//
+// Definitions live in service/survey_service.cpp; the client-side
+// comm/service_client.cpp links against the same parse/dial code so both
+// ends agree on the grammar.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tripoll::service {
+
+struct endpoint {
+  bool tcp = false;
+  std::string host;         ///< tcp only ("" binds all interfaces)
+  std::uint16_t port = 0;   ///< tcp only
+  std::string path;         ///< unix only
+
+  /// Parse an endpoint spec (throws std::invalid_argument on bad specs).
+  [[nodiscard]] static endpoint parse(const std::string& spec);
+
+  /// Human-readable round-trippable form ("unix:..." / "tcp:host:port").
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Blocking client dial with retry until `timeout_seconds` (the daemon may
+/// still be binding).  Returns a connected fd; throws std::runtime_error on
+/// timeout or resolution failure.
+[[nodiscard]] int dial_endpoint(const endpoint& ep, double timeout_seconds);
+
+}  // namespace tripoll::service

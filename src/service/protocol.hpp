@@ -1,0 +1,282 @@
+// protocol.hpp -- wire protocol of the resident survey service.
+//
+// The service speaks length-prefixed frames over a Unix or TCP stream
+// socket, reusing `serial::frame_header` (u32 LE body length + u8 frame
+// type) as the envelope and `serial::pack`/`unpack` for every body:
+//
+//   client -> daemon   SUBMIT_PLAN  plan_request
+//                      STATS        (empty body)
+//                      SHUTDOWN     (empty body)
+//   daemon -> client   RESULT       plan_response
+//                      ERROR        error_reply
+//                      STATS        service_stats
+//                      SHUTDOWN     (empty body: shutdown acknowledged)
+//
+// One request is in flight per connection at a time: a client writes one
+// frame and reads exactly one reply frame.  Bodies are capped at
+// `kMaxBodyBytes`; a frame announcing more is answered with
+// ERROR(oversized) and the connection is closed without reading the body.
+//
+// A plan is a list of preset survey units (`plan_unit`) plus projection /
+// reduce-scope / traversal-mode fields.  `canonicalize()` rewrites a
+// request into the daemon's canonical form -- units sorted and deduplicated,
+// parameters of parameterless kinds zeroed, projections reduced to "minimal
+// for these units", scope pinned to global -- so that every request wording
+// of the same computation shares one cache entry and one fused-batch slot.
+// The LRU cache key is (snapshot content id, canonical request bytes); see
+// docs/SERVICE.md.
+//
+// Unit results are pure functions of (snapshot, unit): fires is the global
+// number of triangles the unit's callback accepted, value is the unit's
+// commutative aggregate.  Both are independent of which other units shared
+// the fused traversal, which is what makes fused replies bit-identical to
+// sequential ones.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serial/buffer.hpp"
+#include "serial/serialize.hpp"
+#include "serial/wire_guard.hpp"
+
+namespace tripoll::service {
+
+/// Service frame types (the `type` byte of serial::frame_header).  The
+/// range is disjoint from the transport-layer frame types by convention
+/// only -- service sockets and transport sockets are never shared.
+enum class frame_type : std::uint8_t {
+  submit_plan = 0x51,
+  result = 0x52,
+  error = 0x53,
+  stats = 0x54,
+  shutdown = 0x55,
+};
+
+/// Hard cap on a frame body.  A plan_request is a few hundred bytes and a
+/// plan_response tops out at kMaxUnitsPerPlan unit_results; anything larger
+/// is a confused or hostile client, refused before the body is read.
+inline constexpr std::uint64_t kMaxBodyBytes = 1ull << 20;
+
+/// Cap on units per plan (after canonicalization dedupes repeats).
+inline constexpr std::uint64_t kMaxUnitsPerPlan = 64;
+
+/// Preset survey unit kinds the daemon can run.  Every kind maps to a
+/// branch of the fused dispatcher callback (service/survey_service.hpp);
+/// kinds that read metadata are valid only on snapshots that store it.
+enum class unit_kind : std::uint64_t {
+  count = 0,           ///< global triangle count (any snapshot)
+  hot_count = 1,       ///< triangles whose 3 edge timestamps are all >= param
+  closure_digest = 2,  ///< wrapping sum of splitmix64(close span) over triangles
+  max_label = 3,       ///< max vertex label seen on any triangle corner
+};
+inline constexpr std::uint64_t kMaxUnitKind = 3;
+
+/// One survey unit: a preset callback id plus its parameter.  `param` is
+/// meaningful only for parameterized kinds (hot_count's threshold);
+/// canonicalize() zeroes it elsewhere.
+struct plan_unit {
+  std::uint64_t kind = 0;
+  std::uint64_t param = 0;
+
+  friend constexpr bool operator==(const plan_unit&, const plan_unit&) = default;
+  friend constexpr auto operator<=>(const plan_unit&, const plan_unit&) = default;
+};
+TRIPOLL_WIRE_ASSERT(plan_unit, kind, param);
+
+/// Projection / scope / mode wire values of plan_request.  `automatic`
+/// means "the minimal projection these units need" -- the canonical form.
+inline constexpr std::uint8_t kProjAutomatic = 0;
+inline constexpr std::uint8_t kProjIdentity = 1;
+inline constexpr std::uint8_t kScopeGlobal = 0;
+inline constexpr std::uint8_t kScopeThreads = 1;
+inline constexpr std::uint8_t kModeDaemonDefault = 0;
+inline constexpr std::uint8_t kModePushPull = 1;
+inline constexpr std::uint8_t kModePushOnly = 2;
+
+/// SUBMIT_PLAN body: the serialized plan description.
+struct plan_request {
+  std::uint8_t mode = kModeDaemonDefault;
+  std::uint8_t scope = kScopeGlobal;
+  std::uint8_t vertex_proj = kProjAutomatic;
+  std::uint8_t edge_proj = kProjAutomatic;
+  std::vector<plan_unit> units;
+
+  template <typename Archive>
+  void serialize(Archive& ar) {
+    ar(mode, scope, vertex_proj, edge_proj, units);
+  }
+};
+
+/// One unit's slice of a RESULT body.
+struct unit_result {
+  std::uint64_t kind = 0;
+  std::uint64_t param = 0;
+  std::uint64_t fires = 0;  ///< global triangles accepted by the unit
+  std::uint64_t value = 0;  ///< kind-specific commutative aggregate
+};
+TRIPOLL_WIRE_ASSERT(unit_result, kind, param, fires, value);
+
+/// RESULT body.  Deliberately free of request-coincidence fields (batch
+/// size, cache disposition, timings): the body of a cache hit is the byte
+/// image of the cold reply, which tests assert.  Cache/batch disposition
+/// is observable via STATS instead.
+struct plan_response {
+  std::uint64_t snapshot_id = 0;        ///< combined over ranks; see service
+  std::uint64_t engine_triangles = 0;   ///< engine cross-check counter, global
+  std::vector<unit_result> units;       ///< canonical unit order
+
+  template <typename Archive>
+  void serialize(Archive& ar) {
+    ar(snapshot_id, engine_triangles, units);
+  }
+};
+
+/// ERROR body reason codes.
+enum class error_code : std::uint32_t {
+  bad_frame = 1,         ///< unknown frame type / malformed envelope
+  bad_request = 2,       ///< body failed to deserialize or failed validation
+  unsupported_unit = 3,  ///< unit needs metadata this snapshot does not store
+  oversized = 4,         ///< body length above kMaxBodyBytes
+  shutting_down = 5,     ///< daemon is draining; resubmit elsewhere
+};
+
+[[nodiscard]] inline const char* error_code_name(error_code c) noexcept {
+  switch (c) {
+    case error_code::bad_frame: return "bad_frame";
+    case error_code::bad_request: return "bad_request";
+    case error_code::unsupported_unit: return "unsupported_unit";
+    case error_code::oversized: return "oversized";
+    case error_code::shutting_down: return "shutting_down";
+  }
+  return "unknown";
+}
+
+/// ERROR body.
+struct error_reply {
+  std::uint32_t code = 0;
+  std::string message;
+
+  template <typename Archive>
+  void serialize(Archive& ar) {
+    ar(code, message);
+  }
+};
+
+/// STATS body: monotonic daemon counters.  `plans_served` counts RESULT
+/// replies; `cache_hits + cache_misses == plans_served`; `traversals` is
+/// the number of fused graph traversals actually run, which cache hits do
+/// not advance (the satellite test asserts exactly that).
+struct service_stats {
+  std::uint64_t snapshot_id = 0;
+  std::uint64_t nranks = 0;
+  std::uint64_t plans_served = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t traversals = 0;
+  std::uint64_t batches = 0;      ///< admission windows that ran a traversal
+  std::uint64_t max_batch = 0;    ///< largest number of plans fused at once
+  std::uint64_t rejected = 0;     ///< ERROR replies (any code)
+};
+TRIPOLL_WIRE_ASSERT(service_stats, snapshot_id, nranks, plans_served, cache_hits,
+                    cache_misses, traversals, batches, max_batch, rejected);
+
+/// Round descriptor rank 0 broadcasts to the other ranks of the daemon:
+/// either "run one fused traversal over these units" or "shut down".
+/// Internal to the daemon (never crosses the client socket) but defined
+/// with the protocol because it shares the plan_unit wire type.
+struct batch_round {
+  std::uint64_t action = 0;  ///< 0: run units, 1: shut down
+  std::uint64_t mode = 0;    ///< kModePushPull / kModePushOnly
+  std::vector<plan_unit> units;
+
+  template <typename Archive>
+  void serialize(Archive& ar) {
+    ar(action, mode, units);
+  }
+};
+
+/// Rewrite `req` into canonical form: units sorted by (kind, param) and
+/// deduplicated, parameters of parameterless kinds zeroed, projections set
+/// to automatic-minimal, scope pinned to global (the service's results are
+/// rank-aggregated by definition) and mode pinned to the daemon default
+/// (the traversal mode is daemon-wide configuration; unit results are
+/// mode-independent, so honouring a per-request mode would only split the
+/// cache).  Two requests describing the same computation canonicalize to
+/// identical bytes -- the cache and the batch deduper both key on this.
+inline void canonicalize(plan_request& req) {
+  for (auto& u : req.units) {
+    if (u.kind != static_cast<std::uint64_t>(unit_kind::hot_count)) u.param = 0;
+  }
+  std::sort(req.units.begin(), req.units.end());
+  req.units.erase(std::unique(req.units.begin(), req.units.end()), req.units.end());
+  req.scope = kScopeGlobal;
+  req.vertex_proj = kProjAutomatic;
+  req.edge_proj = kProjAutomatic;
+  req.mode = kModeDaemonDefault;
+}
+
+/// Canonical plan key bytes: the cache key is this prefixed by the
+/// snapshot content id.  `req` must already be canonicalized.
+[[nodiscard]] inline std::string canonical_plan_key(const plan_request& req,
+                                                   std::uint64_t snapshot_id) {
+  serial::byte_buffer buf;
+  serial::pack(buf, snapshot_id, req);
+  return std::string(reinterpret_cast<const char*>(buf.data()), buf.size());
+}
+
+/// Validate a (canonicalized) request against a snapshot's stored metadata
+/// element sizes.  Returns the empty string when servable, else an error
+/// message for ERROR(bad_request / unsupported_unit); `code_out` gets the
+/// matching reason code.
+[[nodiscard]] inline std::string validate_request(const plan_request& req,
+                                                 std::uint64_t vmeta_size,
+                                                 std::uint64_t emeta_size,
+                                                 error_code& code_out) {
+  code_out = error_code::bad_request;
+  if (req.units.empty()) return "plan has no units";
+  if (req.units.size() > kMaxUnitsPerPlan) {
+    return "plan has " + std::to_string(req.units.size()) + " units (cap " +
+           std::to_string(kMaxUnitsPerPlan) + ")";
+  }
+  for (const auto& u : req.units) {
+    if (u.kind > kMaxUnitKind) {
+      return "unknown unit kind " + std::to_string(u.kind);
+    }
+    const auto k = static_cast<unit_kind>(u.kind);
+    const bool needs_emeta =
+        k == unit_kind::hot_count || k == unit_kind::closure_digest;
+    const bool needs_vmeta = k == unit_kind::max_label;
+    if (needs_emeta && emeta_size != 8) {
+      code_out = error_code::unsupported_unit;
+      return "unit kind " + std::to_string(u.kind) +
+             " needs u64 edge metadata; this snapshot stores " +
+             std::to_string(emeta_size) + "-byte edge metadata";
+    }
+    if (needs_vmeta && vmeta_size != 8) {
+      code_out = error_code::unsupported_unit;
+      return "unit kind " + std::to_string(u.kind) +
+             " needs u64 vertex metadata; this snapshot stores " +
+             std::to_string(vmeta_size) + "-byte vertex metadata";
+    }
+  }
+  return std::string();
+}
+
+/// Append one framed message (header + packed body) to `out`.
+template <typename... Body>
+void append_frame(serial::byte_buffer& out, frame_type type, const Body&... body) {
+  serial::byte_buffer payload;
+  if constexpr (sizeof...(Body) > 0) serial::pack(payload, body...);
+  serial::frame_header hdr;
+  hdr.body_len = static_cast<std::uint32_t>(payload.size());
+  hdr.type = static_cast<std::uint8_t>(type);
+  std::byte wire[serial::frame_header::kWireSize];
+  hdr.encode(wire);
+  out.append(wire, sizeof(wire));
+  out.append(payload.data(), payload.size());
+}
+
+}  // namespace tripoll::service

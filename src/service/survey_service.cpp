@@ -1,0 +1,457 @@
+// survey_service.cpp -- endpoint grammar, graceful-stop flag and the rank-0
+// socket core of the resident survey service.
+//
+// Everything here is untemplated plumbing: nonblocking listener, per-
+// connection frame reassembly, bounded tx queues, the LRU cache of
+// serialized RESULT bodies, and the SIGTERM/SIGINT stop flag.  The typed
+// serve loop (canonicalization, batching, fused traversals) lives in
+// service/survey_service.hpp.
+
+#include "service/survey_service.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <list>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+
+namespace tripoll::service {
+
+namespace {
+
+[[nodiscard]] std::string errno_text(const char* what) {
+  return std::string("survey_service: ") + what + ": " + std::strerror(errno);
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+// --- endpoint ---------------------------------------------------------------
+
+endpoint endpoint::parse(const std::string& spec) {
+  endpoint ep;
+  if (spec.rfind("tcp:", 0) == 0) {
+    const std::string rest = spec.substr(4);
+    const auto colon = rest.rfind(':');
+    if (colon == std::string::npos || colon + 1 == rest.size()) {
+      throw std::invalid_argument("endpoint: tcp spec needs host:port, got '" +
+                                  spec + "'");
+    }
+    ep.tcp = true;
+    ep.host = rest.substr(0, colon);
+    const long port = std::strtol(rest.c_str() + colon + 1, nullptr, 10);
+    if (port <= 0 || port > 65535) {
+      throw std::invalid_argument("endpoint: bad tcp port in '" + spec + "'");
+    }
+    ep.port = static_cast<std::uint16_t>(port);
+    return ep;
+  }
+  ep.path = spec.rfind("unix:", 0) == 0 ? spec.substr(5) : spec;
+  if (ep.path.empty()) {
+    throw std::invalid_argument("endpoint: empty unix socket path");
+  }
+  return ep;
+}
+
+std::string endpoint::describe() const {
+  if (tcp) return "tcp:" + host + ":" + std::to_string(port);
+  return "unix:" + path;
+}
+
+int dial_endpoint(const endpoint& ep, double timeout_seconds) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(timeout_seconds));
+  for (;;) {
+    int fd = -1;
+    if (!ep.tcp) {
+      fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      if (fd < 0) throw std::runtime_error(errno_text("socket(AF_UNIX)"));
+      sockaddr_un addr{};
+      addr.sun_family = AF_UNIX;
+      if (ep.path.size() >= sizeof(addr.sun_path)) {
+        ::close(fd);
+        throw std::runtime_error("dial_endpoint: socket path too long: " + ep.path);
+      }
+      std::strncpy(addr.sun_path, ep.path.c_str(), sizeof(addr.sun_path) - 1);
+      if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+        return fd;
+      }
+    } else {
+      addrinfo hints{};
+      hints.ai_family = AF_INET;
+      hints.ai_socktype = SOCK_STREAM;
+      addrinfo* res = nullptr;
+      const std::string host = ep.host.empty() ? "127.0.0.1" : ep.host;
+      const std::string port = std::to_string(ep.port);
+      if (::getaddrinfo(host.c_str(), port.c_str(), &hints, &res) != 0 ||
+          res == nullptr) {
+        throw std::runtime_error("dial_endpoint: cannot resolve " + host);
+      }
+      fd = ::socket(res->ai_family, res->ai_socktype, res->ai_protocol);
+      const bool ok = fd >= 0 && ::connect(fd, res->ai_addr, res->ai_addrlen) == 0;
+      ::freeaddrinfo(res);
+      if (fd < 0) throw std::runtime_error(errno_text("socket(AF_INET)"));
+      if (ok) {
+        set_nodelay(fd);
+        return fd;
+      }
+    }
+    ::close(fd);
+    if (std::chrono::steady_clock::now() >= deadline) {
+      throw std::runtime_error("dial_endpoint: timed out connecting to " +
+                               ep.describe());
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+// --- graceful-stop flag -----------------------------------------------------
+
+namespace {
+
+std::atomic<bool> g_stop_flag{false};
+
+extern "C" void tripoll_service_stop_handler(int) { request_stop(); }
+
+}  // namespace
+
+void request_stop() noexcept { g_stop_flag.store(true, std::memory_order_release); }
+bool stop_requested() noexcept { return g_stop_flag.load(std::memory_order_acquire); }
+void clear_stop() noexcept { g_stop_flag.store(false, std::memory_order_release); }
+
+void install_signal_handlers() {
+  struct sigaction sa{};
+  sa.sa_handler = &tripoll_service_stop_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: poll() must wake with EINTR
+  (void)::sigaction(SIGTERM, &sa, nullptr);
+  (void)::sigaction(SIGINT, &sa, nullptr);
+  // Writing to a connection the client already abandoned must surface as an
+  // EPIPE errno, not kill the daemon.
+  (void)::signal(SIGPIPE, SIG_IGN);
+}
+
+// --- service_core -----------------------------------------------------------
+
+struct service_core::impl {
+  endpoint ep;
+  int listen_fd = -1;
+  std::uint64_t next_conn = 1;
+
+  struct connection {
+    int fd = -1;
+    std::vector<std::byte> rx;      ///< unparsed inbound bytes
+    std::vector<std::byte> tx;      ///< unsent outbound bytes
+    std::size_t tx_off = 0;
+    bool close_after_flush = false; ///< stop reading; close once tx drains
+  };
+  std::unordered_map<std::uint64_t, connection> conns;
+
+  // LRU cache: list front = most recent; map values point into the list.
+  struct cache_entry {
+    std::string key;
+    std::vector<std::byte> body;
+  };
+  std::size_t cache_capacity = 0;
+  std::list<cache_entry> lru;
+  std::unordered_map<std::string, std::list<cache_entry>::iterator> cache;
+
+  ~impl() {
+    for (auto& [id, conn] : conns) {
+      if (conn.fd >= 0) ::close(conn.fd);
+    }
+    if (listen_fd >= 0) ::close(listen_fd);
+    if (!ep.tcp && !ep.path.empty()) ::unlink(ep.path.c_str());
+  }
+
+  void flush_tx(connection& conn) {
+    while (conn.tx_off < conn.tx.size()) {
+      const ssize_t n = ::send(conn.fd, conn.tx.data() + conn.tx_off,
+                               conn.tx.size() - conn.tx_off, MSG_NOSIGNAL);
+      if (n > 0) {
+        conn.tx_off += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      if (n < 0 && errno == EINTR) continue;
+      // Peer is gone: drop the queue so close-after-flush can proceed.
+      conn.tx_off = conn.tx.size();
+      return;
+    }
+    if (conn.tx_off == conn.tx.size()) {
+      conn.tx.clear();
+      conn.tx_off = 0;
+    }
+  }
+
+  /// Read everything available; append complete frames to `events`.
+  /// Returns false when the connection should be destroyed.
+  bool drain_rx(std::uint64_t id, connection& conn, std::vector<event>& events,
+                service_stats& stats) {
+    std::byte chunk[16 * 1024];
+    for (;;) {
+      const ssize_t n = ::recv(conn.fd, chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        conn.rx.insert(conn.rx.end(), chunk, chunk + n);
+        if (n == static_cast<ssize_t>(sizeof(chunk))) continue;
+        break;
+      }
+      if (n == 0) return false;  // orderly EOF
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    std::size_t off = 0;
+    while (!conn.close_after_flush &&
+           conn.rx.size() - off >= serial::frame_header::kWireSize) {
+      const auto hdr = serial::frame_header::decode(conn.rx.data() + off);
+      if (hdr.body_len > kMaxBodyBytes) {
+        // Refuse the envelope without ever buffering the announced body.
+        ++stats.rejected;
+        append_error(conn, error_code::oversized,
+                     "frame body of " + std::to_string(hdr.body_len) +
+                         " bytes exceeds the " + std::to_string(kMaxBodyBytes) +
+                         "-byte cap");
+        conn.close_after_flush = true;
+        break;
+      }
+      const std::size_t total = serial::frame_header::kWireSize + hdr.body_len;
+      if (conn.rx.size() - off < total) break;
+      event e;
+      e.conn = id;
+      e.type = hdr.type;
+      e.body.assign(conn.rx.begin() + static_cast<std::ptrdiff_t>(
+                                          off + serial::frame_header::kWireSize),
+                    conn.rx.begin() + static_cast<std::ptrdiff_t>(off + total));
+      events.push_back(std::move(e));
+      off += total;
+    }
+    conn.rx.erase(conn.rx.begin(), conn.rx.begin() + static_cast<std::ptrdiff_t>(off));
+    return true;
+  }
+
+  void append_frame_bytes(connection& conn, frame_type type, const std::byte* body,
+                          std::size_t n) {
+    serial::frame_header hdr;
+    hdr.body_len = static_cast<std::uint32_t>(n);
+    hdr.type = static_cast<std::uint8_t>(type);
+    std::byte wire[serial::frame_header::kWireSize];
+    hdr.encode(wire);
+    conn.tx.insert(conn.tx.end(), wire, wire + sizeof(wire));
+    if (n > 0) conn.tx.insert(conn.tx.end(), body, body + n);
+    flush_tx(conn);
+  }
+
+  void append_error(connection& conn, error_code code, const std::string& message) {
+    serial::byte_buffer buf;
+    serial::pack(buf, error_reply{static_cast<std::uint32_t>(code), message});
+    append_frame_bytes(conn, frame_type::error, buf.data(), buf.size());
+  }
+};
+
+service_core::service_core(endpoint ep) : impl_(std::make_unique<impl>()) {
+  impl_->ep = std::move(ep);
+}
+
+service_core::~service_core() = default;
+
+void service_core::open() {
+  auto& im = *impl_;
+  if (!im.ep.tcp) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (im.ep.path.size() >= sizeof(addr.sun_path)) {
+      throw std::runtime_error("service_core: socket path too long: " + im.ep.path);
+    }
+    std::strncpy(addr.sun_path, im.ep.path.c_str(), sizeof(addr.sun_path) - 1);
+    ::unlink(im.ep.path.c_str());
+    im.listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (im.listen_fd < 0) throw std::runtime_error(errno_text("socket(AF_UNIX)"));
+    if (::bind(im.listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      throw std::runtime_error(errno_text(("bind " + im.ep.path).c_str()));
+    }
+  } else {
+    im.listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (im.listen_fd < 0) throw std::runtime_error(errno_text("socket(AF_INET)"));
+    int one = 1;
+    (void)::setsockopt(im.listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    addr.sin_port = htons(im.ep.port);
+    if (::bind(im.listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      throw std::runtime_error(
+          errno_text(("bind :" + std::to_string(im.ep.port)).c_str()));
+    }
+    if (im.ep.port == 0) {  // kernel-assigned port: read it back
+      sockaddr_in bound{};
+      socklen_t len = sizeof(bound);
+      if (::getsockname(im.listen_fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+        im.ep.port = ntohs(bound.sin_port);
+      }
+    }
+  }
+  if (::listen(im.listen_fd, 64) != 0) {
+    throw std::runtime_error(errno_text("listen"));
+  }
+  set_nonblocking(im.listen_fd);
+}
+
+std::string service_core::where() const { return impl_->ep.describe(); }
+
+std::vector<service_core::event> service_core::poll(int timeout_ms) {
+  auto& im = *impl_;
+  std::vector<event> events;
+
+  std::vector<pollfd> fds;
+  std::vector<std::uint64_t> ids;  // ids[i] maps fds[i + 1] back to its conn
+  fds.push_back(pollfd{im.listen_fd, POLLIN, 0});
+  for (auto& [id, conn] : im.conns) {
+    short want = conn.close_after_flush ? 0 : POLLIN;
+    if (conn.tx_off < conn.tx.size()) want |= POLLOUT;
+    fds.push_back(pollfd{conn.fd, want, 0});
+    ids.push_back(id);
+  }
+
+  const int rc = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (rc < 0 && errno != EINTR) {
+    throw std::runtime_error(errno_text("poll"));
+  }
+
+  if (rc > 0 && (fds[0].revents & POLLIN) != 0) {
+    for (;;) {
+      const int fd = ::accept(im.listen_fd, nullptr, nullptr);
+      if (fd < 0) break;
+      set_nonblocking(fd);
+      if (im.ep.tcp) set_nodelay(fd);
+      impl::connection conn;
+      conn.fd = fd;
+      im.conns.emplace(im.next_conn++, std::move(conn));
+    }
+  }
+
+  std::vector<std::uint64_t> dead;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const auto it = im.conns.find(ids[i]);
+    if (it == im.conns.end()) continue;
+    auto& conn = it->second;
+    const short re = fds[i + 1].revents;
+    if ((re & POLLOUT) != 0) im.flush_tx(conn);
+    if ((re & (POLLIN | POLLHUP | POLLERR)) != 0 && !conn.close_after_flush) {
+      if (!im.drain_rx(ids[i], conn, events, stats)) {
+        dead.push_back(ids[i]);
+        continue;
+      }
+    }
+    if (conn.close_after_flush && conn.tx_off >= conn.tx.size()) {
+      dead.push_back(ids[i]);
+    } else if ((re & (POLLHUP | POLLERR)) != 0 && conn.tx.empty()) {
+      dead.push_back(ids[i]);
+    }
+  }
+  for (const auto id : dead) {
+    const auto it = im.conns.find(id);
+    if (it == im.conns.end()) continue;
+    ::close(it->second.fd);
+    im.conns.erase(it);
+  }
+  return events;
+}
+
+void service_core::send(std::uint64_t conn_id, frame_type type, const std::byte* body,
+                        std::size_t n) {
+  const auto it = impl_->conns.find(conn_id);
+  if (it == impl_->conns.end()) return;  // client vanished; nothing to answer
+  impl_->append_frame_bytes(it->second, type, body, n);
+}
+
+void service_core::send_error(std::uint64_t conn_id, error_code code,
+                              const std::string& message, bool close_after) {
+  const auto it = impl_->conns.find(conn_id);
+  if (it == impl_->conns.end()) return;
+  ++stats.rejected;
+  impl_->append_error(it->second, code, message);
+  if (close_after) it->second.close_after_flush = true;
+}
+
+void service_core::flush(int timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    bool pending = false;
+    for (auto& [id, conn] : impl_->conns) {
+      impl_->flush_tx(conn);
+      pending = pending || conn.tx_off < conn.tx.size();
+    }
+    if (!pending || std::chrono::steady_clock::now() >= deadline) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+void service_core::close_all() {
+  for (auto& [id, conn] : impl_->conns) {
+    if (conn.fd >= 0) ::close(conn.fd);
+  }
+  impl_->conns.clear();
+}
+
+std::size_t service_core::open_connections() const { return impl_->conns.size(); }
+
+void service_core::cache_configure(std::size_t capacity) {
+  impl_->cache_capacity = capacity;
+  while (impl_->lru.size() > capacity) {
+    impl_->cache.erase(impl_->lru.back().key);
+    impl_->lru.pop_back();
+  }
+}
+
+const std::vector<std::byte>* service_core::cache_find(const std::string& key) {
+  auto& im = *impl_;
+  const auto it = im.cache.find(key);
+  if (it == im.cache.end()) return nullptr;
+  im.lru.splice(im.lru.begin(), im.lru, it->second);  // touch: move to front
+  return &it->second->body;
+}
+
+void service_core::cache_put(const std::string& key, std::vector<std::byte> body) {
+  auto& im = *impl_;
+  if (im.cache_capacity == 0) return;
+  const auto it = im.cache.find(key);
+  if (it != im.cache.end()) {
+    it->second->body = std::move(body);
+    im.lru.splice(im.lru.begin(), im.lru, it->second);
+    return;
+  }
+  im.lru.push_front(impl::cache_entry{key, std::move(body)});
+  im.cache.emplace(key, im.lru.begin());
+  while (im.lru.size() > im.cache_capacity) {
+    im.cache.erase(im.lru.back().key);
+    im.lru.pop_back();
+  }
+}
+
+}  // namespace tripoll::service

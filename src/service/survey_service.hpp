@@ -1,0 +1,510 @@
+// survey_service.hpp -- the resident survey service (daemon side).
+//
+// A long-lived, multi-tenant survey daemon over one frozen snapshot: every
+// rank of a TriPoll job loads (typically mmaps) its partition of a frozen
+// graph, then enters `survey_service::serve()`.  Rank 0 owns the client
+// socket and the control plane:
+//
+//   * every SUBMIT_PLAN is canonicalized (service/protocol.hpp) and first
+//     looked up in an LRU cache keyed by (snapshot content id, canonical
+//     plan bytes) -- a hit is answered from the cached RESULT bytes with no
+//     collective work at all, which is what makes hits ~free;
+//   * misses queue in an ADMISSION WINDOW.  When the oldest queued plan has
+//     waited `window_ms`, or `max_batch` plans are queued, rank 0
+//     broadcasts one `batch_round` carrying the deduplicated union of the
+//     queued units and ALL ranks run ONE fused traversal via the existing
+//     `survey(g).add_reduced<reduce_scope::global>(...)` machinery;
+//   * the globally-reduced per-unit results are sliced back per client in
+//     each client's canonical unit order and the serialized bodies are
+//     inserted into the cache.
+//
+// Ranks != 0 block in `communicator::broadcast` between rounds -- the
+// collective doubles as the daemon's idle parking spot, so a fused round
+// costs exactly one broadcast plus one traversal on every rank.
+//
+// Unit results are pure functions of (snapshot, unit): each unit
+// accumulates independently inside the shared dispatcher callback, so a
+// unit's (fires, value) pair is bit-identical whether it ran alone, fused
+// with seven strangers, or on a different backend (the acceptance test of
+// this subsystem).
+//
+// Shutdown: SIGTERM/SIGINT (install_signal_handlers) or a SHUTDOWN frame.
+// The in-flight traversal, if any, completes normally (the serve loop is
+// synchronous), queued-but-unbatched clients are answered with
+// ERROR(shutting_down), followers are released with a shutdown round, and
+// serve() returns 0.
+//
+// See docs/SERVICE.md for the operator view.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "core/survey.hpp"
+#include "graph/frozen.hpp"
+#include "serial/buffer.hpp"
+#include "serial/hash.hpp"
+#include "serial/serialize.hpp"
+#include "service/endpoint.hpp"
+#include "service/protocol.hpp"
+
+namespace tripoll::service {
+
+/// Daemon configuration.
+struct service_options {
+  std::string endpoint_spec = "unix:/tmp/tripoll-service.sock";
+  std::uint64_t window_ms = 5;       ///< admission window (oldest-plan age)
+  std::uint64_t max_batch = 8;       ///< fuse at most this many plans per round
+  std::uint64_t cache_capacity = 64; ///< LRU entries (0 disables the cache)
+  std::uint8_t mode = kModePushPull; ///< traversal mode for every round
+  int threads = 0;                   ///< per-rank traversal threads (0: env)
+  int poll_ms = 2;                   ///< rank-0 socket poll granularity
+  bool install_signals = true;       ///< SIGTERM/SIGINT -> graceful drain
+};
+
+// --- graceful-stop flag -----------------------------------------------------
+
+/// Install SIGTERM/SIGINT handlers that set the stop flag (async-signal-safe
+/// store only).  Idempotent.
+void install_signal_handlers();
+/// The handler body; also the test/bench hook for signal-free stop requests.
+void request_stop() noexcept;
+[[nodiscard]] bool stop_requested() noexcept;
+/// Re-arm for another serve() in the same process (bench runs several).
+void clear_stop() noexcept;
+
+// --- rank-0 socket core (non-template; service/survey_service.cpp) ----------
+
+/// Listener + connection registry + frame parser + LRU result cache +
+/// stats.  Owns no graph and no collectives: everything typed lives in the
+/// survey_service template below.  Envelope violations (a header
+/// announcing more than kMaxBodyBytes) are answered with ERROR(oversized)
+/// and the connection drains and closes without the body ever being read
+/// into memory -- the serve loop never sees them.
+class service_core {
+ public:
+  explicit service_core(endpoint ep);
+  ~service_core();
+  service_core(const service_core&) = delete;
+  service_core& operator=(const service_core&) = delete;
+
+  /// Bind + listen (unlinks a stale Unix path first).  Throws on failure.
+  void open();
+  /// Resolved endpoint ("tcp:host:port" with the bound port).
+  [[nodiscard]] std::string where() const;
+
+  struct event {
+    std::uint64_t conn = 0;
+    std::uint8_t type = 0;
+    std::vector<std::byte> body;
+  };
+
+  /// Pump accepts, reads and pending writes for up to `timeout_ms`;
+  /// returns the complete frames received, in arrival order.
+  [[nodiscard]] std::vector<event> poll(int timeout_ms);
+
+  /// Queue one framed reply (header + body) on a connection.
+  void send(std::uint64_t conn, frame_type type, const std::byte* body, std::size_t n);
+  /// Queue an ERROR reply; counts into stats.rejected.  `close_after`
+  /// drains the tx queue and then closes the connection.
+  void send_error(std::uint64_t conn, error_code code, const std::string& message,
+                  bool close_after = false);
+
+  /// Best-effort drain of every tx queue (bounded by `timeout_ms`).
+  void flush(int timeout_ms);
+  void close_all();
+  [[nodiscard]] std::size_t open_connections() const;
+
+  // LRU cache of serialized RESULT bodies, keyed by canonical_plan_key().
+  void cache_configure(std::size_t capacity);
+  [[nodiscard]] const std::vector<std::byte>* cache_find(const std::string& key);
+  void cache_put(const std::string& key, std::vector<std::byte> body);
+
+  service_stats stats;
+
+ private:
+  struct impl;
+  std::unique_ptr<impl> impl_;
+};
+
+/// Pack a body and queue it as one frame.
+template <typename... Body>
+void send_packed(service_core& core, std::uint64_t conn, frame_type type,
+                 const Body&... body) {
+  serial::byte_buffer buf;
+  if constexpr (sizeof...(Body) > 0) serial::pack(buf, body...);
+  core.send(conn, type, buf.data(), buf.size());
+}
+
+// --- fused unit runtime -----------------------------------------------------
+
+namespace detail {
+
+/// Per-rank (and per-thread-slice) accumulator of one fused round: one
+/// unit_result per unit, in round (canonical) order.  Default-constructed
+/// EMPTY -- the reduce treats an empty slice as the identity -- and
+/// serializable, which is what reduce_scope::global needs to all_reduce it.
+struct units_context {
+  std::vector<unit_result> acc;
+
+  template <typename Archive>
+  void serialize(Archive& ar) {
+    ar(acc);
+  }
+};
+
+/// Stateless fold for units_context slices: elementwise, sum for the
+/// counting/digest kinds, max for max_label.  Commutative and associative
+/// (u64 wrapping sums), so thread-merge order and the all_reduce fold shape
+/// cannot change the result.
+struct units_reduce {
+  [[nodiscard]] units_context operator()(const units_context& a,
+                                         const units_context& b) const {
+    if (a.acc.empty()) return b;
+    if (b.acc.empty()) return a;
+    units_context out = a;
+    const std::size_t n = std::min(out.acc.size(), b.acc.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      out.acc[i].fires += b.acc[i].fires;
+      if (out.acc[i].kind == static_cast<std::uint64_t>(unit_kind::max_label)) {
+        out.acc[i].value = std::max(out.acc[i].value, b.acc[i].value);
+      } else {
+        out.acc[i].value += b.acc[i].value;
+      }
+    }
+    return out;
+  }
+};
+
+/// The ONE callback of a fused round: a runtime dispatcher over the round's
+/// unit list.  Fires per discovered triangle, updates every unit's
+/// accumulator independently -- each unit's result is therefore independent
+/// of the batch composition.  Kinds that read metadata the view does not
+/// carry compile to no-ops (if constexpr) and are kept unreachable by
+/// validate_request().  No locks, no collectives, no I/O in here: the
+/// engine may fire this from worker threads into per-thread slices
+/// (docs/THREADING.md, tripoll-callback-blocking).
+struct unit_dispatch_callback {
+  using vertex_projection = identity_projection;
+  using edge_projection = identity_projection;
+
+  std::vector<plan_unit> units;
+
+  template <typename View>
+  void operator()(const View& view, units_context& ctx) const {
+    if (ctx.acc.size() != units.size()) {  // lazily shape a fresh thread slice
+      ctx.acc.assign(units.size(), unit_result{});
+      for (std::size_t i = 0; i < units.size(); ++i) {
+        ctx.acc[i].kind = units[i].kind;
+        ctx.acc[i].param = units[i].param;
+      }
+    }
+    constexpr bool has_emeta =
+        std::is_convertible_v<decltype(view.meta_pq), std::uint64_t>;
+    constexpr bool has_vmeta =
+        std::is_convertible_v<decltype(view.meta_p), std::uint64_t>;
+    for (std::size_t i = 0; i < units.size(); ++i) {
+      unit_result& acc = ctx.acc[i];
+      switch (static_cast<unit_kind>(units[i].kind)) {
+        case unit_kind::count:
+          ++acc.fires;
+          ++acc.value;
+          break;
+        case unit_kind::hot_count:
+          if constexpr (has_emeta) {
+            const auto pq = static_cast<std::uint64_t>(view.meta_pq);
+            const auto pr = static_cast<std::uint64_t>(view.meta_pr);
+            const auto qr = static_cast<std::uint64_t>(view.meta_qr);
+            if (std::min({pq, pr, qr}) >= units[i].param) {
+              ++acc.fires;
+              ++acc.value;
+            }
+          }
+          break;
+        case unit_kind::closure_digest:
+          if constexpr (has_emeta) {
+            const auto pq = static_cast<std::uint64_t>(view.meta_pq);
+            const auto pr = static_cast<std::uint64_t>(view.meta_pr);
+            const auto qr = static_cast<std::uint64_t>(view.meta_qr);
+            const std::uint64_t span = std::max({pq, pr, qr}) - std::min({pq, pr, qr});
+            ++acc.fires;
+            acc.value += serial::splitmix64(span);  // wrapping, order-free
+          }
+          break;
+        case unit_kind::max_label:
+          if constexpr (has_vmeta) {
+            const auto p = static_cast<std::uint64_t>(view.meta_p);
+            const auto q = static_cast<std::uint64_t>(view.meta_q);
+            const auto r = static_cast<std::uint64_t>(view.meta_r);
+            ++acc.fires;
+            acc.value = std::max({acc.value, p, q, r});
+          }
+          break;
+      }
+    }
+  }
+};
+
+}  // namespace detail
+
+/// Collective: run one fused traversal over `units` and return the
+/// globally-reduced per-unit results (every rank returns the same vector).
+/// This is the exact computation a daemon round runs -- tests and the bench
+/// call it standalone to produce the bit-identity reference.
+/// `engine_triangles`, when non-null, receives the engine's global
+/// cross-check triangle count.
+template <typename VMeta, typename EMeta>
+[[nodiscard]] std::vector<unit_result> run_units(
+    graph::frozen_dodgr<VMeta, EMeta>& g, const std::vector<plan_unit>& units,
+    std::uint8_t mode, int threads, std::uint64_t* engine_triangles = nullptr) {
+  detail::units_context ctx;
+  ctx.acc.assign(units.size(), unit_result{});
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    ctx.acc[i].kind = units[i].kind;
+    ctx.acc[i].param = units[i].param;
+  }
+
+  survey_options opts;
+  opts.mode = mode == kModePushOnly ? survey_mode::push_only : survey_mode::push_pull;
+  opts.threads = threads;
+
+  detail::unit_dispatch_callback cb{units};
+  bool need_v = false, need_e = false;
+  for (const auto& u : units) {
+    const auto k = static_cast<unit_kind>(u.kind);
+    need_e = need_e || k == unit_kind::hot_count || k == unit_kind::closure_digest;
+    need_v = need_v || k == unit_kind::max_label;
+  }
+
+  // Ship only what the round reads: unread metadata kinds are projected
+  // away sender-side (PR 4's wire projections); empty stored metadata makes
+  // either choice a zero-byte no-op.
+  const auto run_with = [&](auto vproj, auto eproj) {
+    return tripoll::survey(g)
+        .project_vertex(vproj)
+        .project_edge(eproj)
+        .template add_reduced<reduce_scope::global>(cb, ctx, detail::units_reduce{})
+        .run(opts);
+  };
+  plan_result<1> res;
+  if (need_v && need_e) {
+    res = run_with(identity_projection{}, identity_projection{});
+  } else if (need_v) {
+    res = run_with(identity_projection{}, drop_projection{});
+  } else if (need_e) {
+    res = run_with(drop_projection{}, identity_projection{});
+  } else {
+    res = run_with(drop_projection{}, drop_projection{});
+  }
+  if (engine_triangles != nullptr) *engine_triangles = res.total.triangles_found;
+  return std::move(ctx.acc);
+}
+
+/// Collective: the cache-key/STATS snapshot id of the whole loaded graph --
+/// rank-position-mixed local content ids summed over ranks, so every rank
+/// reports the same value and any changed partition changes it.  Never 0.
+template <typename VMeta, typename EMeta>
+[[nodiscard]] std::uint64_t global_snapshot_id(graph::frozen_dodgr<VMeta, EMeta>& g) {
+  auto& c = g.comm();
+  const std::uint64_t mixed = serial::splitmix64(
+      g.snapshot_id() ^ serial::splitmix64(static_cast<std::uint64_t>(c.rank())));
+  const std::uint64_t id = c.all_reduce_sum(mixed);
+  return id != 0 ? id : 1;
+}
+
+// --- the daemon -------------------------------------------------------------
+
+template <typename VMeta, typename EMeta>
+class survey_service {
+ public:
+  using graph_type = graph::frozen_dodgr<VMeta, EMeta>;
+
+  survey_service(graph_type& g, service_options opts)
+      : g_(&g), opts_(std::move(opts)) {}
+
+  /// Collective: serve until a stop request (signal or SHUTDOWN frame).
+  /// Rank 0 runs the socket loop; other ranks park in broadcast and run
+  /// their share of each fused round.  Returns the process exit code (0 on
+  /// a graceful drain).
+  int serve() {
+    auto& c = g_->comm();
+    const std::uint64_t sid = global_snapshot_id(*g_);
+    return c.rank0() ? leader_loop(c, sid) : follower_loop(c);
+  }
+
+ private:
+  static constexpr std::uint64_t vmeta_bytes() noexcept {
+    return std::is_empty_v<VMeta> ? 0 : sizeof(VMeta);
+  }
+  static constexpr std::uint64_t emeta_bytes() noexcept {
+    return std::is_empty_v<EMeta> ? 0 : sizeof(EMeta);
+  }
+
+  int follower_loop(comm::communicator& c) {
+    for (;;) {
+      const batch_round round = c.broadcast(batch_round{}, 0);
+      if (round.action != 0) break;
+      (void)run_units(*g_, round.units, static_cast<std::uint8_t>(round.mode),
+                      opts_.threads);
+    }
+    return 0;
+  }
+
+  struct pending_plan {
+    std::uint64_t conn = 0;
+    plan_request req;  ///< canonical form
+    std::string key;   ///< canonical_plan_key(req, sid)
+    std::chrono::steady_clock::time_point arrived;
+  };
+
+  int leader_loop(comm::communicator& c, std::uint64_t sid) {
+    service_core core(endpoint::parse(opts_.endpoint_spec));
+    core.cache_configure(opts_.cache_capacity);
+    core.stats.snapshot_id = sid;
+    core.stats.nranks = static_cast<std::uint64_t>(c.size());
+    core.open();
+    clear_stop();
+    if (opts_.install_signals) install_signal_handlers();
+
+    std::vector<pending_plan> pending;
+    bool stopping = false;
+    while (!stopping) {
+      for (auto& e : core.poll(opts_.poll_ms)) {
+        handle_event(core, sid, pending, e, stopping);
+      }
+      if (stop_requested()) stopping = true;
+      while (!stopping && !pending.empty()) {
+        const bool full = pending.size() >= opts_.max_batch;
+        const auto age = std::chrono::steady_clock::now() - pending.front().arrived;
+        const bool aged =
+            age >= std::chrono::milliseconds(static_cast<long long>(opts_.window_ms));
+        if (!full && !aged) break;
+        run_batch(c, core, sid, pending);
+      }
+    }
+
+    // Graceful drain: queued-but-unbatched plans get ERROR(shutting_down),
+    // replies flush, followers are released, exit 0.
+    for (const auto& p : pending) {
+      core.send_error(p.conn, error_code::shutting_down, "daemon is shutting down",
+                      /*close_after=*/true);
+    }
+    pending.clear();
+    core.flush(500);
+    core.close_all();
+    (void)c.broadcast(batch_round{1, 0, {}}, 0);
+    return 0;
+  }
+
+  void handle_event(service_core& core, std::uint64_t sid,
+                    std::vector<pending_plan>& pending, service_core::event& e,
+                    bool& stopping) {
+    switch (static_cast<frame_type>(e.type)) {
+      case frame_type::submit_plan: {
+        plan_request req;
+        try {
+          serial::buffer_reader r(e.body.data(), e.body.size());
+          serial::unpack(r, req);
+          if (r.remaining() != 0) {
+            throw serial::deserialize_error("trailing bytes after plan_request");
+          }
+        } catch (const std::exception& ex) {
+          core.send_error(e.conn, error_code::bad_request,
+                          std::string("malformed plan: ") + ex.what());
+          return;
+        }
+        canonicalize(req);
+        error_code code = error_code::bad_request;
+        const std::string err =
+            validate_request(req, vmeta_bytes(), emeta_bytes(), code);
+        if (!err.empty()) {
+          core.send_error(e.conn, code, err);
+          return;
+        }
+        std::string key = canonical_plan_key(req, sid);
+        if (const auto* body = core.cache_find(key)) {
+          core.send(e.conn, frame_type::result, body->data(), body->size());
+          ++core.stats.plans_served;
+          ++core.stats.cache_hits;
+          return;
+        }
+        pending.push_back(pending_plan{e.conn, std::move(req), std::move(key),
+                                       std::chrono::steady_clock::now()});
+        return;
+      }
+      case frame_type::stats:
+        send_packed(core, e.conn, frame_type::stats, core.stats);
+        return;
+      case frame_type::shutdown:
+        core.send(e.conn, frame_type::shutdown, nullptr, 0);
+        stopping = true;
+        return;
+      default:
+        core.send_error(e.conn, error_code::bad_frame,
+                        "unknown frame type " + std::to_string(e.type),
+                        /*close_after=*/true);
+        return;
+    }
+  }
+
+  void run_batch(comm::communicator& c, service_core& core, std::uint64_t sid,
+                 std::vector<pending_plan>& pending) {
+    // Fuse at most max_batch of the queued plans per round (max_batch == 1
+    // disables fusion entirely); later arrivals stay queued for the next
+    // admission window.  The round's unit list is the deduplicated union of
+    // every fused plan's units, in canonical order (requests asking for the
+    // same unit share one accumulator slot).
+    const std::size_t take = static_cast<std::size_t>(
+        std::min<std::uint64_t>(pending.size(),
+                                std::max<std::uint64_t>(opts_.max_batch, 1)));
+    std::vector<plan_unit> merged;
+    for (std::size_t i = 0; i < take; ++i) {
+      merged.insert(merged.end(), pending[i].req.units.begin(),
+                    pending[i].req.units.end());
+    }
+    std::sort(merged.begin(), merged.end());
+    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+
+    (void)c.broadcast(batch_round{0, opts_.mode, merged}, 0);
+    std::uint64_t engine_triangles = 0;
+    const std::vector<unit_result> results =
+        run_units(*g_, merged, opts_.mode, opts_.threads, &engine_triangles);
+
+    for (std::size_t i = 0; i < take; ++i) {
+      const auto& p = pending[i];
+      plan_response resp;
+      resp.snapshot_id = sid;
+      resp.engine_triangles = engine_triangles;
+      resp.units.reserve(p.req.units.size());
+      for (const auto& u : p.req.units) {
+        const auto it = std::lower_bound(
+            merged.begin(), merged.end(), u);  // merged is sorted canonical
+        resp.units.push_back(results[static_cast<std::size_t>(it - merged.begin())]);
+      }
+      serial::byte_buffer body;
+      serial::pack(body, resp);
+      core.send(p.conn, frame_type::result, body.data(), body.size());
+      core.cache_put(p.key, std::vector<std::byte>(body.data(), body.data() + body.size()));
+      ++core.stats.plans_served;
+      ++core.stats.cache_misses;
+    }
+    ++core.stats.traversals;
+    ++core.stats.batches;
+    core.stats.max_batch = std::max<std::uint64_t>(core.stats.max_batch, take);
+    pending.erase(pending.begin(),
+                  pending.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+
+  graph_type* g_;
+  service_options opts_;
+};
+
+}  // namespace tripoll::service

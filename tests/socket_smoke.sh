@@ -163,6 +163,94 @@ else
   fail=1
 fi
 
+echo "== resident survey service: serve + query vs direct count =="
+# The daemon mmaps a --meta snapshot and serves fused plans; the count
+# unit's fires must equal the straight `count` of the same edge list, the
+# repeat query must be answered from the cache (identical output, no second
+# traversal), and SHUTDOWN must exit 0.
+"$CLI" snapshot save "$work/g.txt" "$work/svc_snap" "$RANKS" --meta \
+  >/dev/null 2>&1 || fail=1
+svc_ep="unix:$work/svc.sock"
+"$CLI" serve "$work/svc_snap" "$RANKS" --endpoint "$svc_ep" --window 0 \
+  2>"$work/svc.err" &
+svc_pid=$!
+"$CLI" query "$svc_ep" count hot closure maxlabel >"$work/query.1" || fail=1
+"$CLI" query "$svc_ep" count hot closure maxlabel >"$work/query.2" || fail=1
+if diff -u "$work/query.1" "$work/query.2"; then
+  echo "repeat query: IDENTICAL (served from cache)"
+else
+  echo "repeat query: MISMATCH -- cache reply diverged" >&2
+  fail=1
+fi
+svc_stats="$("$CLI" query "$svc_ep" stats)"
+echo "$svc_stats"
+echo "$svc_stats" | grep -q "hits 1 " || { echo "socket_smoke: expected exactly one cache hit" >&2; fail=1; }
+echo "$svc_stats" | grep -q "traversals 1 " || { echo "socket_smoke: cache hit must not re-traverse" >&2; fail=1; }
+svc_count="$(grep -o 'unit count param 0 fires [0-9]*' "$work/query.1" | grep -o '[0-9]*$')"
+direct_count="${inproc_count#triangles }"
+echo "service count: ${svc_count:-<none>}   direct: $direct_count"
+if [ -z "${svc_count:-}" ] || [ "$svc_count" != "$direct_count" ]; then
+  echo "socket_smoke: service count diverged from direct count" >&2
+  fail=1
+fi
+"$CLI" query "$svc_ep" shutdown >/dev/null || fail=1
+if wait "$svc_pid"; then
+  echo "service shutdown: exit 0"
+else
+  echo "socket_smoke: service exited nonzero after SHUTDOWN" >&2
+  cat "$work/svc.err" >&2
+  fail=1
+fi
+
+echo "== resident survey service: SIGTERM drains and exits 0 =="
+"$CLI" serve "$work/svc_snap" "$RANKS" --endpoint "unix:$work/svc2.sock" \
+  2>"$work/svc2.err" &
+svc2_pid=$!
+# A served query proves the daemon is up before the signal lands.
+"$CLI" query "unix:$work/svc2.sock" count >/dev/null || fail=1
+kill -TERM "$svc2_pid"
+if wait "$svc2_pid"; then
+  echo "SIGTERM: graceful exit 0"
+else
+  echo "socket_smoke: SIGTERM exit was nonzero" >&2
+  cat "$work/svc2.err" >&2
+  fail=1
+fi
+
+echo "== multi-node launcher: TRIPOLL_HOSTS TCP path on localhost =="
+# Four localhost "nodes" rendezvous over TCP through tools/launch_hosts.sh;
+# rank 0's preset output must be bit-identical to the inproc run.  One
+# retry on a different port block absorbs collisions with other tests.
+launcher="$(dirname "$0")/../tools/launch_hosts.sh"
+launch_ok=0
+for attempt in 1 2; do
+  base=$((20000 + (($$ + attempt * 977)) % 20000))
+  {
+    echo "# four local ranks          "
+    echo "127.0.0.1:$base"
+    echo "127.0.0.1:$((base + 1))"
+    echo ""
+    echo "127.0.0.1:$((base + 2))"
+    echo "127.0.0.1:$((base + 3))"
+  } >"$work/hosts.txt"
+  if bash "$launcher" "$work/hosts.txt" \
+       "$CLI" preset rmat "$RANKS" "$DELTA" --backend socket \
+       >"$work/launch.out" 2>"$work/launch.err"; then
+    launch_ok=1
+    break
+  fi
+done
+if [ "$launch_ok" -ne 1 ]; then
+  echo "socket_smoke: launch_hosts.sh failed on both port blocks" >&2
+  cat "$work/launch.err" >&2
+  fail=1
+elif diff -u "$work/inproc.rmat" "$work/launch.out"; then
+  echo "launch_hosts preset rmat: IDENTICAL"
+else
+  echo "launch_hosts preset rmat: MISMATCH vs inproc" >&2
+  fail=1
+fi
+
 if [ "$fail" -ne 0 ]; then
   echo "socket_smoke: FAILED" >&2
   exit 1

@@ -70,14 +70,29 @@ IO gates (PR 8): --io-gates points at the JSON emitted by
 Like the other gates these are checks within one run, needing no committed
 baseline; BENCH_pr8.json records the trajectory for humans.
 
+Service gates (PR 9): --service-gates points at the JSON emitted by
+`bench_service_throughput --json` and asserts, from that run's
+`pr9_service_cases`:
+  * zero mismatches between daemon replies and the standalone traversal of
+    the same unit list (bit-identity is unconditional),
+  * fused/unfused plans-per-second ratio >= --service-fusion-min (1.5) at
+    8 concurrent clients (the admission window must actually pay off),
+  * fused traversal count strictly below the plan count (plans really
+    shared traversals) while the unfused run traversed once per plan,
+  * cold/hit latency ratio >= --service-cache-min (10) (an LRU hit skips
+    the traversal entirely and replays the cached reply bytes).
+Like the other gates these are checks within one run, needing no committed
+baseline; BENCH_pr9.json records the trajectory for humans.
+
 Usage:
   tools/check_bench_regression.py --current bench-results [--baseline-dir .]
                                   [--threshold 3.0] [--plan-gates fig9.json]
                                   [--storage-gates storage.json]
                                   [--parallel-gates parallel.json]
                                   [--io-gates io.json]
+                                  [--service-gates service.json]
 At least one of --current / --plan-gates / --storage-gates /
---parallel-gates / --io-gates is required.
+--parallel-gates / --io-gates / --service-gates is required.
 Exit status: 0 ok, 1 regression found, 2 usage/IO error.
 """
 
@@ -341,6 +356,50 @@ def check_io_gates(path, compression_min, load_max, speedup_min):
     return failures
 
 
+def check_service_gates(path, fusion_min, cache_min):
+    """Verify the resident-service acceptance ratios in a
+    bench_service_throughput --json artifact.  Returns a list of failure
+    strings (empty = pass)."""
+    with open(path) as f:
+        doc = json.load(f)
+    cases = doc.get("pr9_service_cases")
+    if not isinstance(cases, dict) or not cases:
+        return [f"{path}: no pr9_service_cases object"]
+
+    failures = []
+    for name, case in sorted(cases.items()):
+        if case.get("mismatches", 1) != 0:
+            failures.append(f"{name}: {case.get('mismatches')} daemon replies "
+                            f"diverged from the standalone traversal")
+        plans = case.get("plans", 0)
+        fused_tps = case.get("fused_plans_per_sec", 0.0)
+        unfused_tps = case.get("unfused_plans_per_sec", 0.0)
+        fusion = fused_tps / unfused_tps if unfused_tps > 0 else 0.0
+        fused_trav = case.get("fused_traversals", plans)
+        unfused_trav = case.get("unfused_traversals", 0)
+        cold_s = case.get("cold_seconds", 0.0)
+        hit_s = case.get("hit_seconds", 0.0)
+        cache = cold_s / hit_s if hit_s > 0 else 0.0
+        print(f"service gate: {name}: fusion {fusion:.2f}x "
+              f"(needs >= {fusion_min:.2f}x; {fused_trav} traversals for "
+              f"{plans} plans vs {unfused_trav} unfused), cache hit "
+              f"{cache:.1f}x faster than cold (needs >= {cache_min:.1f}x)")
+        if fusion < fusion_min:
+            failures.append(f"{name}: fused throughput only {fusion:.2f}x the "
+                            f"unfused daemon (< {fusion_min:.2f}x)")
+        if plans > 0 and fused_trav >= plans:
+            failures.append(f"{name}: fused daemon ran {fused_trav} traversals "
+                            f"for {plans} plans (no batching happened)")
+        if plans > 0 and unfused_trav != plans:
+            failures.append(f"{name}: unfused daemon ran {unfused_trav} "
+                            f"traversals for {plans} plans (baseline is not "
+                            f"one-traversal-per-plan)")
+        if cache < cache_min:
+            failures.append(f"{name}: cache hit only {cache:.1f}x faster than "
+                            f"a cold submission (< {cache_min:.1f}x)")
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--current",
@@ -383,12 +442,22 @@ def main():
     parser.add_argument("--io-speedup-min", type=float, default=1.6,
                         help="minimum rmat ingest+freeze speedup at 4 threads "
                              "(skipped on machines with < 4 hardware threads)")
+    parser.add_argument("--service-gates",
+                        help="bench_service_throughput --json artifact to check "
+                             "the resident-service acceptance gates against")
+    parser.add_argument("--service-fusion-min", type=float, default=1.5,
+                        help="minimum fused/unfused plans-per-second ratio at "
+                             "8 concurrent clients")
+    parser.add_argument("--service-cache-min", type=float, default=10.0,
+                        help="minimum cold/hit submit latency ratio for an "
+                             "LRU cache hit")
     args = parser.parse_args()
 
     if (not args.current and not args.plan_gates and not args.storage_gates
-            and not args.parallel_gates and not args.io_gates):
+            and not args.parallel_gates and not args.io_gates
+            and not args.service_gates):
         parser.error("need --current, --plan-gates, --storage-gates, "
-                     "--parallel-gates and/or --io-gates")
+                     "--parallel-gates, --io-gates and/or --service-gates")
 
     # All requested checks always run so one CI pass reports every failure
     # class; the combined exit status is the worst of them.
@@ -450,6 +519,21 @@ def main():
                 print(f"  {f}")
         else:
             print("OK: ingest/snapshot gates pass")
+        gate_failures += failures
+    if args.service_gates:
+        try:
+            failures = check_service_gates(args.service_gates,
+                                           args.service_fusion_min,
+                                           args.service_cache_min)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"error: {e}")
+            return 2
+        if failures:
+            print("\nFAIL: resident-service gate(s) violated:")
+            for f in failures:
+                print(f"  {f}")
+        else:
+            print("OK: resident-service gates pass")
         gate_failures += failures
     if not args.current:
         return 1 if gate_failures else 0

@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# launch_hosts.sh -- launch one TriPoll rank per hostfile line over the TCP
+# rendezvous path of the socket backend (TRIPOLL_HOSTS).
+#
+# Usage:
+#   launch_hosts.sh <hostfile> <command> [args...]
+#
+#   hostfile   one "host[:port]" per line; blank lines and '#' comments are
+#              skipped.  Lines without an explicit :port get
+#              TRIPOLL_BASE_PORT+rank (base defaults to 17700).
+#   command    executed once per rank with TRIPOLL_RANK, TRIPOLL_NRANKS and
+#              TRIPOLL_HOSTS exported.  localhost / 127.0.0.1 / the local
+#              hostname spawn directly; every other host launches via
+#              `ssh -o BatchMode=yes` (the command path must be valid
+#              there, e.g. a shared filesystem).
+#
+# Example -- four ranks, two per machine:
+#   $ cat hosts.txt
+#   nodeA:17700
+#   nodeA:17701
+#   nodeB:17700
+#   nodeB:17701
+#   $ tools/launch_hosts.sh hosts.txt build/tripoll_cli \
+#         preset rmat 4 -2 --backend socket
+#
+# Works just as well for the resident survey service: point it at
+# `build/tripoll_cli serve <prefix> <nranks> --backend socket
+#  --endpoint tcp:0.0.0.0:9000` and rank 0's host serves clients
+# (docs/SERVICE.md).
+#
+# Exit status: 0 when every rank exits 0, else 1 (each failing rank is
+# reported on stderr).
+set -u
+
+if [ $# -lt 2 ]; then
+  echo "usage: launch_hosts.sh <hostfile> <command> [args...]" >&2
+  exit 2
+fi
+
+HOSTFILE="$1"
+shift
+if [ ! -r "$HOSTFILE" ]; then
+  echo "launch_hosts: cannot read hostfile '$HOSTFILE'" >&2
+  exit 2
+fi
+BASE_PORT="${TRIPOLL_BASE_PORT:-17700}"
+
+hosts=()
+endpoints=()
+while IFS= read -r line || [ -n "$line" ]; do
+  line="${line%%#*}"
+  line="$(printf '%s' "$line" | tr -d '[:space:]')"
+  [ -n "$line" ] || continue
+  case "$line" in
+    *:*) host="${line%%:*}" port="${line##*:}" ;;
+    *)   host="$line" port="$((BASE_PORT + ${#hosts[@]}))" ;;
+  esac
+  hosts+=("$host")
+  endpoints+=("$host:$port")
+done <"$HOSTFILE"
+
+NRANKS=${#hosts[@]}
+if [ "$NRANKS" -lt 1 ]; then
+  echo "launch_hosts: hostfile '$HOSTFILE' lists no hosts" >&2
+  exit 2
+fi
+HOSTLIST="$(IFS=,; echo "${endpoints[*]}")"
+LOCAL_NAME="$(hostname 2>/dev/null || echo localhost)"
+
+pids=()
+for r in $(seq 0 $((NRANKS - 1))); do
+  host="${hosts[$r]}"
+  if [ "$host" = "localhost" ] || [ "$host" = "127.0.0.1" ] || [ "$host" = "$LOCAL_NAME" ]; then
+    TRIPOLL_RANK="$r" TRIPOLL_NRANKS="$NRANKS" TRIPOLL_HOSTS="$HOSTLIST" "$@" &
+  else
+    # shellcheck disable=SC2029  # remote expansion of the flattened command is intended
+    ssh -o BatchMode=yes "$host" \
+      "TRIPOLL_RANK=$r TRIPOLL_NRANKS=$NRANKS TRIPOLL_HOSTS='$HOSTLIST' $*" &
+  fi
+  pids+=($!)
+done
+
+status=0
+for r in $(seq 0 $((NRANKS - 1))); do
+  if ! wait "${pids[$r]}"; then
+    echo "launch_hosts: rank $r (${hosts[$r]}) exited nonzero" >&2
+    status=1
+  fi
+done
+exit "$status"

@@ -33,6 +33,12 @@
 //                                       mmap the snapshot (skipping edge
 //                                       shuffle and ordering peel) and run the
 //                                       counting survey
+//   serve <prefix> [ranks]              mmap the snapshot and run the resident
+//                                       survey service on --endpoint until
+//                                       SHUTDOWN or SIGTERM (docs/SERVICE.md)
+//   query <endpoint> <spec>...          submit one plan to a running daemon
+//                                       (count | hot[:n] | closure | maxlabel),
+//                                       fetch stats, or request shutdown
 //
 // Options:
 //   --ordering {degree,degeneracy}   DODGr <+ vertex order (graph-building cmds)
@@ -59,6 +65,7 @@
 
 #include "baselines/approx_tc.hpp"
 #include "comm/runtime.hpp"
+#include "comm/service_client.hpp"
 #include "core/analytics.hpp"
 #include "core/callbacks.hpp"
 #include "core/survey.hpp"
@@ -74,11 +81,13 @@
 #include "graph/ordering.hpp"
 #include "graph/snapshot.hpp"
 #include "serial/hash.hpp"
+#include "service/survey_service.hpp"
 
 namespace cb = tripoll::callbacks;
 namespace comm = tripoll::comm;
 namespace gen = tripoll::gen;
 namespace graph = tripoll::graph;
+namespace svc = tripoll::service;
 namespace ta = tripoll::analytics;
 
 namespace {
@@ -97,6 +106,8 @@ int usage() {
                "  tripoll_cli frozen <rmat|temporal|web> [ranks] [delta]\n"
                "  tripoll_cli snapshot save <edges.txt> <prefix> [ranks]\n"
                "  tripoll_cli snapshot load <prefix> [ranks] [push_pull|push_only]\n"
+               "  tripoll_cli serve <prefix> [ranks]\n"
+               "  tripoll_cli query <endpoint> <count|hot[:n]|closure|maxlabel|stats|shutdown>...\n"
                "options:\n"
                "  --ordering <degree|degeneracy>  DODGr <+ vertex order (default degree)\n"
                "  --backend <inproc|socket>       transport backend (default inproc;\n"
@@ -107,7 +118,15 @@ int usage() {
                "                                  (default: TRIPOLL_THREADS env or 1;\n"
                "                                  results are identical at any count)\n"
                "  --compress                      snapshot save: write the v3 compressed\n"
-               "                                  layout (delta/varint-packed columns)\n");
+               "                                  layout (delta/varint-packed columns)\n"
+               "  --meta                          snapshot save: attach the deterministic\n"
+               "                                  plan metadata (u64 timestamps + labels)\n"
+               "  --endpoint <spec>               serve/query: unix:<path> or tcp:host:port\n"
+               "                                  (default unix:/tmp/tripoll-service.sock)\n"
+               "  --window <ms>                   serve: admission window (default 5)\n"
+               "  --max-batch <n>                 serve: plans fused per round (default 8)\n"
+               "  --cache <n>                     serve: LRU result entries; 0 disables\n"
+               "                                  (default 64)\n");
   return 2;
 }
 
@@ -116,6 +135,11 @@ graph::ordering_policy g_ordering = graph::ordering_policy::degree;
 comm::backend_kind g_backend = comm::backend_kind::inproc;
 int g_threads = 0;  ///< 0 = TRIPOLL_THREADS env, else 1 (docs/THREADING.md)
 bool g_compress = false;  ///< snapshot save: v3 compressed layout
+bool g_meta = false;      ///< snapshot save: attach deterministic plan metadata
+std::string g_endpoint = "unix:/tmp/tripoll-service.sock";
+std::uint64_t g_window_ms = 5;   ///< serve: admission window
+std::uint64_t g_max_batch = 8;   ///< serve: plans fused per round
+std::uint64_t g_cache = 64;      ///< serve: LRU result entries (0 disables)
 
 /// Strip `--flag <x>` / `--flag=<x>` style options from argv; returns false
 /// (and prints usage) on an unknown value or missing argument.
@@ -127,9 +151,14 @@ bool strip_flags(int& argc, char** argv) {
       g_compress = true;
       continue;
     }
+    if (arg == "--meta") {
+      g_meta = true;
+      continue;
+    }
     std::string name;
     std::string value;
-    for (const char* flag : {"--ordering", "--backend", "--threads"}) {
+    for (const char* flag : {"--ordering", "--backend", "--threads", "--endpoint",
+                             "--window", "--max-batch", "--cache"}) {
       const std::string prefix = std::string(flag) + "=";
       if (arg == flag) {
         if (i + 1 >= argc) return false;
@@ -170,6 +199,19 @@ bool strip_flags(int& argc, char** argv) {
         return false;
       }
       g_threads = n;
+    } else if (name == "--endpoint") {
+      g_endpoint = value;
+    } else if (name == "--window") {
+      g_window_ms = static_cast<std::uint64_t>(std::atoll(value.c_str()));
+    } else if (name == "--max-batch") {
+      const long long n = std::atoll(value.c_str());
+      if (n < 1) {
+        std::fprintf(stderr, "bad batch size '%s' (want >= 1)\n", value.c_str());
+        return false;
+      }
+      g_max_batch = static_cast<std::uint64_t>(n);
+    } else if (name == "--cache") {
+      g_cache = static_cast<std::uint64_t>(std::atoll(value.c_str()));
     }
   }
   argc = out;
@@ -510,6 +552,57 @@ int cmd_frozen(int argc, char** argv) {
   return 0;
 }
 
+/// `snapshot save` body, templated over "plain" vs "--meta" (deterministic
+/// u64 timestamps on edges and labels on vertices, the same functions the
+/// `plan` command uses -- so a served snapshot's hot/closure/maxlabel units
+/// are reproducible from the edge list alone).
+template <bool WithMeta>
+void snapshot_save_run(const std::string& path, const std::string& prefix, int ranks) {
+  using Meta = std::conditional_t<WithMeta, std::uint64_t, graph::none>;
+  run_spmd(ranks, [&](comm::communicator& c) {
+    graph::graph_builder<Meta, Meta> builder(c, g_ordering);
+    graph::ingest_options in;
+    in.threads = g_threads;
+    graph::read_edge_list(
+        c, path,
+        [&](const graph::parsed_edge& e) {
+          if constexpr (WithMeta) {
+            builder.add_edge(e.u, e.v, plan_edge_ts(e.u, e.v));
+          } else {
+            builder.add_edge(e.u, e.v);
+          }
+        },
+        in);
+    graph::dodgr<Meta, Meta> g(c);
+    builder.build_into(g);
+    if constexpr (WithMeta) {
+      g.for_all_local([](const graph::vertex_id& v, auto& rec) {
+        rec.meta = plan_vertex_label(v);
+        for (auto& e : rec.adj) e.target_meta = plan_vertex_label(e.target);
+      });
+    }
+    graph::freeze_options fo;
+    fo.threads = g_threads;
+    auto fz = graph::freeze(g, fo);
+    const auto codec = g_compress ? tripoll::graph::snapshot_codec::compressed
+                                  : tripoll::graph::snapshot_codec::raw;
+    const auto bytes =
+        fz.comm().all_reduce_sum(tripoll::graph::save_snapshot(fz, prefix, codec));
+    const auto census = fz.census();
+    if (c.rank0()) {
+      std::printf("snapshot saved %s ranks %d ordering %s\n", prefix.c_str(), ranks,
+                  graph::ordering_name(fz.ordering()));
+      std::printf("census |V| %llu |E|+ %llu dmax %llu dmax+ %llu |W+| %llu\n",
+                  (unsigned long long)census.num_vertices,
+                  (unsigned long long)census.num_directed_edges,
+                  (unsigned long long)census.max_degree,
+                  (unsigned long long)census.max_out_degree,
+                  (unsigned long long)census.wedge_checks);
+      std::printf("snapshot bytes %llu\n", (unsigned long long)bytes);
+    }
+  });
+}
+
 /// Frozen-graph snapshot workflow for plain edge-list files.  `save` builds
 /// (and optionally degeneracy-orders) the graph once and writes per-rank
 /// CSR arenas; `load` mmaps them back -- no edge shuffle, no re-peel -- and
@@ -523,34 +616,11 @@ int cmd_snapshot(int argc, char** argv) {
     const std::string path = argv[3];
     const std::string prefix = argv[4];
     const int ranks = argc > 5 ? std::atoi(argv[5]) : 4;
-    run_spmd(ranks, [&](comm::communicator& c) {
-      graph::graph_builder<graph::none, graph::none> builder(c, g_ordering);
-      graph::ingest_options in;
-      in.threads = g_threads;
-      graph::read_edge_list(
-          c, path, [&](const graph::parsed_edge& e) { builder.add_edge(e.u, e.v); }, in);
-      graph::dodgr<graph::none, graph::none> g(c);
-      builder.build_into(g);
-      graph::freeze_options fo;
-      fo.threads = g_threads;
-      auto fz = graph::freeze(g, fo);
-      const auto codec = g_compress ? tripoll::graph::snapshot_codec::compressed
-                                    : tripoll::graph::snapshot_codec::raw;
-      const auto bytes =
-          fz.comm().all_reduce_sum(tripoll::graph::save_snapshot(fz, prefix, codec));
-      const auto census = fz.census();
-      if (c.rank0()) {
-        std::printf("snapshot saved %s ranks %d ordering %s\n", prefix.c_str(), ranks,
-                    graph::ordering_name(fz.ordering()));
-        std::printf("census |V| %llu |E|+ %llu dmax %llu dmax+ %llu |W+| %llu\n",
-                    (unsigned long long)census.num_vertices,
-                    (unsigned long long)census.num_directed_edges,
-                    (unsigned long long)census.max_degree,
-                    (unsigned long long)census.max_out_degree,
-                    (unsigned long long)census.wedge_checks);
-        std::printf("snapshot bytes %llu\n", (unsigned long long)bytes);
-      }
-    });
+    if (g_meta) {
+      snapshot_save_run<true>(path, prefix, ranks);
+    } else {
+      snapshot_save_run<false>(path, prefix, ranks);
+    }
     return 0;
   }
 
@@ -585,6 +655,128 @@ int cmd_snapshot(int argc, char** argv) {
   return usage();
 }
 
+/// `serve` body: load the snapshot as the given metadata types and run the
+/// resident survey daemon until a SHUTDOWN frame or SIGTERM/SIGINT.
+template <typename VMeta, typename EMeta>
+int serve_snapshot(const std::string& prefix, int ranks) {
+  int rc = 0;
+  run_spmd(ranks, [&](comm::communicator& c) {
+    auto g = graph::load_snapshot<VMeta, EMeta>(c, prefix);
+    svc::service_options opts;
+    opts.endpoint_spec = g_endpoint;
+    opts.window_ms = g_window_ms;
+    opts.max_batch = g_max_batch;
+    opts.cache_capacity = g_cache;
+    opts.threads = g_threads;
+    if (c.rank0()) {
+      std::fprintf(stderr, "serving %s on %s (ranks %d)\n", prefix.c_str(),
+                   g_endpoint.c_str(), ranks);
+    }
+    svc::survey_service<VMeta, EMeta> daemon(g, opts);
+    const int r = daemon.serve();
+    if (c.rank0()) rc = r;
+  });
+  return rc;
+}
+
+/// Resident survey service over a saved snapshot.  The stored metadata
+/// element sizes (peeked from rank 0's file) pick the graph type.
+int cmd_serve(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string prefix = argv[2];
+  const int ranks = argc > 3 ? std::atoi(argv[3]) : 1;
+  const auto peek = graph::peek_snapshot(graph::snapshot_rank_path(prefix, 0));
+  if (peek.vmeta_size == 0 && peek.emeta_size == 0) {
+    return serve_snapshot<graph::none, graph::none>(prefix, ranks);
+  }
+  if (peek.vmeta_size == 8 && peek.emeta_size == 8) {
+    return serve_snapshot<std::uint64_t, std::uint64_t>(prefix, ranks);
+  }
+  std::fprintf(stderr,
+               "serve: unsupported snapshot metadata layout (%llu/%llu bytes); "
+               "save with no metadata or with --meta\n",
+               (unsigned long long)peek.vmeta_size,
+               (unsigned long long)peek.emeta_size);
+  return 1;
+}
+
+[[nodiscard]] const char* unit_kind_name(std::uint64_t kind) {
+  switch (static_cast<svc::unit_kind>(kind)) {
+    case svc::unit_kind::count: return "count";
+    case svc::unit_kind::hot_count: return "hot_count";
+    case svc::unit_kind::closure_digest: return "closure_digest";
+    case svc::unit_kind::max_label: return "max_label";
+  }
+  return "unknown";
+}
+
+/// One-shot client of a running daemon.  Unit specs accumulate into ONE
+/// plan; `stats` / `shutdown` run after it.  Every printed value is a
+/// global reduction served by the daemon, so the output is diffable against
+/// the standalone `preset` / `plan` runs (the socket smoke test does).
+int cmd_query(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string spec = argv[2];
+  svc::plan_request req;
+  bool do_stats = false;
+  bool do_shutdown = false;
+  for (int i = 3; i < argc; ++i) {
+    const std::string s = argv[i];
+    svc::plan_unit u;
+    if (s == "stats") {
+      do_stats = true;
+      continue;
+    }
+    if (s == "shutdown") {
+      do_shutdown = true;
+      continue;
+    }
+    if (s == "count") {
+      u.kind = static_cast<std::uint64_t>(svc::unit_kind::count);
+    } else if (s == "hot" || s.rfind("hot:", 0) == 0) {
+      u.kind = static_cast<std::uint64_t>(svc::unit_kind::hot_count);
+      u.param = s == "hot" ? 500000 : std::strtoull(s.c_str() + 4, nullptr, 10);
+    } else if (s == "closure") {
+      u.kind = static_cast<std::uint64_t>(svc::unit_kind::closure_digest);
+    } else if (s == "maxlabel") {
+      u.kind = static_cast<std::uint64_t>(svc::unit_kind::max_label);
+    } else {
+      std::fprintf(stderr, "query: unknown spec '%s'\n", s.c_str());
+      return usage();
+    }
+    req.units.push_back(u);
+  }
+
+  comm::service_client client(spec, 30.0);
+  if (!req.units.empty()) {
+    const auto resp = client.submit(req);
+    std::printf("response snapshot %016llx engine_triangles %llu units %zu\n",
+                (unsigned long long)resp.snapshot_id,
+                (unsigned long long)resp.engine_triangles, resp.units.size());
+    for (const auto& u : resp.units) {
+      std::printf("unit %s param %llu fires %llu value %llu\n",
+                  unit_kind_name(u.kind), (unsigned long long)u.param,
+                  (unsigned long long)u.fires, (unsigned long long)u.value);
+    }
+  }
+  if (do_stats) {
+    const auto s = client.stats();
+    std::printf("stats snapshot %016llx ranks %llu served %llu hits %llu "
+                "misses %llu traversals %llu batches %llu max_batch %llu "
+                "rejected %llu\n",
+                (unsigned long long)s.snapshot_id, (unsigned long long)s.nranks,
+                (unsigned long long)s.plans_served, (unsigned long long)s.cache_hits,
+                (unsigned long long)s.cache_misses, (unsigned long long)s.traversals,
+                (unsigned long long)s.batches, (unsigned long long)s.max_batch,
+                (unsigned long long)s.rejected);
+  }
+  if (do_shutdown) {
+    client.shutdown();
+    std::printf("shutdown ok\n");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -597,6 +789,8 @@ int main(int argc, char** argv) {
     if (cmd == "plan") return cmd_plan(argc, argv);
     if (cmd == "frozen") return cmd_frozen(argc, argv);
     if (cmd == "snapshot") return cmd_snapshot(argc, argv);
+    if (cmd == "serve") return cmd_serve(argc, argv);
+    if (cmd == "query") return cmd_query(argc, argv);
     if (argc < 3) return usage();
     const std::string path = argv[2];
     const int ranks = argc > 3 ? std::atoi(argv[3]) : 4;
