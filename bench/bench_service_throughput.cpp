@@ -130,7 +130,7 @@ workload_result with_daemon(const std::string& which, int delta,
   std::thread daemon([&] {
     comm::runtime::run(1, [&](comm::communicator& c) {
       auto g = build_frozen(c, which, delta);
-      svc::survey_service<std::uint64_t, std::uint64_t> d(g, opts);
+      svc::survey_service d(g, opts);
       (void)d.serve();
     });
   });

@@ -174,6 +174,19 @@ struct drop_projection {
 
 namespace core::detail {
 
+/// Sender-side time-window predicate of a plan (plan.window(t0, t1)):
+/// half-open [t0, t1) over the STORED edge metadata read as a timestamp.
+/// Inactive by default; carried by value through every chaining call.
+struct plan_window {
+  bool active = false;
+  std::uint64_t t0 = 0;
+  std::uint64_t t1 = 0;
+
+  [[nodiscard]] bool admits(std::uint64_t ts) const noexcept {
+    return !active || (ts >= t0 && ts < t1);
+  }
+};
+
 /// Receive-side wire type of a projected value: owning strings travel as
 /// length+bytes but DESERIALIZE as std::string_view into the drained
 /// payload (no copy); everything else round-trips as itself.
@@ -388,25 +401,45 @@ class survey_plan {
 
   static constexpr std::size_t num_callbacks = sizeof...(Entries);
 
-  survey_plan(graph_type& g, VProj vproj, EProj eproj, std::tuple<Entries...> entries)
+  survey_plan(graph_type& g, VProj vproj, EProj eproj, std::tuple<Entries...> entries,
+              core::detail::plan_window window = {})
       : graph_(&g),
         vproj_(std::move(vproj)),
         eproj_(std::move(eproj)),
-        entries_(std::move(entries)) {}
+        entries_(std::move(entries)),
+        window_(window) {}
 
   /// Replace the vertex-metadata projection.  Applied sender-side; the
   /// wedge/pull wire types carry the projected type.
   template <typename F>
   [[nodiscard]] auto project_vertex(F fn) const {
     return survey_plan<Graph, F, EProj, Entries...>(*graph_, std::move(fn), eproj_,
-                                                    entries_);
+                                                    entries_, window_);
   }
 
   /// Replace the edge-metadata projection (see project_vertex).
   template <typename F>
   [[nodiscard]] auto project_edge(F fn) const {
     return survey_plan<Graph, VProj, F, Entries...>(*graph_, vproj_, std::move(fn),
-                                                    entries_);
+                                                    entries_, window_);
+  }
+
+  /// Restrict the survey to edges whose STORED metadata, read as a
+  /// timestamp, falls in the half-open window [t0, t1).  The filter is
+  /// applied at wedge-GENERATION time (sender-side, before projection), so
+  /// wedge batches, pulled adjacencies and the wire volume all shrink with
+  /// the window; closing edges are filtered at the intersection.  A
+  /// triangle survives iff all three of its edges are in-window (SAM's
+  /// isExpired rule, PartialTriangle machinery).  Requires the graph's
+  /// edge metadata to convert to std::uint64_t.
+  [[nodiscard]] survey_plan window(std::uint64_t t0, std::uint64_t t1) const {
+    static_assert(std::is_convertible_v<EdgeMeta, std::uint64_t>,
+                  "plan.window(t0, t1) needs edge metadata readable as a "
+                  "uint64_t timestamp (e.g. a u64 edge-meta graph); "
+                  "metadata-free graphs cannot be windowed");
+    survey_plan p(*this);
+    p.window_ = core::detail::plan_window{true, t0, t1};
+    return p;
   }
 
   /// What the registered callbacks jointly demand on the wire: the
@@ -428,7 +461,8 @@ class survey_plan {
   [[nodiscard]] auto infer_projections() const {
     using VP = inferred_vertex_projection;
     using EP = inferred_edge_projection;
-    return survey_plan<Graph, VP, EP, Entries...>(*graph_, VP{}, EP{}, entries_);
+    return survey_plan<Graph, VP, EP, Entries...>(*graph_, VP{}, EP{}, entries_,
+                                                  window_);
   }
 
   /// Register one (callback, context) pair.  The callback is stored by
@@ -440,7 +474,8 @@ class survey_plan {
     return survey_plan<Graph, VProj, EProj, Entries..., entry>(
         *graph_, vproj_, eproj_,
         std::tuple_cat(entries_,
-                       std::make_tuple(entry{std::move(callback), &context})));
+                       std::make_tuple(entry{std::move(callback), &context})),
+        window_);
   }
 
   /// Register a (callback, context) pair WITH a declared reduction over
@@ -466,7 +501,8 @@ class survey_plan {
     return survey_plan<Graph, VProj, EProj, Entries..., entry>(
         *graph_, vproj_, eproj_,
         std::tuple_cat(entries_, std::make_tuple(entry{std::move(callback), &context,
-                                                       std::move(reduce)})));
+                                                       std::move(reduce)})),
+        window_);
   }
 
   /// Collective: execute the plan as one fused traversal.  Requires
@@ -482,6 +518,9 @@ class survey_plan {
   [[nodiscard]] graph_type& graph() const noexcept { return *graph_; }
   [[nodiscard]] const VProj& vertex_proj() const noexcept { return vproj_; }
   [[nodiscard]] const EProj& edge_proj() const noexcept { return eproj_; }
+  [[nodiscard]] const core::detail::plan_window& time_window() const noexcept {
+    return window_;
+  }
 
   /// Fan one discovered triangle out to every registered callback;
   /// `fired[i]` accumulates the callbacks that actually ran.
@@ -567,6 +606,7 @@ class survey_plan {
   VProj vproj_;
   EProj eproj_;
   std::tuple<Entries...> entries_;
+  core::detail::plan_window window_{};
 };
 
 /// Entry point of the plan API: start a survey description over `g` with

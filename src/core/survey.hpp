@@ -239,6 +239,18 @@ class survey_engine {
   static constexpr bool task_capable =
       frozen_graph && Plan::template parallel_fire_capable<view_type>;
 
+  /// Time-windowed surveys (plan.window(t0, t1)) filter on the graph's
+  /// STORED edge metadata -- before projection -- so the predicate is
+  /// push-down: inadmissible wedge edges and candidates never serialize
+  /// (volume drops sender-side).  Only meaningful when the stored type is a
+  /// timestamp; plan.window() static_asserts the same condition, so a plan
+  /// with an active window always reaches a capable engine.  Note this is
+  /// mutually exclusive with the hub-bitmap probe by construction: bitmap
+  /// rows are built only when the frozen graph stores EMPTY metadata
+  /// (graph/frozen.hpp), and empty metadata is not a timestamp.
+  static constexpr bool window_capable =
+      std::is_convertible_v<edge_meta_type, std::uint64_t>;
+
   survey_engine(graph_type& g, plan_type& plan)
       : comm_(&g.comm()), graph_(&g), plan_(&plan),
         handle_(comm_->register_object(*this)) {}
@@ -258,6 +270,12 @@ class survey_engine {
     if constexpr (frozen_graph) {
       threads_ = core::resolve_threads(opts.threads);
       pin_ = core::resolve_pinning(opts.pin_threads);
+    }
+    {
+      const core::detail::plan_window w = plan_->time_window();
+      win_active_ = window_capable && w.active;
+      win_t0_ = w.t0;
+      win_t1_ = w.t1;
     }
     const auto t_start = core::detail::clock::now();
 
@@ -408,6 +426,55 @@ class survey_engine {
     }
   }
 
+  // --- plan-window predicate ---------------------------------------------------
+
+  /// Does the stored edge metadata fall inside the plan's half-open window
+  /// [t0, t1)?  Always true when no window is active (the common case costs
+  /// one branch) or when the metadata is not a timestamp (window_capable
+  /// false compiles the test away entirely).
+  [[nodiscard]] bool admits([[maybe_unused]] const edge_meta_type& m) const noexcept {
+    if constexpr (window_capable) {
+      if (win_active_) {
+        const auto ts = static_cast<std::uint64_t>(m);
+        return ts >= win_t0_ && ts < win_t1_;
+      }
+    }
+    return true;
+  }
+
+  /// Walk the wedge splits of `rec` that survive the plan window, invoking
+  /// `fn(i, q_entry, admitted_suffix)` where admitted_suffix is the number
+  /// of in-window candidates past position i.  Without an active window
+  /// this is the classic every-split walk with suffix = adj.size()-i-1; with
+  /// one, splits whose wedge edge is out-of-window or whose admitted suffix
+  /// is empty are skipped entirely (one O(|adj|) suffix-count pass keeps the
+  /// dry run linear).  Shared by the serial and parallel dry-run scans so
+  /// both register exactly the same (source, target) pairs.
+  template <typename Rec, typename Fn>
+  void scan_wedge_splits(const Rec& rec, Fn&& fn) const {
+    if (rec.adj.size() < 2) return;
+    bool windowed = false;
+    if constexpr (window_capable) windowed = win_active_;
+    if (!windowed) {
+      for (std::size_t i = 0; i + 1 < rec.adj.size(); ++i) {
+        fn(i, rec.adj[i], static_cast<std::uint64_t>(rec.adj.size() - i - 1));
+      }
+      return;
+    }
+    // Count admitted entries once, then walk ascending keeping the admitted
+    // count of the open suffix (i, end) -- two linear passes, no per-record
+    // allocation (this scan runs once per record per survey).
+    std::uint64_t remaining = 0;
+    for (const entry_type& e : rec.adj) remaining += admits(e.edge_meta) ? 1u : 0u;
+    for (std::size_t i = 0; i + 1 < rec.adj.size(); ++i) {
+      const entry_type& q_entry = rec.adj[i];
+      const bool adm = admits(q_entry.edge_meta);
+      if (adm) --remaining;
+      if (!adm || remaining == 0) continue;
+      fn(i, q_entry, remaining);
+    }
+  }
+
   // --- send paths (serial via the communicator, parallel via staged buffers) --
 
   /// Per-worker send staging: the exact wire recipe of communicator::async
@@ -477,6 +544,7 @@ class survey_engine {
                         std::size_t i, std::uint64_t& cand_ctr,
                         std::uint64_t& batch_ctr) const {
     const entry_type& q_entry = rec.adj[i];
+    if (!admits(q_entry.edge_meta)) return;  // wedge edge outside the plan window
     const std::size_t n = rec.adj.size() - i - 1;
     std::vector<candidate_type> candidates;
     candidates.reserve(n);
@@ -484,9 +552,11 @@ class survey_engine {
     if constexpr (edge_scratch_needed) owned.reserve(n);
     for (std::size_t j = i + 1; j < rec.adj.size(); ++j) {
       const entry_type& e = rec.adj[j];
+      if (!admits(e.edge_meta)) continue;  // candidate edge outside the window
       candidates.push_back(
           candidate_type::make(e.target, e.target_rank, em_wire(e.edge_meta, owned)));
     }
+    if (candidates.empty()) return;  // only reachable with an active window
     cand_ctr += candidates.size();
     ++batch_ctr;
     decltype(auto) meta_p = pv(rec.meta);
@@ -713,6 +783,7 @@ class survey_engine {
         [](const candidate_type& cand) { return cand.key(); },
         [](const entry_type& e) { return e.key(); },
         [&](const candidate_type& cand, const entry_type& e) {
+          if (!admits(e.edge_meta)) return;  // closing edge outside the window
           decltype(auto) meta_r = pv(e.target_meta);
           decltype(auto) meta_qr = pe(e.edge_meta);
           sink(view_type{p, q, e.target, meta_p, vm_view(meta_q), vm_view(meta_r),
@@ -735,7 +806,15 @@ class survey_engine {
       decltype(auto) rec_p = graph_->resolve_record(s.rec);
       const graph::vertex_id p = s.p;
       const std::uint32_t i = s.split;
-      cand_ctr += rec_p.adj.size() - i - 1;
+      bool windowed = false;
+      if constexpr (window_capable) windowed = win_active_;
+      if (!windowed) {
+        cand_ctr += rec_p.adj.size() - i - 1;
+      } else {
+        for (std::size_t j = i + 1; j < rec_p.adj.size(); ++j) {
+          cand_ctr += admits(rec_p.adj[j].edge_meta) ? 1u : 0u;
+        }
+      }
       if constexpr (bitmap_eligible) {
         static_assert(serial::detail::bitwise<pulled_type>);
         const core::bitmap_view bm = graph_->hub_bitmap(s.rec);
@@ -761,6 +840,7 @@ class survey_engine {
           [](const entry_type& e) { return e.key(); },
           [](const pulled_type& pe_) { return pe_.key(); },
           [&](const entry_type& e_pr, const pulled_type& e_qr) {
+            if (!admits(e_pr.edge_meta)) return;  // candidate edge outside window
             // Callback on Rank(p): meta(r) comes from p's own Adjm+ entry.
             decltype(auto) meta_r = pv(e_pr.target_meta);
             decltype(auto) meta_pr = pe(e_pr.edge_meta);
@@ -861,14 +941,13 @@ class survey_engine {
     if (!scanned_parallel) {
       graph_->for_all_local_located([&](const graph::vertex_id& p, const record_type& rec,
                                         record_locator loc) {
-        if (rec.adj.size() < 2) return;
-        for (std::size_t i = 0; i + 1 < rec.adj.size(); ++i) {
-          const entry_type& q_entry = rec.adj[i];
+        scan_wedge_splits(rec, [&](std::size_t i, const entry_type& q_entry,
+                                   std::uint64_t admitted_suffix) {
           per_target& t = targets_[q_entry.target];
-          t.candidate_count += rec.adj.size() - i - 1;
+          t.candidate_count += admitted_suffix;
           t.q_out_degree = q_entry.target_out_degree;
           t.sources.push_back(source_ref{p, loc, static_cast<std::uint32_t>(i)});
-        }
+        });
       });
     }
     // One aggregate proposal per (this rank, q) -- but only where pulling
@@ -900,13 +979,13 @@ class survey_engine {
             decltype(auto) rec = graph_->resolve_record(loc);
             if (rec.adj.size() < 2) continue;
             const graph::vertex_id p = graph_->vid_at(loc);
-            for (std::size_t i = 0; i + 1 < rec.adj.size(); ++i) {
-              const entry_type q_entry = rec.adj[i];
+            scan_wedge_splits(rec, [&](std::size_t i, const entry_type& q_entry,
+                                       std::uint64_t admitted_suffix) {
               per_target& t = out[q_entry.target];
-              t.candidate_count += rec.adj.size() - i - 1;
+              t.candidate_count += admitted_suffix;
               t.q_out_degree = q_entry.target_out_degree;
               t.sources.push_back(source_ref{p, loc, static_cast<std::uint32_t>(i)});
-            }
+            });
           }
         }
       } catch (...) {
@@ -1056,9 +1135,13 @@ class survey_engine {
     std::vector<pe_type> owned;
     if constexpr (edge_scratch_needed) owned.reserve(rec_q->adj.size());
     for (const entry_type& e : rec_q->adj) {
+      if (!admits(e.edge_meta)) continue;  // closing edge outside the window
       entries.push_back(
           pulled_type::make(e.target, e.target_rank, em_wire(e.edge_meta, owned)));
     }
+    bool windowed = false;
+    if constexpr (window_capable) windowed = win_active_;
+    if (windowed && entries.empty()) return;  // nothing in-window to close against
     decltype(auto) meta_q = pv(rec_q->meta);
     for (const int dest : ranks) {
       snd.async(dest, pulled_adj_handler{}, handle_, q, vm_view(meta_q),
@@ -1108,6 +1191,9 @@ class survey_engine {
 
   int threads_ = 1;
   bool pin_ = false;  ///< resolved survey_options::pin_threads / TRIPOLL_PIN
+  bool win_active_ = false;         ///< plan window active this run (run() caches it)
+  std::uint64_t win_t0_ = 0;        ///< window [t0, t1) on stored edge timestamps
+  std::uint64_t win_t1_ = 0;
   bool tasks_enabled_ = false;  ///< read/written on the owning thread only
   std::atomic<int> senders_active_{0};
   core::task_queue<task_fn> tasks_;

@@ -589,6 +589,76 @@ template <typename Col, typename T>
   }
 }
 
+/// Hub bitmap rows over a finished CSR (shared by freeze() and the overlay's
+/// incremental re-freeze).  Built over raw target ids -- the adjacency is
+/// sorted by <+ order key, not id, so each row's base/span comes from a
+/// min/max scan of the slice.  Two passes around a serial prefix sum: a
+/// parallel admission pass decides each vertex's row size, the prefix sum
+/// lays the rows out in vertex order (exactly where the serial appender put
+/// them), and a parallel fill pass sets the bits of disjoint rows.  Leaves
+/// all three outputs empty when no row survives admission.
+inline void build_hub_bitmap_columns(std::size_t n, const std::uint64_t* offset,
+                                     const vertex_id* target, const freeze_options& opts,
+                                     int threads, std::vector<std::uint64_t>& bm_offset,
+                                     std::vector<std::uint64_t>& bm_base,
+                                     std::vector<std::uint64_t>& bm_words) {
+  bm_offset.assign(n + 1, 0);
+  bm_base.assign(n, 0);
+  bm_words.clear();
+  std::vector<std::uint64_t> row_words(n, 0), row_lo(n, 0);
+  core::chunk_queue admit(n, core::chunk_size_for(n, threads));
+  core::fork_join(threads, [&](int) {
+    std::size_t first = 0, last = 0;
+    while (admit.next(first, last)) {
+      for (std::size_t i = first; i < last; ++i) {
+        const std::uint64_t off = offset[i];
+        const std::uint64_t d = offset[i + 1] - off;
+        if (d == 0 || d < opts.hub_degree_threshold) continue;
+        std::uint64_t lo = target[off];
+        std::uint64_t hi = target[off];
+        for (std::uint64_t k = 1; k < d; ++k) {
+          lo = std::min(lo, target[off + k]);
+          hi = std::max(hi, target[off + k]);
+        }
+        const std::uint64_t words = ((hi - lo) >> 6) + 1;
+        if (words * 8 > opts.hub_bitmap_max_bytes_per_edge * d) continue;  // too sparse
+        row_words[i] = words;
+        row_lo[i] = lo;
+      }
+    }
+  });
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    bm_offset[i] = total;
+    if (row_words[i] > 0) bm_base[i] = row_lo[i];
+    total += row_words[i];
+  }
+  bm_offset[n] = total;
+  if (total == 0) {  // no row survived: store nothing at all
+    bm_offset.clear();
+    bm_base.clear();
+    return;
+  }
+  bm_words.assign(total, 0);
+  core::chunk_queue fill(n, core::chunk_size_for(n, threads));
+  core::fork_join(threads, [&](int) {
+    std::size_t first = 0, last = 0;
+    while (fill.next(first, last)) {
+      for (std::size_t i = first; i < last; ++i) {
+        if (row_words[i] == 0) continue;
+        const std::uint64_t off = offset[i];
+        const std::uint64_t d = offset[i + 1] - off;
+        const std::uint64_t lo = row_lo[i];
+        const std::uint64_t row = bm_offset[i];
+        for (std::uint64_t k = 0; k < d; ++k) {
+          const std::uint64_t bit = target[off + k] - lo;
+          bm_words[row + (bit >> 6)] |= std::uint64_t{1} << (bit & 63U);
+        }
+      }
+    }
+  });
+}
+
 }  // namespace detail
 
 /// Freeze the mutable DODGr into CSR arenas with the metadata projections
@@ -671,70 +741,13 @@ template <typename VMeta, typename EMeta, typename VProj, typename EProj>
   }
 
   // Hub bitmap rows (counting-shape freezes only: both projected metadata
-  // types empty, see freeze_options).  Built over raw target ids -- the
-  // adjacency is sorted by <+ order key, not id, so each row's base/span
-  // comes from a min/max scan of the slice.  Two passes around a serial
-  // prefix sum: a parallel admission pass decides each vertex's row size,
-  // the prefix sum lays the rows out in vertex order (exactly where the
-  // serial appender put them), and a parallel fill pass sets the bits of
-  // disjoint rows.
+  // types empty, see freeze_options).  Shared with the overlay's
+  // incremental re-freeze: detail::build_hub_bitmap_columns.
   std::vector<std::uint64_t> bm_offset, bm_base, bm_words;
   if constexpr (std::is_empty_v<PV> && std::is_empty_v<PE>) {
     if (opts.build_hub_bitmaps) {
-      bm_offset.assign(n + 1, 0);
-      bm_base.assign(n, 0);
-      std::vector<std::uint64_t> row_words(n, 0), row_lo(n, 0);
-      core::chunk_queue admit(n, core::chunk_size_for(n, threads));
-      core::fork_join(threads, [&](int) {
-        std::size_t first = 0, last = 0;
-        while (admit.next(first, last)) {
-          for (std::size_t i = first; i < last; ++i) {
-            const std::uint64_t off = offset[i];
-            const std::uint64_t d = offset[i + 1] - off;
-            if (d == 0 || d < opts.hub_degree_threshold) continue;
-            std::uint64_t lo = target[off];
-            std::uint64_t hi = target[off];
-            for (std::uint64_t k = 1; k < d; ++k) {
-              lo = std::min(lo, target[off + k]);
-              hi = std::max(hi, target[off + k]);
-            }
-            const std::uint64_t words = ((hi - lo) >> 6) + 1;
-            if (words * 8 > opts.hub_bitmap_max_bytes_per_edge * d) continue;  // too sparse
-            row_words[i] = words;
-            row_lo[i] = lo;
-          }
-        }
-      });
-      std::uint64_t total = 0;
-      for (std::size_t i = 0; i < n; ++i) {
-        bm_offset[i] = total;
-        if (row_words[i] > 0) bm_base[i] = row_lo[i];
-        total += row_words[i];
-      }
-      bm_offset[n] = total;
-      if (total == 0) {  // no row survived: store nothing at all
-        bm_offset.clear();
-        bm_base.clear();
-      } else {
-        bm_words.assign(total, 0);
-        core::chunk_queue fill(n, core::chunk_size_for(n, threads));
-        core::fork_join(threads, [&](int) {
-          std::size_t first = 0, last = 0;
-          while (fill.next(first, last)) {
-            for (std::size_t i = first; i < last; ++i) {
-              if (row_words[i] == 0) continue;
-              const std::uint64_t off = offset[i];
-              const std::uint64_t d = offset[i + 1] - off;
-              const std::uint64_t lo = row_lo[i];
-              const std::uint64_t row = bm_offset[i];
-              for (std::uint64_t k = 0; k < d; ++k) {
-                const std::uint64_t bit = target[off + k] - lo;
-                bm_words[row + (bit >> 6)] |= std::uint64_t{1} << (bit & 63U);
-              }
-            }
-          }
-        });
-      }
+      detail::build_hub_bitmap_columns(n, offset.data(), target.data(), opts, threads,
+                                       bm_offset, bm_base, bm_words);
     }
   }
 

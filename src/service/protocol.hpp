@@ -71,8 +71,26 @@ enum class unit_kind : std::uint64_t {
   hot_count = 1,       ///< triangles whose 3 edge timestamps are all >= param
   closure_digest = 2,  ///< wrapping sum of splitmix64(close span) over triangles
   max_label = 3,       ///< max vertex label seen on any triangle corner
+  window = 4,          ///< triangles whose 3 edge timestamps lie in [t0, t1);
+                       ///< param packs (t0 << 32) | t1, served via plan.window
 };
-inline constexpr std::uint64_t kMaxUnitKind = 3;
+inline constexpr std::uint64_t kMaxUnitKind = 4;
+
+/// Pack/unpack the window unit's [t0, t1) bounds into its u64 param.  Both
+/// bounds must fit in 32 bits (the CLI's deterministic timestamps are
+/// < 10^6, far below); the daemon validates nothing beyond the kind's
+/// metadata requirement -- an empty or inverted window is a well-formed
+/// query whose answer is zero.
+[[nodiscard]] constexpr std::uint64_t pack_window_param(std::uint64_t t0,
+                                                        std::uint64_t t1) noexcept {
+  return (t0 << 32) | (t1 & 0xffffffffull);
+}
+[[nodiscard]] constexpr std::uint64_t window_param_t0(std::uint64_t param) noexcept {
+  return param >> 32;
+}
+[[nodiscard]] constexpr std::uint64_t window_param_t1(std::uint64_t param) noexcept {
+  return param & 0xffffffffull;
+}
 
 /// One survey unit: a preset callback id plus its parameter.  `param` is
 /// meaningful only for parameterized kinds (hot_count's threshold);
@@ -125,7 +143,10 @@ TRIPOLL_WIRE_ASSERT(unit_result, kind, param, fires, value);
 /// is observable via STATS instead.
 struct plan_response {
   std::uint64_t snapshot_id = 0;        ///< combined over ranks; see service
-  std::uint64_t engine_triangles = 0;   ///< engine cross-check counter, global
+  std::uint64_t engine_triangles = 0;   ///< unwindowed traversal's global
+                                        ///< cross-check count; 0 for a
+                                        ///< window-only plan (pure function
+                                        ///< of the request, not the batch)
   std::vector<unit_result> units;       ///< canonical unit order
 
   template <typename Archive>
@@ -168,7 +189,10 @@ struct error_reply {
 /// STATS body: monotonic daemon counters.  `plans_served` counts RESULT
 /// replies; `cache_hits + cache_misses == plans_served`; `traversals` is
 /// the number of fused graph traversals actually run, which cache hits do
-/// not advance (the satellite test asserts exactly that).
+/// not advance (the satellite test asserts exactly that).  A batch round
+/// runs one traversal for all non-window units plus one per distinct
+/// window param -- a window filters at wedge-generation time, so units
+/// with different windows cannot share a traversal.
 struct service_stats {
   std::uint64_t snapshot_id = 0;
   std::uint64_t nranks = 0;
@@ -179,9 +203,13 @@ struct service_stats {
   std::uint64_t batches = 0;      ///< admission windows that ran a traversal
   std::uint64_t max_batch = 0;    ///< largest number of plans fused at once
   std::uint64_t rejected = 0;     ///< ERROR replies (any code)
+  std::uint64_t invalidation_evictions = 0;  ///< cache entries dropped because
+                                             ///< the snapshot content id moved
+                                             ///< (overlay ingest / compaction)
 };
 TRIPOLL_WIRE_ASSERT(service_stats, snapshot_id, nranks, plans_served, cache_hits,
-                    cache_misses, traversals, batches, max_batch, rejected);
+                    cache_misses, traversals, batches, max_batch, rejected,
+                    invalidation_evictions);
 
 /// Round descriptor rank 0 broadcasts to the other ranks of the daemon:
 /// either "run one fused traversal over these units" or "shut down".
@@ -208,7 +236,10 @@ struct batch_round {
 /// identical bytes -- the cache and the batch deduper both key on this.
 inline void canonicalize(plan_request& req) {
   for (auto& u : req.units) {
-    if (u.kind != static_cast<std::uint64_t>(unit_kind::hot_count)) u.param = 0;
+    const bool parameterized =
+        u.kind == static_cast<std::uint64_t>(unit_kind::hot_count) ||
+        u.kind == static_cast<std::uint64_t>(unit_kind::window);
+    if (!parameterized) u.param = 0;
   }
   std::sort(req.units.begin(), req.units.end());
   req.units.erase(std::unique(req.units.begin(), req.units.end()), req.units.end());
@@ -246,8 +277,9 @@ inline void canonicalize(plan_request& req) {
       return "unknown unit kind " + std::to_string(u.kind);
     }
     const auto k = static_cast<unit_kind>(u.kind);
-    const bool needs_emeta =
-        k == unit_kind::hot_count || k == unit_kind::closure_digest;
+    const bool needs_emeta = k == unit_kind::hot_count ||
+                             k == unit_kind::closure_digest ||
+                             k == unit_kind::window;
     const bool needs_vmeta = k == unit_kind::max_label;
     if (needs_emeta && emeta_size != 8) {
       code_out = error_code::unsupported_unit;

@@ -437,6 +437,23 @@ const std::vector<std::byte>* service_core::cache_find(const std::string& key) {
   return &it->second->body;
 }
 
+std::size_t service_core::cache_evict_stale(const std::string& key_prefix) {
+  auto& im = *impl_;
+  std::size_t evicted = 0;
+  for (auto it = im.lru.begin(); it != im.lru.end();) {
+    const bool fresh = it->key.size() >= key_prefix.size() &&
+                       it->key.compare(0, key_prefix.size(), key_prefix) == 0;
+    if (fresh) {
+      ++it;
+      continue;
+    }
+    im.cache.erase(it->key);
+    it = im.lru.erase(it);
+    ++evicted;
+  }
+  return evicted;
+}
+
 void service_core::cache_put(const std::string& key, std::vector<std::byte> body) {
   auto& im = *impl_;
   if (im.cache_capacity == 0) return;

@@ -1,9 +1,10 @@
 // survey_service.hpp -- the resident survey service (daemon side).
 //
-// A long-lived, multi-tenant survey daemon over one frozen snapshot: every
-// rank of a TriPoll job loads (typically mmaps) its partition of a frozen
-// graph, then enters `survey_service::serve()`.  Rank 0 owns the client
-// socket and the control plane:
+// A long-lived, multi-tenant survey daemon over one graph: every rank of a
+// TriPoll job loads (typically mmaps) its partition of a frozen snapshot --
+// or wraps it in a mutable graph::overlay for streaming deployments -- then
+// enters `survey_service::serve()`.  Rank 0 owns the client socket and the
+// control plane:
 //
 //   * every SUBMIT_PLAN is canonicalized (service/protocol.hpp) and first
 //     looked up in an LRU cache keyed by (snapshot content id, canonical
@@ -127,6 +128,12 @@ class service_core {
   void cache_configure(std::size_t capacity);
   [[nodiscard]] const std::vector<std::byte>* cache_find(const std::string& key);
   void cache_put(const std::string& key, std::vector<std::byte> body);
+  /// Evict every entry whose key does not start with `key_prefix` (the
+  /// packed snapshot content id that canonical_plan_key() prepends) and
+  /// return how many were dropped.  The invalidation hook: when overlay
+  /// ingest or compaction moves the content id between serve() sessions,
+  /// everything keyed under the old id can never be hit again.
+  std::size_t cache_evict_stale(const std::string& key_prefix);
 
   service_stats stats;
 
@@ -248,71 +255,164 @@ struct unit_dispatch_callback {
             acc.value = std::max({acc.value, p, q, r});
           }
           break;
+        case unit_kind::window:
+          // Window units only ever run inside a plan.window(t0, t1)
+          // traversal (run_units groups them by param), so every firing
+          // triangle already has all three edges in-window: plain count.
+          ++acc.fires;
+          ++acc.value;
+          break;
       }
     }
   }
 };
 
+/// Number of engine traversals a fused round over `units` runs: one shared
+/// by all non-window units (if any) plus one per distinct window param.
+/// The leader uses this to advance stats.traversals by what the round
+/// actually cost.
+[[nodiscard]] inline std::uint64_t round_traversal_count(
+    const std::vector<plan_unit>& units) {
+  std::uint64_t base = 0;
+  std::vector<std::uint64_t> params;
+  for (const auto& u : units) {
+    if (u.kind == static_cast<std::uint64_t>(unit_kind::window)) {
+      if (std::find(params.begin(), params.end(), u.param) == params.end()) {
+        params.push_back(u.param);
+      }
+    } else {
+      base = 1;
+    }
+  }
+  return base + params.size();
+}
+
 }  // namespace detail
 
-/// Collective: run one fused traversal over `units` and return the
+/// Collective: run a fused round over `units` and return the
 /// globally-reduced per-unit results (every rank returns the same vector).
 /// This is the exact computation a daemon round runs -- tests and the bench
-/// call it standalone to produce the bit-identity reference.
-/// `engine_triangles`, when non-null, receives the engine's global
-/// cross-check triangle count.
-template <typename VMeta, typename EMeta>
+/// call it standalone to produce the bit-identity reference.  All
+/// non-window units share ONE traversal; window units run one extra
+/// traversal per distinct [t0, t1) param (a window filters at
+/// wedge-generation time, so different windows cannot share wedges).
+/// `Graph` is anything the survey engine accepts -- a frozen snapshot or a
+/// live graph::overlay over one.  `engine_triangles`, when non-null,
+/// receives the unwindowed traversal's global cross-check triangle count
+/// (0 when the round is window-only).
+template <typename Graph>
 [[nodiscard]] std::vector<unit_result> run_units(
-    graph::frozen_dodgr<VMeta, EMeta>& g, const std::vector<plan_unit>& units,
+    Graph& g, const std::vector<plan_unit>& units,
     std::uint8_t mode, int threads, std::uint64_t* engine_triangles = nullptr) {
-  detail::units_context ctx;
-  ctx.acc.assign(units.size(), unit_result{});
-  for (std::size_t i = 0; i < units.size(); ++i) {
-    ctx.acc[i].kind = units[i].kind;
-    ctx.acc[i].param = units[i].param;
-  }
-
   survey_options opts;
   opts.mode = mode == kModePushOnly ? survey_mode::push_only : survey_mode::push_pull;
   opts.threads = threads;
+  if (engine_triangles != nullptr) *engine_triangles = 0;
 
-  detail::unit_dispatch_callback cb{units};
-  bool need_v = false, need_e = false;
-  for (const auto& u : units) {
-    const auto k = static_cast<unit_kind>(u.kind);
-    need_e = need_e || k == unit_kind::hot_count || k == unit_kind::closure_digest;
-    need_v = need_v || k == unit_kind::max_label;
+  std::vector<plan_unit> base_units;
+  std::vector<std::size_t> base_pos;
+  std::vector<std::pair<std::uint64_t, std::vector<std::size_t>>> window_groups;
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    if (units[i].kind == static_cast<std::uint64_t>(unit_kind::window)) {
+      auto it = std::find_if(window_groups.begin(), window_groups.end(),
+                             [&](const auto& grp) { return grp.first == units[i].param; });
+      if (it == window_groups.end()) {
+        window_groups.push_back({units[i].param, {}});
+        it = window_groups.end() - 1;
+      }
+      it->second.push_back(i);
+    } else {
+      base_units.push_back(units[i]);
+      base_pos.push_back(i);
+    }
   }
 
-  // Ship only what the round reads: unread metadata kinds are projected
-  // away sender-side (PR 4's wire projections); empty stored metadata makes
-  // either choice a zero-byte no-op.
-  const auto run_with = [&](auto vproj, auto eproj) {
-    return tripoll::survey(g)
-        .project_vertex(vproj)
-        .project_edge(eproj)
-        .template add_reduced<reduce_scope::global>(cb, ctx, detail::units_reduce{})
-        .run(opts);
+  std::vector<unit_result> out(units.size());
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    out[i].kind = units[i].kind;
+    out[i].param = units[i].param;
+  }
+
+  const auto shape = [](detail::units_context& ctx, const std::vector<plan_unit>& us) {
+    ctx.acc.assign(us.size(), unit_result{});
+    for (std::size_t i = 0; i < us.size(); ++i) {
+      ctx.acc[i].kind = us[i].kind;
+      ctx.acc[i].param = us[i].param;
+    }
   };
-  plan_result<1> res;
-  if (need_v && need_e) {
-    res = run_with(identity_projection{}, identity_projection{});
-  } else if (need_v) {
-    res = run_with(identity_projection{}, drop_projection{});
-  } else if (need_e) {
-    res = run_with(drop_projection{}, identity_projection{});
-  } else {
-    res = run_with(drop_projection{}, drop_projection{});
+  const auto scatter = [&](const detail::units_context& ctx,
+                           const std::vector<std::size_t>& pos) {
+    for (std::size_t j = 0; j < pos.size(); ++j) out[pos[j]] = ctx.acc[j];
+  };
+
+  if (!base_units.empty()) {
+    detail::units_context ctx;
+    shape(ctx, base_units);
+    detail::unit_dispatch_callback cb{base_units};
+    bool need_v = false, need_e = false;
+    for (const auto& u : base_units) {
+      const auto k = static_cast<unit_kind>(u.kind);
+      need_e = need_e || k == unit_kind::hot_count || k == unit_kind::closure_digest;
+      need_v = need_v || k == unit_kind::max_label;
+    }
+
+    // Ship only what the round reads: unread metadata kinds are projected
+    // away sender-side (PR 4's wire projections); empty stored metadata makes
+    // either choice a zero-byte no-op.
+    const auto run_with = [&](auto vproj, auto eproj) {
+      return tripoll::survey(g)
+          .project_vertex(vproj)
+          .project_edge(eproj)
+          .template add_reduced<reduce_scope::global>(cb, ctx, detail::units_reduce{})
+          .run(opts);
+    };
+    plan_result<1> res;
+    if (need_v && need_e) {
+      res = run_with(identity_projection{}, identity_projection{});
+    } else if (need_v) {
+      res = run_with(identity_projection{}, drop_projection{});
+    } else if (need_e) {
+      res = run_with(drop_projection{}, identity_projection{});
+    } else {
+      res = run_with(drop_projection{}, drop_projection{});
+    }
+    if (engine_triangles != nullptr) *engine_triangles = res.total.triangles_found;
+    scatter(ctx, base_pos);
   }
-  if (engine_triangles != nullptr) *engine_triangles = res.total.triangles_found;
-  return std::move(ctx.acc);
+
+  for (const auto& [param, pos] : window_groups) {
+    // validate_request() keeps window units off metadata-free snapshots, so
+    // this branch is unreachable there -- but it must still compile, hence
+    // the constexpr guard (plan.window static_asserts on the stored type).
+    if constexpr (std::is_convertible_v<typename Graph::edge_meta_type,
+                                        std::uint64_t>) {
+      std::vector<plan_unit> group;
+      group.reserve(pos.size());
+      for (const auto i : pos) group.push_back(units[i]);
+      detail::units_context ctx;
+      shape(ctx, group);
+      detail::unit_dispatch_callback cb{group};
+      // The window reads STORED edge timestamps pre-projection; the view
+      // itself needs no metadata, so both kinds are dropped from the wire.
+      (void)tripoll::survey(g)
+          .project_vertex(drop_projection{})
+          .project_edge(drop_projection{})
+          .window(window_param_t0(param), window_param_t1(param))
+          .template add_reduced<reduce_scope::global>(cb, ctx, detail::units_reduce{})
+          .run(opts);
+      scatter(ctx, pos);
+    }
+  }
+  return out;
 }
 
 /// Collective: the cache-key/STATS snapshot id of the whole loaded graph --
 /// rank-position-mixed local content ids summed over ranks, so every rank
 /// reports the same value and any changed partition changes it.  Never 0.
-template <typename VMeta, typename EMeta>
-[[nodiscard]] std::uint64_t global_snapshot_id(graph::frozen_dodgr<VMeta, EMeta>& g) {
+/// Overlay mutations advance the local content id (graph/overlay.hpp), so
+/// re-evaluating this between serve() sessions detects ingest/compaction.
+template <typename Graph>
+[[nodiscard]] std::uint64_t global_snapshot_id(Graph& g) {
   auto& c = g.comm();
   const std::uint64_t mixed = serial::splitmix64(
       g.snapshot_id() ^ serial::splitmix64(static_cast<std::uint64_t>(c.rank())));
@@ -322,10 +422,20 @@ template <typename VMeta, typename EMeta>
 
 // --- the daemon -------------------------------------------------------------
 
-template <typename VMeta, typename EMeta>
+/// `Graph` is any engine-capable graph: a frozen snapshot (the classic
+/// deployment) or a live graph::overlay over one (the streaming
+/// deployment).  The daemon may serve() several sessions over its
+/// lifetime: the socket core -- listener, connections, LRU cache, stats --
+/// persists across sessions, and every serve() re-derives the global
+/// snapshot content id, so cache entries keyed under a content id that an
+/// overlay ingest / compaction / expiry retired between sessions are
+/// evicted on entry and counted in stats.invalidation_evictions.
+template <typename Graph>
 class survey_service {
  public:
-  using graph_type = graph::frozen_dodgr<VMeta, EMeta>;
+  using graph_type = Graph;
+  using vertex_meta_type = typename Graph::vertex_meta_type;
+  using edge_meta_type = typename Graph::edge_meta_type;
 
   survey_service(graph_type& g, service_options opts)
       : g_(&g), opts_(std::move(opts)) {}
@@ -333,7 +443,9 @@ class survey_service {
   /// Collective: serve until a stop request (signal or SHUTDOWN frame).
   /// Rank 0 runs the socket loop; other ranks park in broadcast and run
   /// their share of each fused round.  Returns the process exit code (0 on
-  /// a graceful drain).
+  /// a graceful drain).  Callable again after it returns -- mutate the
+  /// overlay between sessions, never during one (followers are parked in a
+  /// collective; see docs/STREAMING.md).
   int serve() {
     auto& c = g_->comm();
     const std::uint64_t sid = global_snapshot_id(*g_);
@@ -342,10 +454,10 @@ class survey_service {
 
  private:
   static constexpr std::uint64_t vmeta_bytes() noexcept {
-    return std::is_empty_v<VMeta> ? 0 : sizeof(VMeta);
+    return std::is_empty_v<vertex_meta_type> ? 0 : sizeof(vertex_meta_type);
   }
   static constexpr std::uint64_t emeta_bytes() noexcept {
-    return std::is_empty_v<EMeta> ? 0 : sizeof(EMeta);
+    return std::is_empty_v<edge_meta_type> ? 0 : sizeof(edge_meta_type);
   }
 
   int follower_loop(comm::communicator& c) {
@@ -366,11 +478,24 @@ class survey_service {
   };
 
   int leader_loop(comm::communicator& c, std::uint64_t sid) {
-    service_core core(endpoint::parse(opts_.endpoint_spec));
-    core.cache_configure(opts_.cache_capacity);
+    if (!core_) {
+      core_ = std::make_unique<service_core>(endpoint::parse(opts_.endpoint_spec));
+      core_->cache_configure(opts_.cache_capacity);
+      core_->open();
+    }
+    service_core& core = *core_;
+    // Invalidation hook: cache keys are prefixed by the packed snapshot
+    // content id.  If the graph mutated since the last session, nothing
+    // keyed under the old id can ever be hit again -- evict it now so the
+    // LRU holds only servable entries, and surface the count via STATS.
+    {
+      serial::byte_buffer prefix;
+      serial::pack(prefix, sid);
+      core.stats.invalidation_evictions += core.cache_evict_stale(std::string(
+          reinterpret_cast<const char*>(prefix.data()), prefix.size()));
+    }
     core.stats.snapshot_id = sid;
     core.stats.nranks = static_cast<std::uint64_t>(c.size());
-    core.open();
     clear_stop();
     if (opts_.install_signals) install_signal_handlers();
 
@@ -480,9 +605,17 @@ class survey_service {
 
     for (std::size_t i = 0; i < take; ++i) {
       const auto& p = pending[i];
+      // engine_triangles is the UNWINDOWED traversal's cross-check; a
+      // window-only plan gets 0 whether or not a co-batched stranger
+      // happened to trigger that traversal -- replies must stay pure
+      // functions of (snapshot, request), independent of batch makeup.
+      const bool has_base = std::any_of(
+          p.req.units.begin(), p.req.units.end(), [](const plan_unit& u) {
+            return u.kind != static_cast<std::uint64_t>(unit_kind::window);
+          });
       plan_response resp;
       resp.snapshot_id = sid;
-      resp.engine_triangles = engine_triangles;
+      resp.engine_triangles = has_base ? engine_triangles : 0;
       resp.units.reserve(p.req.units.size());
       for (const auto& u : p.req.units) {
         const auto it = std::lower_bound(
@@ -496,7 +629,7 @@ class survey_service {
       ++core.stats.plans_served;
       ++core.stats.cache_misses;
     }
-    ++core.stats.traversals;
+    core.stats.traversals += detail::round_traversal_count(merged);
     ++core.stats.batches;
     core.stats.max_batch = std::max<std::uint64_t>(core.stats.max_batch, take);
     pending.erase(pending.begin(),
@@ -505,6 +638,7 @@ class survey_service {
 
   graph_type* g_;
   service_options opts_;
+  std::unique_ptr<service_core> core_;  ///< rank 0 only; outlives serve()
 };
 
 }  // namespace tripoll::service

@@ -140,6 +140,47 @@ if [ -z "$v3_bytes" ] || [ "$v3_bytes" -eq 0 ] || [ "$v3_bytes" -ge "$raw_bytes"
   fail=1
 fi
 
+echo "== streaming overlay: ingest on both backends, --compact round trip =="
+# Split the edge list 90/10: freeze the head into a --meta snapshot, stream
+# the tail in as a timestamped batch.  Overlay (base+delta) and compacted
+# surveys must be bit-identical across backends, the overlay count must
+# equal the whole edge list's direct count, and the compacted v3 snapshot
+# must reload to that same count.
+total_lines="$(wc -l <"$work/g.txt")"
+head_lines=$((total_lines * 9 / 10))
+head -n "$head_lines" "$work/g.txt" >"$work/g_base.txt"
+tail -n +"$((head_lines + 1))" "$work/g.txt" >"$work/g_batch.txt"
+"$CLI" snapshot save "$work/g_base.txt" "$work/ov_snap" "$RANKS" --meta \
+  >/dev/null || fail=1
+"$CLI" ingest "$work/ov_snap" "$work/g_batch.txt" "$RANKS" --compact --compress \
+  >"$work/inproc.ingest" || fail=1
+run_socket_external ingest "$work/ov_snap" "$work/g_batch.txt" "$RANKS" \
+  --compact --compress >"$work/socket.ingest" || fail=1
+if diff -u "$work/inproc.ingest" "$work/socket.ingest"; then
+  echo "ingest: IDENTICAL"
+else
+  echo "ingest: MISMATCH between inproc and socket backends" >&2
+  fail=1
+fi
+ov_count="$(grep '^overlay ' "$work/inproc.ingest" | grep -o 'triangles [0-9]*' | grep -o '[0-9]*')"
+compact_count="$(grep -o 'compacted triangles [0-9]*' "$work/inproc.ingest" | grep -o '[0-9]*$')"
+echo "overlay: ${ov_count:-<none>}   compacted: ${compact_count:-<none>}   direct: ${inproc_count#triangles }"
+if [ -z "${ov_count:-}" ] || [ "triangles $ov_count" != "$inproc_count" ]; then
+  echo "socket_smoke: overlay triangle count diverged from direct count" >&2
+  fail=1
+fi
+if [ "${compact_count:-}" != "${ov_count:-}" ]; then
+  echo "socket_smoke: compaction changed the triangle count" >&2
+  fail=1
+fi
+"$CLI" snapshot load "$work/ov_snap-compacted" "$RANKS" >"$work/compact.load" || fail=1
+reload_count="$(grep -o 'triangles [0-9]*' "$work/compact.load" | head -1)"
+echo "compacted reload: ${reload_count:-<none>}"
+if [ "${reload_count:-}" != "triangles $ov_count" ]; then
+  echo "socket_smoke: compacted snapshot reloaded to a different count" >&2
+  fail=1
+fi
+
 echo "== parallel traversal: --threads sweep over the frozen snapshot =="
 # The loaded graph is frozen CSR storage, so --threads engages the parallel
 # engine; every printed metric (triangles, volume, messages, pulls,
@@ -186,6 +227,27 @@ svc_stats="$("$CLI" query "$svc_ep" stats)"
 echo "$svc_stats"
 echo "$svc_stats" | grep -q "hits 1 " || { echo "socket_smoke: expected exactly one cache hit" >&2; fail=1; }
 echo "$svc_stats" | grep -q "traversals 1 " || { echo "socket_smoke: cache hit must not re-traverse" >&2; fail=1; }
+echo "$svc_stats" | grep -q "invalidated 0" || { echo "socket_smoke: unexpected cache invalidations" >&2; fail=1; }
+# Windowed plan units: the all-inclusive window [0, 1000000) must agree with
+# the plain count (every generated timestamp lies below 1000000), a narrower
+# window must fire on at most as many triangles, and the round costs one
+# traversal per distinct window on top of the shared base traversal (3 more).
+"$CLI" query "$svc_ep" count window:0:1000000 window:200000:800000 \
+  >"$work/query.w" || fail=1
+w_count="$(grep -o 'unit count param 0 fires [0-9]*' "$work/query.w" | grep -o '[0-9]*$')"
+w_wide="$(grep 'unit window param 1000000 ' "$work/query.w" | grep -o 'fires [0-9]*' | grep -o '[0-9]*')"
+w_narrow="$(grep -v 'param 1000000 ' "$work/query.w" | grep 'unit window' | grep -o 'fires [0-9]*' | grep -o '[0-9]*')"
+echo "window fires: count ${w_count:-<none>}   wide ${w_wide:-<none>}   narrow ${w_narrow:-<none>}"
+if [ -z "${w_wide:-}" ] || [ "$w_wide" != "${w_count:-}" ]; then
+  echo "socket_smoke: all-inclusive window diverged from plain count" >&2
+  fail=1
+fi
+if [ -z "${w_narrow:-}" ] || [ "$w_narrow" -gt "$w_wide" ]; then
+  echo "socket_smoke: narrow window fired more than the wide window" >&2
+  fail=1
+fi
+"$CLI" query "$svc_ep" stats | grep -q "traversals 4 " \
+  || { echo "socket_smoke: windowed round should add 3 traversals" >&2; fail=1; }
 svc_count="$(grep -o 'unit count param 0 fires [0-9]*' "$work/query.1" | grep -o '[0-9]*$')"
 direct_count="${inproc_count#triangles }"
 echo "service count: ${svc_count:-<none>}   direct: $direct_count"

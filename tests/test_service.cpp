@@ -24,6 +24,7 @@
 #include "gen/presets.hpp"
 #include "graph/builder.hpp"
 #include "graph/frozen.hpp"
+#include "graph/overlay.hpp"
 #include "graph/snapshot.hpp"
 #include "serial/hash.hpp"
 #include "service/survey_service.hpp"
@@ -102,7 +103,7 @@ void with_daemon(int ranks, ts::service_options opts, Body&& body) {
   std::thread daemon([&] {
     tc::runtime::run(ranks, [&](tc::communicator& c) {
       auto g = build_frozen(c);
-      ts::survey_service<std::uint64_t, std::uint64_t> d(g, opts);
+      ts::survey_service d(g, opts);
       const int rc = d.serve();
       if (c.rank0()) serve_rc.store(rc);
     });
@@ -197,6 +198,38 @@ TEST(ServiceProtocol, ValidateRejectsBadPlans) {
   ts::plan_request plain;
   plain.units = {unit(ts::unit_kind::count)};
   EXPECT_EQ(ts::validate_request(plain, 0, 0, code), "");
+}
+
+TEST(ServiceProtocol, WindowUnitsCanonicalizeAndValidate) {
+  const auto p = ts::pack_window_param(123, 456);
+  EXPECT_EQ(ts::window_param_t0(p), 123u);
+  EXPECT_EQ(ts::window_param_t1(p), 456u);
+
+  // The window param carries [t0, t1) and must survive canonicalization;
+  // equal windows dedup like any other unit.
+  ts::plan_request req;
+  req.units = {unit(ts::unit_kind::window, p), unit(ts::unit_kind::count, 9),
+               unit(ts::unit_kind::window, p)};
+  ts::canonicalize(req);
+  ASSERT_EQ(req.units.size(), 2u);
+  EXPECT_EQ(req.units[0], unit(ts::unit_kind::count));
+  EXPECT_EQ(req.units[1], unit(ts::unit_kind::window, p));
+
+  // Distinct windows are distinct units (and distinct cache keys).
+  ts::plan_request two;
+  two.units = {unit(ts::unit_kind::window, ts::pack_window_param(0, 10)),
+               unit(ts::unit_kind::window, ts::pack_window_param(0, 20))};
+  ts::canonicalize(two);
+  EXPECT_EQ(two.units.size(), 2u);
+
+  // Windows filter on stored edge metadata, so a metadata-free snapshot
+  // cannot serve them.
+  ts::error_code code{};
+  ts::plan_request w;
+  w.units = {unit(ts::unit_kind::window, p)};
+  EXPECT_EQ(ts::validate_request(w, 8, 8, code), "");
+  EXPECT_NE(ts::validate_request(w, 0, 0, code), "");
+  EXPECT_EQ(code, ts::error_code::unsupported_unit);
 }
 
 // --- snapshot content id -----------------------------------------------------
@@ -347,6 +380,119 @@ TEST(SurveyService, LruEvictionReTraverses) {
     EXPECT_EQ(stats.traversals, 3u);
     client.shutdown();
   });
+}
+
+TEST(SurveyService, WindowUnitsRoundTrip) {
+  // Every preset edge timestamp lives in [0, 1000000), so the wide window
+  // admits every triangle and must agree with the plain count.
+  const auto wide = ts::pack_window_param(0, 1000000);
+  const auto narrow = ts::pack_window_param(200000, 800000);
+  const std::vector<ts::plan_unit> units = {unit(ts::unit_kind::count),
+                                            unit(ts::unit_kind::window, wide),
+                                            unit(ts::unit_kind::window, narrow)};
+  std::uint64_t ref_triangles = 0;
+  const auto ref = reference_units(2, units, &ref_triangles);
+  ASSERT_EQ(ref.size(), units.size());
+  EXPECT_EQ(ref[0].fires, ref_triangles);
+  EXPECT_EQ(ref[1].fires, ref_triangles);          // all-inclusive window
+  EXPECT_GT(ref[2].fires, 0u);                     // narrow window: strictly
+  EXPECT_LT(ref[2].fires, ref[1].fires);           // between empty and all
+
+  with_daemon(2, sequential_opts(), [&](const std::string& spec) {
+    tc::service_client client(spec);
+    ts::plan_request req;
+    req.units = units;
+    const auto resp = client.submit(req);
+    EXPECT_EQ(resp.engine_triangles, ref_triangles);
+    ASSERT_EQ(resp.units.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_EQ(resp.units[i].kind, ref[i].kind) << "unit " << i;
+      EXPECT_EQ(resp.units[i].param, ref[i].param) << "unit " << i;
+      EXPECT_EQ(resp.units[i].fires, ref[i].fires) << "unit " << i;
+      EXPECT_EQ(resp.units[i].value, ref[i].value) << "unit " << i;
+    }
+
+    // A window-only plan runs no unwindowed traversal, and its reply must
+    // not leak one from a co-batched plan: engine_triangles pins to 0.
+    ts::plan_request only;
+    only.units = {unit(ts::unit_kind::window, narrow)};
+    const auto wresp = client.submit(only);
+    EXPECT_EQ(wresp.engine_triangles, 0u);
+    ASSERT_EQ(wresp.units.size(), 1u);
+    EXPECT_EQ(wresp.units[0].fires, ref[2].fires);
+
+    // Round one: base traversal + two distinct windows = 3.  Round two:
+    // one window = 1.
+    const auto stats = client.stats();
+    EXPECT_EQ(stats.batches, 2u);
+    EXPECT_EQ(stats.traversals, 4u);
+    client.shutdown();
+  });
+}
+
+TEST(SurveyService, OverlayInvalidationEvictsStaleEntries) {
+  // Serve an overlay, mutate it between serve() sessions, and serve again
+  // on the same resident core: the stale cache entry must be evicted (and
+  // counted), and the re-submitted plan must see the new snapshot.
+  ts::service_options opts = sequential_opts();
+  const std::string spec = "unix:" + fresh_socket_path();
+  opts.endpoint_spec = spec;
+  opts.install_signals = false;
+  std::atomic<int> phase{0};
+  std::atomic<int> serve_rc{-1};
+  std::thread daemon([&] {
+    tc::runtime::run(1, [&](tc::communicator& c) {
+      auto base = build_frozen(c);
+      tg::overlay ov(base);
+      ts::survey_service d(ov, opts);
+      int rc = d.serve();
+      // Mutate strictly between sessions (no follower is parked in a
+      // serve() broadcast), closing one new triangle on fresh vertices.
+      tg::overlay<std::uint64_t, std::uint64_t>::edge_batch batch = {
+          {901, 902, 123}, {902, 903, 456}, {901, 903, 789}};
+      (void)ov.ingest(batch, [](tg::vertex_id v) { return vertex_label(v); });
+      phase.store(1);
+      rc |= d.serve();
+      if (c.rank0()) serve_rc.store(rc);
+    });
+  });
+  try {
+    ts::plan_request req;
+    req.units = {unit(ts::unit_kind::count)};
+
+    tc::service_client a(spec);
+    const auto cold = a.submit_raw(req);
+    const auto hit = a.submit_raw(req);
+    EXPECT_EQ(hit, cold);
+    const auto s1 = a.stats();
+    EXPECT_EQ(s1.cache_hits, 1u);
+    EXPECT_EQ(s1.invalidation_evictions, 0u);
+    const std::uint64_t sid1 = s1.snapshot_id;
+    a.shutdown();  // ends session one; the core (and its cache) stay resident
+
+    while (phase.load() < 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    tc::service_client b(spec);
+    const auto warm = b.submit_raw(req);
+    EXPECT_NE(warm, cold);  // new snapshot id, one more triangle
+    const auto s2 = b.stats();
+    EXPECT_NE(s2.snapshot_id, sid1);
+    EXPECT_GE(s2.invalidation_evictions, 1u);
+    EXPECT_EQ(s2.cache_hits, 1u);    // stats persist across sessions...
+    EXPECT_EQ(s2.cache_misses, 2u);  // ...and the resubmit was a miss
+    b.shutdown();
+  } catch (...) {
+    ts::request_stop();
+    while (phase.load() < 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ts::request_stop();
+    daemon.join();
+    throw;
+  }
+  daemon.join();
+  EXPECT_EQ(serve_rc.load(), 0);
 }
 
 // --- robustness --------------------------------------------------------------
@@ -578,7 +724,7 @@ TEST(SurveyService, TcpEndpointServes) {
     std::thread daemon([&] {
       tc::runtime::run(1, [&](tc::communicator& c) {
         auto g = build_frozen(c);
-        ts::survey_service<std::uint64_t, std::uint64_t> d(g, tcp_opts);
+        ts::survey_service d(g, tcp_opts);
         serve_rc.store(d.serve());
       });
     });

@@ -84,6 +84,25 @@ Service gates (PR 9): --service-gates points at the JSON emitted by
 Like the other gates these are checks within one run, needing no committed
 baseline; BENCH_pr9.json records the trajectory for humans.
 
+Streaming gates (PR 10): --streaming-gates points at the JSON emitted by
+`bench_streaming_ingest --json` and asserts, from that run's
+`pr10_streaming_cases`:
+  * bit-identity unconditionally on EVERY case: identical triangle counts
+    across the full rebuild, the overlay and the compacted re-freeze;
+    identical unwindowed survey volume and message counts between rebuild
+    and overlay; identical windowed fire counts between rebuild and
+    overlay,
+  * overlay ingest + windowed survey >= --streaming-speedup-min (10.0)
+    times faster end-to-end than rebuild + windowed survey on the
+    `delta_1pct` case (the uniform-churn 1%-of-|E| batch; the hub-biased
+    `delta_1pct_hub` case is identity-checked but not speed-gated -- its
+    sum-of-endpoint-degrees cost model is documented in
+    docs/STREAMING.md),
+  * windowed survey volume strictly below the unwindowed volume per case
+    (the window filter must prune traffic, not just results).
+Like the other gates these are checks within one run, needing no committed
+baseline; BENCH_pr10.json records the trajectory for humans.
+
 Usage:
   tools/check_bench_regression.py --current bench-results [--baseline-dir .]
                                   [--threshold 3.0] [--plan-gates fig9.json]
@@ -91,8 +110,10 @@ Usage:
                                   [--parallel-gates parallel.json]
                                   [--io-gates io.json]
                                   [--service-gates service.json]
+                                  [--streaming-gates streaming.json]
 At least one of --current / --plan-gates / --storage-gates /
---parallel-gates / --io-gates / --service-gates is required.
+--parallel-gates / --io-gates / --service-gates / --streaming-gates is
+required.
 Exit status: 0 ok, 1 regression found, 2 usage/IO error.
 """
 
@@ -400,6 +421,53 @@ def check_service_gates(path, fusion_min, cache_min):
     return failures
 
 
+def check_streaming_gates(path, speedup_min):
+    """Verify the streaming-overlay acceptance ratios in a
+    bench_streaming_ingest --json artifact.  Returns a list of failure
+    strings (empty = pass)."""
+    with open(path) as f:
+        doc = json.load(f)
+    cases = doc.get("pr10_streaming_cases")
+    if not isinstance(cases, dict) or not cases:
+        return [f"{path}: no pr10_streaming_cases object"]
+
+    failures = []
+    for name, case in sorted(cases.items()):
+        tri = {case.get("triangles_rebuild"), case.get("triangles_overlay"),
+               case.get("triangles_compacted")}
+        if len(tri) != 1 or None in tri:
+            failures.append(f"{name}: triangle counts diverge across rebuild/"
+                            f"overlay/compacted: {sorted(tri, key=str)}")
+        for key in ("volume", "messages"):
+            if case.get(f"{key}_rebuild") != case.get(f"{key}_overlay"):
+                failures.append(
+                    f"{name}: unwindowed {key} diverged "
+                    f"({case.get(f'{key}_rebuild')} rebuild vs "
+                    f"{case.get(f'{key}_overlay')} overlay)")
+        if case.get("window_fires") != case.get("window_fires_rebuild"):
+            failures.append(f"{name}: windowed fire counts diverged "
+                            f"({case.get('window_fires_rebuild')} rebuild vs "
+                            f"{case.get('window_fires')} overlay)")
+        inc_s = case.get("incremental_seconds", 0.0)
+        reb_s = case.get("rebuild_seconds", 0.0)
+        speedup = reb_s / inc_s if inc_s > 0 else 0.0
+        full_v = case.get("full_volume", 0)
+        win_v = case.get("window_volume", 0)
+        gated = " (gated)" if name == "delta_1pct" else ""
+        print(f"streaming gate: {name}: ingest+survey {speedup:.2f}x faster "
+              f"than rebuild+survey{gated} (delta_1pct needs >= "
+              f"{speedup_min:.2f}x), window volume {win_v} B of {full_v} B")
+        if name == "delta_1pct" and speedup < speedup_min:
+            failures.append(f"delta_1pct: incremental path only {speedup:.2f}x "
+                            f"faster than the rebuild (< {speedup_min:.2f}x)")
+        if win_v >= full_v:
+            failures.append(f"{name}: windowed survey volume {win_v} B did not "
+                            f"drop below the unwindowed {full_v} B")
+    if "delta_1pct" not in cases:
+        failures.append(f"{path}: no delta_1pct case to speed-gate")
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--current",
@@ -451,13 +519,20 @@ def main():
     parser.add_argument("--service-cache-min", type=float, default=10.0,
                         help="minimum cold/hit submit latency ratio for an "
                              "LRU cache hit")
+    parser.add_argument("--streaming-gates",
+                        help="bench_streaming_ingest --json artifact to check "
+                             "the streaming-overlay acceptance gates against")
+    parser.add_argument("--streaming-speedup-min", type=float, default=10.0,
+                        help="minimum rebuild/incremental end-to-end wall "
+                             "ratio on the 1%%-of-|E| churn batch")
     args = parser.parse_args()
 
     if (not args.current and not args.plan_gates and not args.storage_gates
             and not args.parallel_gates and not args.io_gates
-            and not args.service_gates):
+            and not args.service_gates and not args.streaming_gates):
         parser.error("need --current, --plan-gates, --storage-gates, "
-                     "--parallel-gates, --io-gates and/or --service-gates")
+                     "--parallel-gates, --io-gates, --service-gates and/or "
+                     "--streaming-gates")
 
     # All requested checks always run so one CI pass reports every failure
     # class; the combined exit status is the worst of them.
@@ -534,6 +609,20 @@ def main():
                 print(f"  {f}")
         else:
             print("OK: resident-service gates pass")
+        gate_failures += failures
+    if args.streaming_gates:
+        try:
+            failures = check_streaming_gates(args.streaming_gates,
+                                             args.streaming_speedup_min)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"error: {e}")
+            return 2
+        if failures:
+            print("\nFAIL: streaming-overlay gate(s) violated:")
+            for f in failures:
+                print(f"  {f}")
+        else:
+            print("OK: streaming-overlay gates pass")
         gate_failures += failures
     if not args.current:
         return 1 if gate_failures else 0

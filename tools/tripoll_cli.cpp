@@ -37,8 +37,15 @@
 //                                       survey service on --endpoint until
 //                                       SHUTDOWN or SIGTERM (docs/SERVICE.md)
 //   query <endpoint> <spec>...          submit one plan to a running daemon
-//                                       (count | hot[:n] | closure | maxlabel),
-//                                       fetch stats, or request shutdown
+//                                       (count | hot[:n] | closure | maxlabel |
+//                                       window:t0:t1), fetch stats, or request
+//                                       shutdown
+//   ingest <prefix> <batch.txt> [ranks] load a snapshot, wrap it in the mutable
+//                                       streaming overlay, apply the edge batch
+//                                       and survey base+delta (--compact: also
+//                                       re-freeze incrementally and save a v3
+//                                       snapshot at <prefix>-compacted); see
+//                                       docs/STREAMING.md
 //
 // Options:
 //   --ordering {degree,degeneracy}   DODGr <+ vertex order (graph-building cmds)
@@ -62,6 +69,7 @@
 #include <cstring>
 #include <map>
 #include <string>
+#include <type_traits>
 
 #include "baselines/approx_tc.hpp"
 #include "comm/runtime.hpp"
@@ -79,6 +87,7 @@
 #include "graph/frozen.hpp"
 #include "graph/io.hpp"
 #include "graph/ordering.hpp"
+#include "graph/overlay.hpp"
 #include "graph/snapshot.hpp"
 #include "serial/hash.hpp"
 #include "service/survey_service.hpp"
@@ -107,7 +116,9 @@ int usage() {
                "  tripoll_cli snapshot save <edges.txt> <prefix> [ranks]\n"
                "  tripoll_cli snapshot load <prefix> [ranks] [push_pull|push_only]\n"
                "  tripoll_cli serve <prefix> [ranks]\n"
-               "  tripoll_cli query <endpoint> <count|hot[:n]|closure|maxlabel|stats|shutdown>...\n"
+               "  tripoll_cli query <endpoint> "
+               "<count|hot[:n]|closure|maxlabel|window:t0:t1|stats|shutdown>...\n"
+               "  tripoll_cli ingest <prefix> <batch.txt> [ranks]\n"
                "options:\n"
                "  --ordering <degree|degeneracy>  DODGr <+ vertex order (default degree)\n"
                "  --backend <inproc|socket>       transport backend (default inproc;\n"
@@ -126,7 +137,9 @@ int usage() {
                "  --window <ms>                   serve: admission window (default 5)\n"
                "  --max-batch <n>                 serve: plans fused per round (default 8)\n"
                "  --cache <n>                     serve: LRU result entries; 0 disables\n"
-               "                                  (default 64)\n");
+               "                                  (default 64)\n"
+               "  --compact                       ingest: re-freeze the overlay after the\n"
+               "                                  batch and save <prefix>-compacted\n");
   return 2;
 }
 
@@ -136,6 +149,7 @@ comm::backend_kind g_backend = comm::backend_kind::inproc;
 int g_threads = 0;  ///< 0 = TRIPOLL_THREADS env, else 1 (docs/THREADING.md)
 bool g_compress = false;  ///< snapshot save: v3 compressed layout
 bool g_meta = false;      ///< snapshot save: attach deterministic plan metadata
+bool g_compact = false;   ///< ingest: re-freeze + save after applying the batch
 std::string g_endpoint = "unix:/tmp/tripoll-service.sock";
 std::uint64_t g_window_ms = 5;   ///< serve: admission window
 std::uint64_t g_max_batch = 8;   ///< serve: plans fused per round
@@ -153,6 +167,10 @@ bool strip_flags(int& argc, char** argv) {
     }
     if (arg == "--meta") {
       g_meta = true;
+      continue;
+    }
+    if (arg == "--compact") {
+      g_compact = true;
       continue;
     }
     std::string name;
@@ -630,24 +648,43 @@ int cmd_snapshot(int argc, char** argv) {
     const auto mode = (argc > 5 && std::strcmp(argv[5], "push_only") == 0)
                           ? tripoll::survey_mode::push_only
                           : tripoll::survey_mode::push_pull;
+    // Dispatch on the stored metadata layout so --meta (and compacted
+    // overlay) snapshots load too; the counting survey ignores metadata.
+    const auto peek = graph::peek_snapshot(graph::snapshot_rank_path(prefix, 0));
+    const bool with_meta = peek.vmeta_size == 8 && peek.emeta_size == 8;
+    if (!with_meta && (peek.vmeta_size != 0 || peek.emeta_size != 0)) {
+      std::fprintf(stderr, "snapshot load: unsupported metadata layout (%llu/%llu bytes)\n",
+                   (unsigned long long)peek.vmeta_size,
+                   (unsigned long long)peek.emeta_size);
+      return 1;
+    }
     run_spmd(ranks, [&](comm::communicator& c) {
-      auto g = graph::load_snapshot<graph::none, graph::none>(c, prefix);
-      const auto census = g.census();
-      cb::count_context ctx;
-      const auto r =
-          cb::plan_for(g, cb::count_callback{}, ctx).run({mode, g_threads}).slice(0);
-      const auto triangles = ctx.global_count(c);
-      if (c.rank0()) {
-        std::printf("snapshot loaded %s ranks %d ordering %s mode %s\n", prefix.c_str(),
-                    ranks, graph::ordering_name(g.ordering()),
-                    mode == tripoll::survey_mode::push_only ? "push_only" : "push_pull");
-        std::printf("census |V| %llu |E|+ %llu dmax %llu dmax+ %llu |W+| %llu\n",
-                    (unsigned long long)census.num_vertices,
-                    (unsigned long long)census.num_directed_edges,
-                    (unsigned long long)census.max_degree,
-                    (unsigned long long)census.max_out_degree,
-                    (unsigned long long)census.wedge_checks);
-        print_survey_line("loaded", triangles, r);
+      auto load_and_survey = [&](auto meta_tag) {
+        using Meta = typename decltype(meta_tag)::type;
+        auto g = graph::load_snapshot<Meta, Meta>(c, prefix);
+        const auto census = g.census();
+        cb::count_context ctx;
+        const auto r =
+            cb::plan_for(g, cb::count_callback{}, ctx).run({mode, g_threads}).slice(0);
+        const auto triangles = ctx.global_count(c);
+        if (c.rank0()) {
+          std::printf("snapshot loaded %s ranks %d ordering %s mode %s\n",
+                      prefix.c_str(), ranks, graph::ordering_name(g.ordering()),
+                      mode == tripoll::survey_mode::push_only ? "push_only"
+                                                              : "push_pull");
+          std::printf("census |V| %llu |E|+ %llu dmax %llu dmax+ %llu |W+| %llu\n",
+                      (unsigned long long)census.num_vertices,
+                      (unsigned long long)census.num_directed_edges,
+                      (unsigned long long)census.max_degree,
+                      (unsigned long long)census.max_out_degree,
+                      (unsigned long long)census.wedge_checks);
+          print_survey_line("loaded", triangles, r);
+        }
+      };
+      if (with_meta) {
+        load_and_survey(std::type_identity<std::uint64_t>{});
+      } else {
+        load_and_survey(std::type_identity<graph::none>{});
       }
     });
     return 0;
@@ -672,7 +709,7 @@ int serve_snapshot(const std::string& prefix, int ranks) {
       std::fprintf(stderr, "serving %s on %s (ranks %d)\n", prefix.c_str(),
                    g_endpoint.c_str(), ranks);
     }
-    svc::survey_service<VMeta, EMeta> daemon(g, opts);
+    svc::survey_service daemon(g, opts);
     const int r = daemon.serve();
     if (c.rank0()) rc = r;
   });
@@ -700,12 +737,111 @@ int cmd_serve(int argc, char** argv) {
   return 1;
 }
 
+/// `ingest` body: load the snapshot as the given metadata types, wrap it in
+/// the streaming overlay, apply the batch file and survey base+delta.  With
+/// --compact, also re-freeze incrementally (reusing the stored ordering
+/// ranks) and save a v3 snapshot at <prefix>-compacted.  Every printed
+/// value is a global reduction -- the socket smoke test diffs this output
+/// across backends.
+template <bool WithMeta>
+int ingest_run(const std::string& prefix, const std::string& batch_path, int ranks) {
+  using Meta = std::conditional_t<WithMeta, std::uint64_t, graph::none>;
+  run_spmd(ranks, [&](comm::communicator& c) {
+    auto base = graph::load_snapshot<Meta, Meta>(c, prefix);
+    graph::overlay ov(base);
+    typename graph::overlay<Meta, Meta>::edge_batch batch;
+    graph::read_edge_list(c, batch_path, [&](const graph::parsed_edge& e) {
+      if constexpr (WithMeta) {
+        // A third column is the timestamp; otherwise fall back to the same
+        // deterministic metadata the --meta snapshot was saved with.
+        batch.push_back({e.u, e.v, e.weight ? *e.weight : plan_edge_ts(e.u, e.v)});
+      } else {
+        batch.push_back({e.u, e.v, {}});
+      }
+    });
+    graph::overlay_ingest_stats st;
+    if constexpr (WithMeta) {
+      st = ov.ingest(batch,
+                     [](graph::vertex_id v) { return plan_vertex_label(v); });
+    } else {
+      st = ov.ingest(batch);
+    }
+    const auto census = ov.census();
+    cb::count_context ctx;
+    const auto r = cb::plan_for(ov, cb::count_callback{}, ctx).run({}).slice(0);
+    const auto triangles = ctx.global_count(c);
+    if (c.rank0()) {
+      std::printf("ingest %s ranks %d ordering %s meta %s\n", prefix.c_str(), ranks,
+                  graph::ordering_name(ov.ordering()), WithMeta ? "u64" : "none");
+      std::printf("batch submitted %llu accepted %llu dup_batch %llu dup_base %llu "
+                  "self_loops %llu new_vertices %llu rebuilt %llu\n",
+                  (unsigned long long)st.submitted, (unsigned long long)st.accepted,
+                  (unsigned long long)st.duplicate_batch,
+                  (unsigned long long)st.duplicate_base,
+                  (unsigned long long)st.self_loops,
+                  (unsigned long long)st.new_vertices,
+                  (unsigned long long)st.rebuilt_vertices);
+      std::printf("census |V| %llu |E|+ %llu dmax %llu dmax+ %llu |W+| %llu\n",
+                  (unsigned long long)census.num_vertices,
+                  (unsigned long long)census.num_directed_edges,
+                  (unsigned long long)census.max_degree,
+                  (unsigned long long)census.max_out_degree,
+                  (unsigned long long)census.wedge_checks);
+      print_survey_line("overlay", triangles, r);
+    }
+    if (g_compact) {
+      graph::freeze_options fo;
+      fo.threads = g_threads;
+      auto fz = ov.compact(fo);
+      const auto codec = g_compress ? tripoll::graph::snapshot_codec::compressed
+                                    : tripoll::graph::snapshot_codec::raw;
+      const auto bytes = c.all_reduce_sum(
+          tripoll::graph::save_snapshot(fz, prefix + "-compacted", codec));
+      cb::count_context cctx;
+      const auto cr = cb::plan_for(fz, cb::count_callback{}, cctx)
+                          .run({tripoll::survey_mode::push_pull, g_threads})
+                          .slice(0);
+      const auto ctri = cctx.global_count(c);
+      if (c.rank0()) {
+        print_survey_line("compacted", ctri, cr);
+        std::printf("compacted snapshot %s-compacted bytes %llu\n", prefix.c_str(),
+                    (unsigned long long)bytes);
+      }
+    }
+  });
+  return 0;
+}
+
+/// Streaming overlay ingest over a saved snapshot.  The stored metadata
+/// element sizes (peeked from rank 0's file) pick the overlay type, exactly
+/// like `serve`.
+int cmd_ingest(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string prefix = argv[2];
+  const std::string batch_path = argv[3];
+  const int ranks = argc > 4 ? std::atoi(argv[4]) : 1;
+  const auto peek = graph::peek_snapshot(graph::snapshot_rank_path(prefix, 0));
+  if (peek.vmeta_size == 0 && peek.emeta_size == 0) {
+    return ingest_run<false>(prefix, batch_path, ranks);
+  }
+  if (peek.vmeta_size == 8 && peek.emeta_size == 8) {
+    return ingest_run<true>(prefix, batch_path, ranks);
+  }
+  std::fprintf(stderr,
+               "ingest: unsupported snapshot metadata layout (%llu/%llu bytes); "
+               "save with no metadata or with --meta\n",
+               (unsigned long long)peek.vmeta_size,
+               (unsigned long long)peek.emeta_size);
+  return 1;
+}
+
 [[nodiscard]] const char* unit_kind_name(std::uint64_t kind) {
   switch (static_cast<svc::unit_kind>(kind)) {
     case svc::unit_kind::count: return "count";
     case svc::unit_kind::hot_count: return "hot_count";
     case svc::unit_kind::closure_digest: return "closure_digest";
     case svc::unit_kind::max_label: return "max_label";
+    case svc::unit_kind::window: return "window";
   }
   return "unknown";
 }
@@ -740,6 +876,28 @@ int cmd_query(int argc, char** argv) {
       u.kind = static_cast<std::uint64_t>(svc::unit_kind::closure_digest);
     } else if (s == "maxlabel") {
       u.kind = static_cast<std::uint64_t>(svc::unit_kind::max_label);
+    } else if (s.rfind("window:", 0) == 0) {
+      const char* p = s.c_str() + 7;
+      char* end = nullptr;
+      const unsigned long long t0 = std::strtoull(p, &end, 10);
+      if (end == p || *end != ':') {
+        std::fprintf(stderr, "query: bad window spec '%s' (want window:t0:t1)\n",
+                     s.c_str());
+        return usage();
+      }
+      const char* q = end + 1;
+      const unsigned long long t1 = std::strtoull(q, &end, 10);
+      if (end == q || *end != '\0') {
+        std::fprintf(stderr, "query: bad window spec '%s' (want window:t0:t1)\n",
+                     s.c_str());
+        return usage();
+      }
+      if (t0 > 0xffffffffull || t1 > 0xffffffffull) {
+        std::fprintf(stderr, "query: window bounds must fit in 32 bits\n");
+        return usage();
+      }
+      u.kind = static_cast<std::uint64_t>(svc::unit_kind::window);
+      u.param = svc::pack_window_param(t0, t1);
     } else {
       std::fprintf(stderr, "query: unknown spec '%s'\n", s.c_str());
       return usage();
@@ -763,12 +921,13 @@ int cmd_query(int argc, char** argv) {
     const auto s = client.stats();
     std::printf("stats snapshot %016llx ranks %llu served %llu hits %llu "
                 "misses %llu traversals %llu batches %llu max_batch %llu "
-                "rejected %llu\n",
+                "rejected %llu invalidated %llu\n",
                 (unsigned long long)s.snapshot_id, (unsigned long long)s.nranks,
                 (unsigned long long)s.plans_served, (unsigned long long)s.cache_hits,
                 (unsigned long long)s.cache_misses, (unsigned long long)s.traversals,
                 (unsigned long long)s.batches, (unsigned long long)s.max_batch,
-                (unsigned long long)s.rejected);
+                (unsigned long long)s.rejected,
+                (unsigned long long)s.invalidation_evictions);
   }
   if (do_shutdown) {
     client.shutdown();
@@ -791,6 +950,7 @@ int main(int argc, char** argv) {
     if (cmd == "snapshot") return cmd_snapshot(argc, argv);
     if (cmd == "serve") return cmd_serve(argc, argv);
     if (cmd == "query") return cmd_query(argc, argv);
+    if (cmd == "ingest") return cmd_ingest(argc, argv);
     if (argc < 3) return usage();
     const std::string path = argv[2];
     const int ranks = argc > 3 ? std::atoi(argv[3]) : 4;
